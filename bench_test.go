@@ -1,0 +1,246 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// section at CPU-friendly scale. Each Benchmark prints the corresponding
+// rows/series, so `go test -bench=. -benchmem` doubles as the reproduction
+// harness; cmd/silofuse-bench runs the same experiments at larger scale.
+//
+// The dataset/model subsets used here keep a full -bench=. run to a few
+// minutes; the shape of every result (who wins, by roughly what factor,
+// where the crossovers fall) matches the full runs recorded in
+// EXPERIMENTS.md.
+package silofuse
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"silofuse/internal/diffusion"
+	"silofuse/internal/experiments"
+	"silofuse/internal/gbdt"
+	"silofuse/internal/tensor"
+)
+
+// benchConfig returns the scaled-down experiment configuration shared by
+// the table/figure benchmarks.
+func benchConfig() experiments.Config {
+	c := experiments.Fast()
+	c.RowCap = 500
+	c.SynthRows = 400
+	c.Opts.AEIters = 150
+	c.Opts.DiffIters = 250
+	c.Opts.GANIters = 150
+	c.Opts.Batch = 128
+	c.UtilCfg.Boost.NumRounds = 8
+	c.UtilCfg.MaxColumns = 6
+	c.PrivCfg.Attacks = 80
+	return c
+}
+
+// BenchmarkTableII regenerates the dataset-statistics table (Table II).
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchConfig().TableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintTableII(os.Stdout, rows)
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates the resemblance grid (Table III) on a
+// three-dataset subset with the full model zoo.
+func BenchmarkTableIII(b *testing.B) {
+	c := benchConfig()
+	c.Datasets = []string{"loan", "cardio", "diabetes"}
+	for i := 0; i < b.N; i++ {
+		g, err := c.TableIII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintGrid(os.Stdout, g)
+		}
+	}
+}
+
+// BenchmarkTableIV regenerates the utility grid (Table IV) on the same
+// subset.
+func BenchmarkTableIV(b *testing.B) {
+	c := benchConfig()
+	c.Datasets = []string{"loan", "cardio", "diabetes"}
+	for i := 0; i < b.N; i++ {
+		g, err := c.TableIV()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintGrid(os.Stdout, g)
+		}
+	}
+}
+
+// BenchmarkTableV regenerates the correlation-difference heat maps
+// (Table V) for Cardio and Intrusion.
+func BenchmarkTableV(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		cells, err := c.TableV()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintTableV(os.Stdout, cells)
+		}
+	}
+}
+
+// BenchmarkTableVI regenerates the privacy grid (Table VI) on a subset.
+func BenchmarkTableVI(b *testing.B) {
+	c := benchConfig()
+	c.Datasets = []string{"abalone", "diabetes", "loan"}
+	for i := 0; i < b.N; i++ {
+		g, err := c.TableVI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintGrid(os.Stdout, g)
+		}
+	}
+}
+
+// BenchmarkTableVII regenerates the privacy-vs-denoising-steps sweep
+// (Table VII) on Abalone and Heloc.
+func BenchmarkTableVII(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := c.TableVII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintTableVII(os.Stdout, rows)
+		}
+	}
+}
+
+// BenchmarkFigure10 regenerates the communication-cost comparison
+// (Figure 10): SiloFuse flat, E2EDistr linear in iterations.
+func BenchmarkFigure10(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		series, err := c.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintFigure10(os.Stdout, series)
+		}
+	}
+}
+
+// BenchmarkFigure11 regenerates the robustness study (Figure 11) on the
+// Loan dataset (Heloc/Churn run via cmd/silofuse-bench).
+func BenchmarkFigure11(b *testing.B) {
+	c := benchConfig()
+	c.Datasets = []string{"loan"}
+	for i := 0; i < b.N; i++ {
+		points, err := c.Figure11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintFigure11(os.Stdout, points)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkMatMul measures the parallel matmul kernel at the backbone's
+// working size (batch 256 × hidden 256).
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(256, 256).Randn(rng, 1)
+	w := tensor.New(256, 256).Randn(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, w)
+	}
+}
+
+// BenchmarkDiffusionTrainStep measures one DDPM optimisation step at the
+// default latent width.
+func BenchmarkDiffusionTrainStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := diffusion.ModelConfig{Dim: 16, Hidden: 256, Depth: 4, TimeDim: 32, T: 200, LR: 1e-3}
+	m := diffusion.NewModel(rng, cfg)
+	data := tensor.New(256, 16).Randn(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainStep(data)
+	}
+}
+
+// BenchmarkGBDTFit measures the XGBoost-substitute training used by the
+// propensity and utility metrics.
+func BenchmarkGBDTFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.New(1000, 20).Randn(rng, 1)
+	labels := make([]int, 1000)
+	for i := range labels {
+		if x.At(i, 0)+x.At(i, 1) > 0 {
+			labels[i] = 1
+		}
+	}
+	p := gbdt.DefaultParams()
+	p.NumRounds = 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf := gbdt.NewClassifier(p, 2)
+		if err := clf.Fit(x, labels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSiloFuseFitSample measures one full stacked fit + sample on the
+// Loan dataset at bench scale.
+func BenchmarkSiloFuseFitSample(b *testing.B) {
+	c := benchConfig()
+	spec, err := DatasetByName("loan")
+	if err != nil {
+		b.Fatal(err)
+	}
+	train := spec.Generate(400, 9)
+	for i := 0; i < b.N; i++ {
+		opts := c.Opts
+		opts.Seed = int64(i + 1)
+		m := NewSiloFuse(opts)
+		if err := m.Fit(train); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Sample(200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations measures the quality impact of SiloFuse's design
+// choices (latent whitening, decode sampling, schedule, EMA, inference
+// steps), each toggled in isolation.
+func BenchmarkAblations(b *testing.B) {
+	c := benchConfig()
+	c.Datasets = []string{"loan"}
+	for i := 0; i < b.N; i++ {
+		rows, err := c.Ablations()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintAblations(os.Stdout, rows)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Command silofuse-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	silofuse-bench -exp table3 -scale fast
+//	silofuse-bench -exp all -scale standard -trials 3
+//	silofuse-bench -exp fig11 -datasets heloc,loan,churn
+//
+// Experiments: table2, table3 (resemblance), table4 (utility), table5
+// (correlation differences), table6 (privacy), table7 (privacy vs steps),
+// fig10 (communication), fig11 (robustness), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"silofuse/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: table2..table7, quality (tables 3+4 in one pass), fig10, fig11, all")
+	scale := flag.String("scale", "fast", "fast or standard")
+	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: experiment's own)")
+	models := flag.String("models", "", "comma-separated model subset (default: experiment's own)")
+	trials := flag.Int("trials", 0, "override trial count")
+	rows := flag.Int("rows", 0, "override dataset row cap")
+	seed := flag.Int64("seed", 0, "override base seed")
+	aeIters := flag.Int("ae-iters", 0, "override autoencoder iterations")
+	diffIters := flag.Int("diff-iters", 0, "override diffusion iterations")
+	ganIters := flag.Int("gan-iters", 0, "override GAN iterations")
+	utilCols := flag.Int("util-cols", 0, "cap on utility target columns (0 = all)")
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "fast":
+		cfg = experiments.Fast()
+	case "standard":
+		cfg = experiments.Standard()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want fast or standard)\n", *scale)
+		os.Exit(2)
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	if *models != "" {
+		cfg.Models = strings.Split(*models, ",")
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *rows > 0 {
+		cfg.RowCap = *rows
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *aeIters > 0 {
+		cfg.Opts.AEIters = *aeIters
+	}
+	if *diffIters > 0 {
+		cfg.Opts.DiffIters = *diffIters
+	}
+	if *ganIters > 0 {
+		cfg.Opts.GANIters = *ganIters
+	}
+	if *utilCols > 0 {
+		cfg.UtilCfg.MaxColumns = *utilCols
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"table2", "quality", "table5", "table6", "table7", "fig10", "fig11"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := run(id, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[%s done in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(id string, cfg experiments.Config) error {
+	switch id {
+	case "table2":
+		rows, err := cfg.TableII()
+		if err != nil {
+			return err
+		}
+		experiments.PrintTableII(os.Stdout, rows)
+	case "table3":
+		g, err := cfg.TableIII()
+		if err != nil {
+			return err
+		}
+		experiments.PrintGrid(os.Stdout, g)
+	case "table4":
+		g, err := cfg.TableIV()
+		if err != nil {
+			return err
+		}
+		experiments.PrintGrid(os.Stdout, g)
+	case "quality":
+		res, util, err := cfg.Quality()
+		if err != nil {
+			return err
+		}
+		experiments.PrintGrid(os.Stdout, res)
+		fmt.Println()
+		experiments.PrintGrid(os.Stdout, util)
+	case "table5":
+		cells, err := cfg.TableV()
+		if err != nil {
+			return err
+		}
+		experiments.PrintTableV(os.Stdout, cells)
+	case "table6":
+		g, err := cfg.TableVI()
+		if err != nil {
+			return err
+		}
+		experiments.PrintGrid(os.Stdout, g)
+	case "table7":
+		rows, err := cfg.TableVII()
+		if err != nil {
+			return err
+		}
+		experiments.PrintTableVII(os.Stdout, rows)
+	case "fig10":
+		series, err := cfg.Figure10()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFigure10(os.Stdout, series)
+	case "fig11":
+		points, err := cfg.Figure11()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFigure11(os.Stdout, points)
+	case "ablations":
+		rows, err := cfg.Ablations()
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblations(os.Stdout, rows)
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

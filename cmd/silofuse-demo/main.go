@@ -1,0 +1,143 @@
+// Command silofuse-demo runs the full cross-silo protocol over real TCP
+// sockets on loopback: a coordinator hub and M client peers exchange the
+// stacked-training and distributed-synthesis messages of Algorithms 1 and 2,
+// and the demo prints the measured wire traffic — demonstrating that
+// SiloFuse's single communication round is a property of the protocol, not
+// of an in-process simulation.
+//
+// Usage:
+//
+//	silofuse-demo -dataset loan -clients 3 -rows 600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"silofuse"
+)
+
+func main() {
+	dataset := flag.String("dataset", "loan", "benchmark dataset name")
+	clients := flag.Int("clients", 3, "number of client silos")
+	rows := flag.Int("rows", 600, "training rows")
+	synth := flag.Int("synth", 100, "synthetic rows to generate")
+	iters := flag.Int("iters", 300, "training iterations per phase")
+	flag.Parse()
+
+	if err := run(*dataset, *clients, *rows, *synth, *iters); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, clients, rows, synthRows, iters int) error {
+	spec, err := silofuse.DatasetByName(dataset)
+	if err != nil {
+		return err
+	}
+	train := spec.Generate(rows, 1)
+
+	hub, err := silofuse.NewTCPHub("coord", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer hub.Close()
+	fmt.Printf("coordinator hub listening on %s\n", hub.Addr())
+
+	peers := make(map[string]*silofuse.TCPPeer, clients)
+	for i := 0; i < clients; i++ {
+		name := fmt.Sprintf("c%d", i)
+		p, err := silofuse.DialHub(name, hub.Addr())
+		if err != nil {
+			return err
+		}
+		defer p.Close()
+		peers[name] = p
+		fmt.Printf("client %s connected\n", name)
+	}
+
+	bus := &routedBus{hub: hub, peers: peers}
+	opts := silofuse.FastOptions()
+	opts.AEIters = iters
+	opts.DiffIters = iters
+	cfg := silofuse.PipelineConfig{
+		Clients: clients,
+		AE:      silofuse.AutoencoderConfig{Hidden: opts.AEHidden, Embed: opts.AEEmbed, LR: opts.LR},
+		Diff: silofuse.DiffusionConfig{
+			Hidden: opts.DiffHidden, Depth: opts.DiffDepth, TimeDim: opts.DiffTimeDim,
+			T: opts.T, LR: opts.LR, Dropout: 0.01,
+		},
+		AEIters:    opts.AEIters,
+		DiffIters:  opts.DiffIters,
+		Batch:      opts.Batch,
+		SynthSteps: opts.SynthSteps,
+		Seed:       1,
+	}
+	pipe, err := silofuse.NewPipeline(bus, train, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n== Algorithm 1: stacked training (%d AE iters, %d DDPM iters) ==\n", cfg.AEIters, cfg.DiffIters)
+	aeLoss, diffLoss, err := pipe.TrainStacked()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("autoencoder NLL %.4f, diffusion MSE %.4f\n", aeLoss, diffLoss)
+	fmt.Printf("wire bytes after training: %d (one latent upload per client)\n", totalBytes(hub, peers))
+
+	fmt.Printf("\n== Algorithm 2: distributed synthesis (%d rows) ==\n", synthRows)
+	parts, err := pipe.SynthesizePartitioned(0, synthRows, true)
+	if err != nil {
+		return err
+	}
+	for i, p := range parts {
+		fmt.Printf("client c%d holds synthetic partition: %d rows x %d features\n", i, p.Rows(), p.Schema.NumColumns())
+	}
+	fmt.Printf("wire bytes after synthesis: %d\n", totalBytes(hub, peers))
+
+	joined, err := silofuse.JoinVertical(pipe.Schema, pipe.Parts, parts)
+	if err != nil {
+		return err
+	}
+	rep, err := silofuse.Resemblance(train, joined, silofuse.DefaultResemblanceConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\njoined synthetic resemblance: %.1f/100\n", rep.Score)
+	return nil
+}
+
+// totalBytes sums measured wire bytes across the hub and every peer (each
+// endpoint counts only what it writes to its socket).
+func totalBytes(hub *silofuse.TCPHub, peers map[string]*silofuse.TCPPeer) int64 {
+	total := hub.Stats().Bytes
+	for _, p := range peers {
+		total += p.Stats().Bytes
+	}
+	return total
+}
+
+// routedBus routes each party's traffic through its own TCP endpoint.
+type routedBus struct {
+	hub   *silofuse.TCPHub
+	peers map[string]*silofuse.TCPPeer
+}
+
+func (r *routedBus) Send(e *silofuse.Envelope) error {
+	if p, ok := r.peers[e.From]; ok {
+		return p.Send(e)
+	}
+	return r.hub.Send(e)
+}
+
+func (r *routedBus) Recv(to string) (*silofuse.Envelope, error) {
+	if p, ok := r.peers[to]; ok {
+		return p.Recv(to)
+	}
+	return r.hub.Recv(to)
+}
+
+func (r *routedBus) Stats() silofuse.TransportStats { return r.hub.Stats() }

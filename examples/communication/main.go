@@ -1,0 +1,62 @@
+// Communication study (the paper's Figure 10 in miniature): train SiloFuse
+// and the end-to-end distributed baseline on the same vertically
+// partitioned data and compare measured transport traffic as the iteration
+// budget grows. Stacked training's cost is a single latent upload per
+// client — flat in iterations — while split learning pays four tensor
+// transfers per client per iteration.
+//
+//	go run ./examples/communication
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"silofuse"
+)
+
+func main() {
+	spec, err := silofuse.DatasetByName("abalone")
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := spec.Generate(1000, 1)
+	fmt.Printf("dataset %s: %d rows, %d features, 4 clients\n\n",
+		spec.Name, train.Rows(), train.Schema.NumColumns())
+
+	fmt.Printf("%12s %16s %16s\n", "iterations", "SiloFuse bytes", "E2EDistr bytes")
+	for _, iters := range []int{50, 200, 800} {
+		sfBytes := trainAndMeasure(train, iters, false)
+		e2eBytes := trainAndMeasure(train, iters, true)
+		fmt.Printf("%12d %16d %16d\n", iters, sfBytes, e2eBytes)
+	}
+	fmt.Println("\nSiloFuse traffic is identical at every scale: the latents cross the")
+	fmt.Println("wire exactly once, so communication is O(1) in the iteration count,")
+	fmt.Println("while end-to-end training is O(#iterations) (paper Figure 10).")
+}
+
+func trainAndMeasure(train *silofuse.Table, iters int, endToEnd bool) int64 {
+	opts := silofuse.FastOptions()
+	opts.Clients = 4
+	opts.Batch = 64
+	opts.AEIters = iters
+	opts.DiffIters = 0
+	if !endToEnd {
+		// Stacked training splits the budget between the two phases.
+		opts.AEIters = iters / 2
+		opts.DiffIters = iters - iters/2
+	}
+	var model interface {
+		Fit(*silofuse.Table) error
+		CommStats() silofuse.TransportStats
+	}
+	if endToEnd {
+		model = silofuse.NewE2EDistr(opts)
+	} else {
+		model = silofuse.NewSiloFuse(opts)
+	}
+	if err := model.Fit(train); err != nil {
+		log.Fatal(err)
+	}
+	return model.CommStats().Bytes
+}

@@ -1,0 +1,139 @@
+// Finance cross-silo scenario (the paper's Example II.2): Company A holds
+// personal attributes, Company B holds financial behaviour for the same
+// customers. They synthesise jointly with SiloFuse and then *share* the
+// synthetic features post-generation — the convenient but riskier mode —
+// and this example audits exactly the risk the paper quantifies in Table
+// VI, comparing against a deliberately leaky baseline that memorises the
+// training data.
+//
+//	go run ./examples/finance
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"silofuse"
+)
+
+func main() {
+	schema := silofuse.MustSchema([]silofuse.Column{
+		// Company A: personal attributes.
+		{Name: "age_bracket", Kind: silofuse.Categorical, Cardinality: 6},
+		{Name: "region", Kind: silofuse.Categorical, Cardinality: 8},
+		{Name: "household_size", Kind: silofuse.Numeric},
+		// Company B: financial behaviour.
+		{Name: "income", Kind: silofuse.Numeric},
+		{Name: "monthly_spend", Kind: silofuse.Numeric},
+		{Name: "credit_utilisation", Kind: silofuse.Numeric},
+		{Name: "defaulted", Kind: silofuse.Categorical, Cardinality: 2},
+	})
+	customers := generateCustomers(schema, 1200, 5)
+	fmt.Printf("customer cohort: %d rows; Company A holds 3 features, Company B holds 4\n", customers.Rows())
+
+	// Train SiloFuse across the two companies and synthesise in shared mode.
+	opts := silofuse.FastOptions()
+	opts.Clients = 2
+	opts.Seed = 3
+	model := silofuse.NewSiloFuse(opts)
+	if err := model.Fit(customers); err != nil {
+		log.Fatal(err)
+	}
+	synth, err := model.Sample(1200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthetic data generated and shared between companies (%d rows)\n", synth.Rows())
+
+	// Audit the shared synthetic data with the paper's three attacks.
+	cfg := silofuse.DefaultPrivacyConfig()
+	rep, err := silofuse.EvaluatePrivacy(customers, synth, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nprivacy audit of the shared synthetic data (higher = safer):")
+	fmt.Printf("  singling-out resistance:        %.1f/100\n", rep.SinglingOut)
+	fmt.Printf("  linkability resistance:         %.1f/100\n", rep.Linkability)
+	fmt.Printf("  attribute-inference resistance: %.1f/100\n", rep.AttributeInference)
+	fmt.Printf("  composite privacy score:        %.1f/100\n", rep.Score)
+
+	// Contrast with a worst case: "synthetic" data that memorises the
+	// training rows (tiny jitter). The attacks must flag it as far riskier.
+	leaky := jitter(customers, 1e-4, 9)
+	leakRep, err := silofuse.EvaluatePrivacy(customers, leaky, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsame audit against a memorising generator (worst case):")
+	fmt.Printf("  singling-out %.1f, linkability %.1f, inference %.1f → composite %.1f/100\n",
+		leakRep.SinglingOut, leakRep.Linkability, leakRep.AttributeInference, leakRep.Score)
+	if leakRep.Score < rep.Score {
+		fmt.Println("\nSiloFuse's synthetic data is measurably safer than memorised data,")
+		fmt.Println("matching the paper's finding that generation — not copying — is what")
+		fmt.Println("makes post-generation sharing defensible.")
+	}
+
+	// Utility check: Company B can still model default risk from the shared
+	// synthetic data.
+	test := generateCustomers(schema, 600, 77)
+	util, err := silofuse.Utility(customers, synth, test, silofuse.DefaultUtilityConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndownstream utility of the shared synthetic data: %.1f/100\n", util.Score)
+}
+
+// generateCustomers plants dependencies between the two companies' features
+// through a latent affluence factor.
+func generateCustomers(schema *silofuse.Schema, n int, seed int64) *silofuse.Table {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, 0, n*schema.NumColumns())
+	for i := 0; i < n; i++ {
+		affluence := rng.NormFloat64()
+		age := clampInt(int(3+1.2*affluence+rng.NormFloat64()), 0, 5)
+		region := clampInt(int(4+2*affluence+2*rng.NormFloat64()), 0, 7)
+		household := 2.5 - 0.4*affluence + 0.7*rng.NormFloat64()
+		income := 50000 + 22000*affluence + 5000*rng.NormFloat64()
+		spend := 2000 + 900*affluence + 250*rng.NormFloat64()
+		util := 0.45 - 0.12*affluence + 0.08*rng.NormFloat64()
+		def := 0.0
+		if -affluence+0.6*rng.NormFloat64() > 1.1 {
+			def = 1
+		}
+		data = append(data, float64(age), float64(region), household, income, spend, util, def)
+	}
+	t, err := silofuse.NewTable(schema, silofuse.MatrixFromSlice(n, schema.NumColumns(), data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return t
+}
+
+// jitter returns a near-copy of the table (memorisation stand-in).
+func jitter(t *silofuse.Table, eps float64, seed int64) *silofuse.Table {
+	rng := rand.New(rand.NewSource(seed))
+	data := t.Data.Clone()
+	for i := 0; i < data.Rows; i++ {
+		for j, c := range t.Schema.Columns {
+			if c.Kind == silofuse.Numeric {
+				data.Set(i, j, data.At(i, j)+eps*rng.NormFloat64())
+			}
+		}
+	}
+	out, err := silofuse.NewTable(t.Schema, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

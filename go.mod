@@ -1,0 +1,3 @@
+module silofuse
+
+go 1.22

@@ -1,0 +1,252 @@
+// Package autoencoder implements the per-client tabular autoencoder of the
+// paper: an MLP encoder mapping one-hot + standardised features to compact
+// continuous latents, and a decoder with distributional output heads — a
+// Gaussian (mean, log-variance) head per numeric feature and a multinomial
+// (softmax) head per categorical feature — trained by negative
+// log-likelihood (paper eq. 4, following TVAE-style heads).
+package autoencoder
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"silofuse/internal/nn"
+	"silofuse/internal/tabular"
+	"silofuse/internal/tensor"
+)
+
+// Config holds the autoencoder hyper-parameters. The paper uses three
+// linear layers per coder with GELU, hidden width 1024 and embedding width
+// 32 in the centralized model (split evenly across clients in the
+// distributed one), and latent size equal to the number of raw features.
+type Config struct {
+	Hidden  int     // hidden layer width
+	Embed   int     // bottleneck-adjacent embedding width
+	Latent  int     // latent feature count (paper: = #raw features)
+	LR      float64 // Adam learning rate
+	Dropout float64
+}
+
+// DefaultConfig returns CPU-scaled defaults; latent must be set per client.
+func DefaultConfig(latent int) Config {
+	return Config{Hidden: 256, Embed: 32, Latent: latent, LR: 1e-3}
+}
+
+// headSpan locates one column's slice of the decoder head output.
+type headSpan struct {
+	col  int
+	kind tabular.Kind
+	lo   int // start offset in head output
+	hi   int
+}
+
+// Autoencoder is one client's encoder/decoder pair (E_i, D_i).
+type Autoencoder struct {
+	Schema *tabular.Schema
+	Cfg    Config
+	Enc    *tabular.Encoder // input featuriser (one-hot + standardise)
+
+	encoder *nn.Sequential
+	decoder *nn.Sequential // trunk + final head linear
+	spans   []headSpan
+	opt     *nn.Adam
+	rng     *rand.Rand
+}
+
+// New builds an autoencoder for the columns of train and fits the input
+// featuriser on it. Model weights are drawn from rng.
+func New(rng *rand.Rand, train *tabular.Table, cfg Config) *Autoencoder {
+	if cfg.Latent <= 0 {
+		cfg.Latent = train.Schema.NumColumns()
+	}
+	enc := tabular.NewEncoder(train)
+	in := enc.Width()
+
+	// Head layout: [mean, logVar] per numeric column, card logits per
+	// categorical column, in schema order.
+	var spans []headSpan
+	off := 0
+	for j, c := range train.Schema.Columns {
+		sp := headSpan{col: j, kind: c.Kind, lo: off}
+		if c.Kind == tabular.Numeric {
+			off += 2
+		} else {
+			off += c.Cardinality
+		}
+		sp.hi = off
+		spans = append(spans, sp)
+	}
+
+	a := &Autoencoder{
+		Schema: train.Schema,
+		Cfg:    cfg,
+		Enc:    enc,
+		encoder: nn.NewSequential(
+			nn.NewLinear(rng, in, cfg.Hidden), &nn.GELU{},
+			nn.NewLinear(rng, cfg.Hidden, cfg.Embed), &nn.GELU{},
+			nn.NewLinear(rng, cfg.Embed, cfg.Latent),
+		),
+		decoder: nn.NewSequential(
+			nn.NewLinear(rng, cfg.Latent, cfg.Embed), &nn.GELU{},
+			nn.NewLinear(rng, cfg.Embed, cfg.Hidden), &nn.GELU{},
+			nn.NewLinear(rng, cfg.Hidden, off),
+		),
+		spans: spans,
+		rng:   rng,
+	}
+	params := append(a.encoder.Params(), a.decoder.Params()...)
+	a.opt = nn.NewAdam(params, cfg.LR)
+	return a
+}
+
+// ParamCount returns the number of trainable scalars.
+func (a *Autoencoder) ParamCount() int {
+	return nn.ParamCount(a.encoder.Params()) + nn.ParamCount(a.decoder.Params())
+}
+
+// LatentDim returns the latent width s_i contributed by this client.
+func (a *Autoencoder) LatentDim() int { return a.Cfg.Latent }
+
+// TrainStep runs one optimisation step on a batch table and returns the
+// total reconstruction NLL.
+func (a *Autoencoder) TrainStep(batch *tabular.Table) float64 {
+	x := a.Enc.Transform(batch)
+	z := a.encoder.Forward(x, true)
+	out := a.decoder.Forward(z, true)
+	loss, grad := a.reconstructionLoss(out, batch)
+	gz := a.decoder.Backward(grad)
+	a.encoder.Backward(gz)
+	a.opt.Step()
+	return loss
+}
+
+// Train runs iters minibatch steps and returns the mean loss over the final
+// 10% of iterations.
+func (a *Autoencoder) Train(train *tabular.Table, iters, batch int) float64 {
+	if batch > train.Rows() {
+		batch = train.Rows()
+	}
+	tail := iters - iters/10
+	var tailLoss float64
+	var tailCount int
+	idx := make([]int, batch)
+	for it := 0; it < iters; it++ {
+		for i := range idx {
+			idx[i] = a.rng.Intn(train.Rows())
+		}
+		loss := a.TrainStep(train.SelectRows(idx))
+		if it >= tail {
+			tailLoss += loss
+			tailCount++
+		}
+	}
+	if tailCount == 0 {
+		return 0
+	}
+	return tailLoss / float64(tailCount)
+}
+
+// reconstructionLoss computes the summed per-column NLL and the gradient
+// with respect to the head outputs.
+func (a *Autoencoder) reconstructionLoss(out *tensor.Matrix, batch *tabular.Table) (float64, *tensor.Matrix) {
+	grad := tensor.New(out.Rows, out.Cols)
+	total := 0.0
+	for _, sp := range a.spans {
+		if sp.kind == tabular.Numeric {
+			mean := out.SliceCols(sp.lo, sp.lo+1)
+			logVar := out.SliceCols(sp.lo+1, sp.hi)
+			target := a.standardisedColumn(batch, sp.col)
+			loss, gMean, gLV := nn.GaussianNLLLoss(mean, logVar, target)
+			total += loss
+			grad.SetCol(sp.lo, gMean.Col(0))
+			grad.SetCol(sp.lo+1, gLV.Col(0))
+		} else {
+			logits := out.SliceCols(sp.lo, sp.hi)
+			labels := batch.CatColumn(sp.col)
+			loss, g := nn.CrossEntropyLoss(logits, labels)
+			total += loss
+			for k := 0; k < g.Cols; k++ {
+				grad.SetCol(sp.lo+k, g.Col(k))
+			}
+		}
+	}
+	return total, grad
+}
+
+// standardisedColumn returns column col of batch standardised with the
+// fitted featuriser statistics, as an (n,1) matrix.
+func (a *Autoencoder) standardisedColumn(batch *tabular.Table, col int) *tensor.Matrix {
+	vals := batch.NumColumn(col)
+	out := tensor.New(len(vals), 1)
+	for i, v := range vals {
+		out.Data[i] = (v - a.Enc.Mean[col]) / a.Enc.Std[col]
+	}
+	return out
+}
+
+// Encode maps a table to its latent representation Z_i = E_i(X_i) in
+// evaluation mode.
+func (a *Autoencoder) Encode(t *tabular.Table) *tensor.Matrix {
+	return a.encoder.Forward(a.Enc.Transform(t), false)
+}
+
+// Decode maps latents back to the data space. When sample is true, numeric
+// values are drawn from the Gaussian heads and categories from the softmax
+// heads; otherwise the mean / arg-max is used.
+func (a *Autoencoder) Decode(z *tensor.Matrix, sample bool, rng *rand.Rand) (*tabular.Table, error) {
+	if z.Cols != a.Cfg.Latent {
+		return nil, fmt.Errorf("autoencoder: latent width %d, expected %d", z.Cols, a.Cfg.Latent)
+	}
+	out := a.decoder.Forward(z, false)
+	data := tensor.New(z.Rows, a.Schema.NumColumns())
+	for _, sp := range a.spans {
+		switch sp.kind {
+		case tabular.Numeric:
+			for i := 0; i < z.Rows; i++ {
+				v := out.At(i, sp.lo)
+				if sample {
+					lv := math.Max(-10, math.Min(10, out.At(i, sp.lo+1)))
+					v += math.Exp(lv/2) * rng.NormFloat64()
+				}
+				data.Set(i, sp.col, v*a.Enc.Std[sp.col]+a.Enc.Mean[sp.col])
+			}
+		case tabular.Categorical:
+			logits := out.SliceCols(sp.lo, sp.hi)
+			probs := nn.Softmax(logits)
+			for i := 0; i < z.Rows; i++ {
+				row := probs.Row(i)
+				var code int
+				if sample {
+					code = sampleIndex(rng, row)
+				} else {
+					code = argmax(row)
+				}
+				data.Set(i, sp.col, float64(code))
+			}
+		}
+	}
+	return tabular.NewTable(a.Schema, data)
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func sampleIndex(rng *rand.Rand, probs []float64) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if u <= acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}

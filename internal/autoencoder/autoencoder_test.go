@@ -1,0 +1,188 @@
+package autoencoder
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"silofuse/internal/datagen"
+	"silofuse/internal/stats"
+	"silofuse/internal/tabular"
+)
+
+func loanTable(t *testing.T, rows int) *tabular.Table {
+	t.Helper()
+	spec, err := datagen.ByName("loan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec.Generate(rows, 42)
+}
+
+func TestNewDefaultsLatentToFeatureCount(t *testing.T) {
+	tb := loanTable(t, 100)
+	a := New(rand.New(rand.NewSource(1)), tb, Config{Hidden: 32, Embed: 8, LR: 1e-3})
+	if a.LatentDim() != tb.Schema.NumColumns() {
+		t.Fatalf("latent dim = %d, want %d", a.LatentDim(), tb.Schema.NumColumns())
+	}
+}
+
+func TestEncodeShape(t *testing.T) {
+	tb := loanTable(t, 50)
+	a := New(rand.New(rand.NewSource(2)), tb, DefaultConfig(6))
+	z := a.Encode(tb)
+	if z.Rows != 50 || z.Cols != 6 {
+		t.Fatalf("latent shape %v", z)
+	}
+}
+
+func TestDecodeRejectsWrongWidth(t *testing.T) {
+	tb := loanTable(t, 20)
+	a := New(rand.New(rand.NewSource(3)), tb, DefaultConfig(6))
+	z := a.Encode(tb)
+	if _, err := a.Decode(z.SliceCols(0, 3), false, rand.New(rand.NewSource(4))); err == nil {
+		t.Fatal("expected width error")
+	}
+}
+
+func TestDecodeProducesValidTable(t *testing.T) {
+	tb := loanTable(t, 60)
+	a := New(rand.New(rand.NewSource(5)), tb, DefaultConfig(0))
+	z := a.Encode(tb)
+	dec, err := a.Decode(z, true, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Rows() != 60 {
+		t.Fatalf("rows = %d", dec.Rows())
+	}
+	// NewTable inside Decode validates category codes; additionally check
+	// numeric values are finite.
+	for _, v := range dec.Data.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite decoded value")
+		}
+	}
+}
+
+// TestReconstruction trains the autoencoder and checks it reconstructs both
+// categorical codes and numeric values well — the paper's step 1.
+func TestReconstruction(t *testing.T) {
+	tb := loanTable(t, 800)
+	rng := rand.New(rand.NewSource(7))
+	cfg := Config{Hidden: 128, Embed: 32, Latent: tb.Schema.NumColumns(), LR: 2e-3}
+	a := New(rng, tb, cfg)
+	first := a.TrainStep(tb.Head(256))
+	final := a.Train(tb, 600, 128)
+	if final >= first {
+		t.Fatalf("loss did not decrease: first %v, final %v", first, final)
+	}
+
+	dec, err := a.Decode(a.Encode(tb), false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Categorical accuracy well above chance on the binary target column.
+	codesIn := tb.CatColumn(0)
+	codesOut := dec.CatColumn(0)
+	correct := 0
+	for i := range codesIn {
+		if codesIn[i] == codesOut[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(codesIn)); acc < 0.85 {
+		t.Fatalf("categorical reconstruction accuracy %v", acc)
+	}
+	// Numeric columns correlate strongly with their reconstructions.
+	nCat := len(tb.Schema.CategoricalIndexes())
+	for j := nCat; j < tb.Schema.NumColumns(); j++ {
+		r := stats.Pearson(tb.NumColumn(j), dec.NumColumn(j))
+		if r < 0.7 {
+			t.Fatalf("numeric column %d reconstruction correlation %v", j, r)
+		}
+	}
+}
+
+// TestLatentsMaskValues: encoded latents must not simply copy input columns
+// — the paper's privacy argument needs latents that are non-trivial
+// transforms. We check no latent dimension is an exact copy of a raw
+// column.
+func TestLatentsMaskValues(t *testing.T) {
+	tb := loanTable(t, 300)
+	rng := rand.New(rand.NewSource(8))
+	a := New(rng, tb, DefaultConfig(0))
+	a.Train(tb, 200, 64)
+	z := a.Encode(tb)
+	for zc := 0; zc < z.Cols; zc++ {
+		lat := z.Col(zc)
+		for col := 0; col < tb.Schema.NumColumns(); col++ {
+			raw := tb.Data.Col(col)
+			same := true
+			for i := range lat {
+				if math.Abs(lat[i]-raw[i]) > 1e-6 {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("latent %d is an exact copy of column %d", zc, col)
+			}
+		}
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	tb := loanTable(t, 100)
+	a1 := New(rand.New(rand.NewSource(9)), tb, DefaultConfig(0))
+	a2 := New(rand.New(rand.NewSource(9)), tb, DefaultConfig(0))
+	l1 := a1.Train(tb, 50, 32)
+	l2 := a2.Train(tb, 50, 32)
+	if l1 != l2 {
+		t.Fatalf("training not deterministic: %v vs %v", l1, l2)
+	}
+}
+
+func TestParamCountPositive(t *testing.T) {
+	tb := loanTable(t, 30)
+	a := New(rand.New(rand.NewSource(10)), tb, DefaultConfig(0))
+	if a.ParamCount() <= 0 {
+		t.Fatal("no parameters?")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tb := loanTable(t, 150)
+	a := New(rand.New(rand.NewSource(20)), tb, DefaultConfig(0))
+	a.Train(tb, 100, 64)
+
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := New(rand.New(rand.NewSource(99)), tb, DefaultConfig(0))
+	if err := b.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	za := a.Encode(tb)
+	zb := b.Encode(tb)
+	for i := range za.Data {
+		if za.Data[i] != zb.Data[i] {
+			t.Fatal("loaded autoencoder produces different latents")
+		}
+	}
+}
+
+func TestLoadWrongArchitecture(t *testing.T) {
+	tb := loanTable(t, 100)
+	a := New(rand.New(rand.NewSource(21)), tb, DefaultConfig(0))
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := New(rand.New(rand.NewSource(22)), tb, Config{Hidden: 32, Embed: 8, LR: 1e-3})
+	if err := other.Load(&buf); err == nil {
+		t.Fatal("expected architecture mismatch error")
+	}
+}

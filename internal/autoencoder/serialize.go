@@ -1,0 +1,25 @@
+package autoencoder
+
+import (
+	"io"
+
+	"silofuse/internal/nn"
+)
+
+// Save writes the encoder and decoder weights to w. The input featuriser
+// statistics are part of the schema-derived architecture and are saved too
+// via the parameter stream ordering; callers must rebuild the autoencoder
+// with the same training table schema before Load.
+func (a *Autoencoder) Save(w io.Writer) error {
+	return nn.SaveParams(w, a.allParams())
+}
+
+// Load restores weights written by Save into an autoencoder constructed
+// with the same configuration and schema.
+func (a *Autoencoder) Load(r io.Reader) error {
+	return nn.LoadParams(r, a.allParams())
+}
+
+func (a *Autoencoder) allParams() []*nn.Param {
+	return append(append([]*nn.Param{}, a.encoder.Params()...), a.decoder.Params()...)
+}

@@ -1,0 +1,35 @@
+package autoencoder
+
+import (
+	"silofuse/internal/tabular"
+	"silofuse/internal/tensor"
+)
+
+// The methods below expose the encoder and decoder halves separately for
+// split (end-to-end distributed) training, where the diffusion backbone sits
+// between them on another party. Call order per iteration must be:
+// ForwardEncode → DecoderLossGrad → BackwardEncoder → Step.
+
+// ForwardEncode runs the encoder on a raw batch, caching activations for a
+// later BackwardEncoder call.
+func (a *Autoencoder) ForwardEncode(batch *tabular.Table, train bool) *tensor.Matrix {
+	return a.encoder.Forward(a.Enc.Transform(batch), train)
+}
+
+// DecoderLossGrad runs the decoder on latents z, computes the
+// reconstruction NLL against batch, accumulates decoder parameter
+// gradients, and returns the loss together with dLoss/dz.
+func (a *Autoencoder) DecoderLossGrad(z *tensor.Matrix, batch *tabular.Table, train bool) (float64, *tensor.Matrix) {
+	out := a.decoder.Forward(z, train)
+	loss, grad := a.reconstructionLoss(out, batch)
+	return loss, a.decoder.Backward(grad)
+}
+
+// BackwardEncoder propagates a latent gradient through the encoder,
+// accumulating its parameter gradients.
+func (a *Autoencoder) BackwardEncoder(gradZ *tensor.Matrix) {
+	a.encoder.Backward(gradZ)
+}
+
+// Step applies the optimiser to all accumulated gradients.
+func (a *Autoencoder) Step() { a.opt.Step() }

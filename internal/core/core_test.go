@@ -1,0 +1,309 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"silofuse/internal/datagen"
+	"silofuse/internal/stats"
+	"silofuse/internal/tabular"
+)
+
+func loanTable(t *testing.T, rows int) *tabular.Table {
+	t.Helper()
+	spec, err := datagen.ByName("loan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec.Generate(rows, 33)
+}
+
+func tinyOptions() Options {
+	o := FastOptions()
+	o.AEIters = 150
+	o.DiffIters = 250
+	o.GANIters = 150
+	o.Batch = 64
+	return o
+}
+
+func TestRegistryConstructsAllModels(t *testing.T) {
+	for _, name := range ModelNames() {
+		m, err := New(name, tinyOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Name() == "" {
+			t.Fatalf("%s: empty display name", name)
+		}
+	}
+	if _, err := New("bogus", tinyOptions()); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestSampleBeforeFitErrors(t *testing.T) {
+	for _, name := range ModelNames() {
+		m, err := New(name, tinyOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Sample(5); err == nil {
+			t.Fatalf("%s: Sample before Fit should error", name)
+		}
+	}
+}
+
+// TestAllModelsFitAndSample is the integration smoke test: every model in
+// the zoo trains briefly on the loan dataset and produces a valid table
+// with the right schema.
+func TestAllModelsFitAndSample(t *testing.T) {
+	tb := loanTable(t, 300)
+	for _, name := range ModelNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			opts := tinyOptions()
+			opts.AEIters = 60
+			opts.DiffIters = 80
+			opts.GANIters = 60
+			m, err := New(name, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Fit(tb); err != nil {
+				t.Fatal(err)
+			}
+			out, err := m.Sample(40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Rows() != 40 {
+				t.Fatalf("rows = %d", out.Rows())
+			}
+			if out.Schema.NumColumns() != tb.Schema.NumColumns() {
+				t.Fatal("schema width mismatch")
+			}
+			for j, c := range out.Schema.Columns {
+				if c.Name != tb.Schema.Columns[j].Name {
+					t.Fatal("column names lost")
+				}
+			}
+		})
+	}
+}
+
+// TestSiloFuseQuality trains SiloFuse a bit longer and checks the synthetic
+// marginals genuinely resemble the real data (mean KS below a loose bound),
+// separating it from noise.
+func TestSiloFuseQuality(t *testing.T) {
+	tb := loanTable(t, 800)
+	opts := tinyOptions()
+	opts.AEIters = 400
+	opts.DiffIters = 800
+	m := NewSiloFuse(opts)
+	if err := m.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Sample(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCat := len(tb.Schema.CategoricalIndexes())
+	var ks float64
+	for j := nCat; j < tb.Schema.NumColumns(); j++ {
+		ks += stats.KSStatistic(tb.NumColumn(j), out.NumColumn(j))
+	}
+	ks /= float64(tb.Schema.NumColumns() - nCat)
+	if ks > 0.45 {
+		t.Fatalf("SiloFuse marginals too far from real: mean KS %v", ks)
+	}
+	// Target column should show both classes (no mode collapse).
+	freq := stats.Frequencies(out.CatColumn(0), tb.Schema.Columns[0].Cardinality)
+	for c, f := range freq {
+		if f == 1 {
+			t.Fatalf("mode collapse onto class %d", c)
+		}
+	}
+}
+
+func TestSiloFusePartitionedSampling(t *testing.T) {
+	tb := loanTable(t, 300)
+	m := NewSiloFuse(tinyOptions())
+	if err := m.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := m.SamplePartitioned(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != m.Opts.Clients {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		if p.Rows() != 25 {
+			t.Fatal("row mismatch")
+		}
+		total += p.Schema.NumColumns()
+	}
+	if total != tb.Schema.NumColumns() {
+		t.Fatal("partitions do not cover the schema")
+	}
+}
+
+func TestSiloFuseCommStatsSingleRound(t *testing.T) {
+	tb := loanTable(t, 200)
+	m := NewSiloFuse(tinyOptions())
+	if err := m.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	st := m.CommStats()
+	if st.Messages != int64(m.Opts.Clients) {
+		t.Fatalf("training messages = %d, want %d", st.Messages, m.Opts.Clients)
+	}
+}
+
+func TestLatentDiffIsCentralized(t *testing.T) {
+	m := NewLatentDiff(tinyOptions())
+	if m.Opts.Clients != 1 {
+		t.Fatal("LatentDiff must have one client")
+	}
+	if m.Name() != "LatentDiff" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestSetSynthSteps(t *testing.T) {
+	tb := loanTable(t, 200)
+	m := NewSiloFuse(tinyOptions())
+	if err := m.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	m.SetSynthSteps(2)
+	out, err := m.Sample(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 10 {
+		t.Fatal("sampling with 2 steps failed")
+	}
+}
+
+func TestTabDDPMCategoricalValidity(t *testing.T) {
+	tb := loanTable(t, 300)
+	m := NewTabDDPM(tinyOptions())
+	if err := m.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Sample(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NewTable validation inside Sample/Inverse guarantees codes; verify
+	// the distribution is not degenerate on the target column.
+	freq := stats.Frequencies(out.CatColumn(0), tb.Schema.Columns[0].Cardinality)
+	nonzero := 0
+	for _, f := range freq {
+		if f > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 2 {
+		t.Fatalf("TabDDPM collapsed to one category: %v", freq)
+	}
+}
+
+func TestE2EDistrUsesConfiguredClients(t *testing.T) {
+	tb := loanTable(t, 200)
+	opts := tinyOptions()
+	opts.Clients = 3
+	opts.AEIters = 20
+	opts.DiffIters = 20
+	m := NewE2EDistr(opts)
+	if err := m.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	st := m.CommStats()
+	// 4 messages per client per iteration.
+	wantMsgs := int64(4 * 3 * (opts.AEIters + opts.DiffIters))
+	if st.Messages != wantMsgs {
+		t.Fatalf("messages = %d, want %d", st.Messages, wantMsgs)
+	}
+}
+
+func TestPermutationChangesPartitioning(t *testing.T) {
+	tb := loanTable(t, 200)
+	opts := tinyOptions()
+	opts.Permutation = []int{12, 0, 3, 7, 1, 9, 2, 11, 4, 10, 5, 8, 6}
+	m := NewSiloFuse(opts)
+	if err := m.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Sample(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even under permutation, the joined output restores schema order.
+	for j, c := range out.Schema.Columns {
+		if c.Name != tb.Schema.Columns[j].Name {
+			t.Fatal("permuted partitioning broke column restoration")
+		}
+	}
+}
+
+// TestSiloFuseSaveLoadRoundTrip persists a trained model and verifies the
+// restored copy produces identical deterministic output (mean decoding,
+// fresh seeded sampler).
+func TestSiloFuseSaveLoadRoundTrip(t *testing.T) {
+	tb := loanTable(t, 250)
+	opts := tinyOptions()
+	opts.DecodeSampling = false
+	m := NewSiloFuse(opts)
+	if err := m.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := NewSiloFuse(opts)
+	if _, err := m2.Sample(1); err == nil {
+		t.Fatal("unfitted model should not sample")
+	}
+	if err := m2.Load(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m2.Sample(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 30 || out.Schema.NumColumns() != tb.Schema.NumColumns() {
+		t.Fatal("restored model sampling failed")
+	}
+	// Restored weights must match: encode the training table through both
+	// models' first-client autoencoder via partitioned synthesis decoding
+	// determinism — compare a fresh sample under identical sampler seeds is
+	// not possible (internal rngs advanced), so instead verify Save is
+	// stable: saving the restored model reproduces identical bytes.
+	var buf2 bytes.Buffer
+	if err := m2.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var buf3 bytes.Buffer
+	if err := m.Save(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2.Bytes(), buf3.Bytes()) {
+		t.Fatal("restored state diverges from saved state")
+	}
+}
+
+func TestSiloFuseSaveBeforeFit(t *testing.T) {
+	m := NewSiloFuse(tinyOptions())
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err == nil {
+		t.Fatal("expected Save-before-Fit error")
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"silofuse/internal/autoencoder"
+	"silofuse/internal/diffusion"
+	"silofuse/internal/silo"
+	"silofuse/internal/tabular"
+)
+
+// SiloFuse is the paper's contribution: stacked distributed training of
+// per-client tabular autoencoders and a coordinator-side latent Gaussian
+// DDPM, with synthesis that can stay vertically partitioned. It is also the
+// basis of the LatentDiff baseline (the single-client centralized variant).
+type SiloFuse struct {
+	Opts Options
+	name string
+
+	bus  *silo.LocalBus
+	pipe *silo.Pipeline
+}
+
+// NewSiloFuse builds the distributed model over Opts.Clients silos.
+func NewSiloFuse(opts Options) *SiloFuse {
+	if opts.Clients < 1 {
+		opts.Clients = 1
+	}
+	return &SiloFuse{Opts: opts, name: "SiloFuse"}
+}
+
+// NewLatentDiff builds the centralized latent diffusion baseline: the same
+// architecture with all features in one silo and full-width autoencoders.
+func NewLatentDiff(opts Options) *SiloFuse {
+	opts.Clients = 1
+	opts.Permutation = nil
+	opts.SplitWidths = false
+	s := NewSiloFuse(opts)
+	s.name = "LatentDiff"
+	return s
+}
+
+// Name implements Synthesizer.
+func (s *SiloFuse) Name() string { return s.name }
+
+// pipelineConfig translates Options into the silo pipeline configuration.
+func (s *SiloFuse) pipelineConfig() silo.PipelineConfig {
+	return silo.PipelineConfig{
+		Clients:     s.Opts.Clients,
+		Permutation: s.Opts.Permutation,
+		AE:          autoencoder.Config{Hidden: s.Opts.AEHidden, Embed: s.Opts.AEEmbed, LR: s.Opts.LR},
+		Diff: diffusion.ModelConfig{
+			Hidden: s.Opts.DiffHidden, Depth: s.Opts.DiffDepth,
+			TimeDim: s.Opts.DiffTimeDim, T: s.Opts.T, LR: s.Opts.LR, Dropout: 0.01,
+			EMADecay: s.Opts.EMADecay, CosineSch: s.Opts.CosineSchedule,
+		},
+		DisableLatentWhitening: s.Opts.DisableLatentWhitening,
+		LatentNoiseStd:         s.Opts.LatentNoiseStd,
+		AEIters:                s.Opts.AEIters,
+		DiffIters:              s.Opts.DiffIters,
+		Batch:                  s.Opts.Batch,
+		SynthSteps:             s.Opts.SynthSteps,
+		Seed:                   s.Opts.Seed,
+		SplitWidths:            s.Opts.SplitWidths,
+	}
+}
+
+// Fit implements Synthesizer: it runs Algorithm 1 over an in-process bus.
+func (s *SiloFuse) Fit(train *tabular.Table) error {
+	s.bus = silo.NewLocalBus()
+	pipe, err := silo.NewPipeline(s.bus, train, s.pipelineConfig())
+	if err != nil {
+		return fmt.Errorf("%s: %w", s.name, err)
+	}
+	s.pipe = pipe
+	if _, _, err := pipe.TrainStacked(); err != nil {
+		return fmt.Errorf("%s: train: %w", s.name, err)
+	}
+	return nil
+}
+
+// Sample implements Synthesizer using the share-post-generation mode.
+func (s *SiloFuse) Sample(n int) (*tabular.Table, error) {
+	if s.pipe == nil {
+		return nil, fmt.Errorf("%s: Sample before Fit", s.name)
+	}
+	return s.pipe.SynthesizeShared(0, n, s.Opts.DecodeSampling)
+}
+
+// SamplePartitioned draws n rows but keeps the result vertically
+// partitioned per client — the paper's strong-privacy synthesis mode.
+func (s *SiloFuse) SamplePartitioned(n int) ([]*tabular.Table, error) {
+	if s.pipe == nil {
+		return nil, fmt.Errorf("%s: SamplePartitioned before Fit", s.name)
+	}
+	return s.pipe.SynthesizePartitioned(0, n, s.Opts.DecodeSampling)
+}
+
+// CommStats returns the transport statistics accumulated so far.
+func (s *SiloFuse) CommStats() silo.Stats {
+	if s.bus == nil {
+		return silo.Stats{}
+	}
+	return s.bus.Stats()
+}
+
+// SetSynthSteps changes the number of inference denoising steps after
+// fitting (used by the Table VII privacy-sensitivity sweep).
+func (s *SiloFuse) SetSynthSteps(steps int) {
+	s.Opts.SynthSteps = steps
+	if s.pipe != nil {
+		s.pipe.Cfg.SynthSteps = steps
+	}
+}
+
+// Save persists the trained model state (all client autoencoders, the
+// coordinator backbone and latent scaler) to w.
+func (s *SiloFuse) Save(w io.Writer) error {
+	if s.pipe == nil {
+		return fmt.Errorf("%s: Save before Fit", s.name)
+	}
+	return s.pipe.SaveState(w)
+}
+
+// Load restores state written by Save. It requires the original training
+// table (which supplies the schema and the featuriser statistics the
+// architectures were built with) and the same Options.
+func (s *SiloFuse) Load(train *tabular.Table, r io.Reader) error {
+	s.bus = silo.NewLocalBus()
+	pipe, err := silo.NewPipeline(s.bus, train, s.pipelineConfig())
+	if err != nil {
+		return fmt.Errorf("%s: %w", s.name, err)
+	}
+	if err := pipe.LoadState(r); err != nil {
+		return fmt.Errorf("%s: %w", s.name, err)
+	}
+	s.pipe = pipe
+	return nil
+}

@@ -1,0 +1,151 @@
+package diffusion
+
+import (
+	"math"
+	"math/rand"
+
+	"silofuse/internal/tensor"
+)
+
+// NoisePredictor is the denoising network interface: given noisy inputs and
+// per-row timesteps, it predicts the base noise ε (the paper's ε_θ(X^t, t)).
+type NoisePredictor interface {
+	Predict(x *tensor.Matrix, ts []int) *tensor.Matrix
+}
+
+// Gaussian wraps the continuous forward/backward diffusion processes for a
+// given schedule (the paper's function F and the backbone's sampling loop).
+type Gaussian struct {
+	S *Schedule
+}
+
+// NewGaussian creates Gaussian process mechanics over schedule s.
+func NewGaussian(s *Schedule) *Gaussian { return &Gaussian{S: s} }
+
+// QSample computes the closed-form forward process (paper eq. 1):
+// x_t = sqrt(ᾱ_t)·x0 + sqrt(1-ᾱ_t)·ε, with per-row timesteps ts and noise
+// eps of the same shape as x0.
+func (g *Gaussian) QSample(x0 *tensor.Matrix, ts []int, eps *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(x0.Rows, x0.Cols)
+	for i := 0; i < x0.Rows; i++ {
+		ab := g.S.AlphaBar[ts[i]]
+		sa := math.Sqrt(ab)
+		sb := math.Sqrt(1 - ab)
+		src := x0.Row(i)
+		ns := eps.Row(i)
+		dst := out.Row(i)
+		for j := range dst {
+			dst[j] = sa*src[j] + sb*ns[j]
+		}
+	}
+	return out
+}
+
+// SampleTimesteps draws one uniform timestep in [1, T] per row.
+func (g *Gaussian) SampleTimesteps(rng *rand.Rand, n int) []int {
+	ts := make([]int, n)
+	for i := range ts {
+		ts[i] = 1 + rng.Intn(g.S.T)
+	}
+	return ts
+}
+
+// Sample runs DDIM-style strided ancestral sampling: starting from pure
+// Gaussian noise it denoises over steps strided timesteps using net's noise
+// predictions. eta=0 gives deterministic DDIM; eta=1 recovers DDPM-like
+// stochastic sampling.
+func (g *Gaussian) Sample(rng *rand.Rand, net NoisePredictor, n, dim, steps int, eta float64) *tensor.Matrix {
+	x := tensor.New(n, dim).Randn(rng, 1)
+	seq := g.S.StridedTimesteps(steps)
+	ts := make([]int, n)
+	for si, t := range seq {
+		tPrev := 0
+		if si+1 < len(seq) {
+			tPrev = seq[si+1]
+		}
+		for i := range ts {
+			ts[i] = t
+		}
+		epsPred := net.Predict(x, ts)
+
+		ab := g.S.AlphaBar[t]
+		abPrev := g.S.AlphaBar[tPrev]
+		sigma := eta * math.Sqrt((1-abPrev)/(1-ab)) * math.Sqrt(1-ab/abPrev)
+		c1 := math.Sqrt(abPrev)
+		c2 := math.Sqrt(math.Max(1-abPrev-sigma*sigma, 0))
+		sqab := math.Sqrt(ab)
+		sq1ab := math.Sqrt(1 - ab)
+
+		next := tensor.New(n, dim)
+		for i := 0; i < n; i++ {
+			xr := x.Row(i)
+			er := epsPred.Row(i)
+			nr := next.Row(i)
+			for j := range nr {
+				x0 := (xr[j] - sq1ab*er[j]) / sqab
+				nr[j] = c1*x0 + c2*er[j]
+				if sigma > 0 {
+					nr[j] += sigma * rng.NormFloat64()
+				}
+			}
+		}
+		x = next
+	}
+	return x
+}
+
+// Denoise runs the reverse process starting from the provided noisy matrix
+// at timestep tStart instead of pure noise — used by the paper's privacy
+// sensitivity experiment (Table VII) and the end-to-end baselines, where
+// training reconstructs partially noised latents.
+func (g *Gaussian) Denoise(rng *rand.Rand, net NoisePredictor, xt *tensor.Matrix, tStart, steps int, eta float64) *tensor.Matrix {
+	x := xt.Clone()
+	if tStart < 1 {
+		return x
+	}
+	// Build a strided descending sequence from tStart.
+	if steps > tStart {
+		steps = tStart
+	}
+	seq := make([]int, steps)
+	for i := 0; i < steps; i++ {
+		seq[i] = 1 + (tStart-1)*(steps-1-i)/maxInt(steps-1, 1)
+	}
+	if steps == 1 {
+		seq[0] = tStart
+	}
+	n, dim := x.Rows, x.Cols
+	ts := make([]int, n)
+	for si, t := range seq {
+		tPrev := 0
+		if si+1 < len(seq) {
+			tPrev = seq[si+1]
+		}
+		for i := range ts {
+			ts[i] = t
+		}
+		epsPred := net.Predict(x, ts)
+		ab := g.S.AlphaBar[t]
+		abPrev := g.S.AlphaBar[tPrev]
+		sigma := eta * math.Sqrt((1-abPrev)/(1-ab)) * math.Sqrt(1-ab/abPrev)
+		c1 := math.Sqrt(abPrev)
+		c2 := math.Sqrt(math.Max(1-abPrev-sigma*sigma, 0))
+		sqab := math.Sqrt(ab)
+		sq1ab := math.Sqrt(1 - ab)
+		next := tensor.New(n, dim)
+		for i := 0; i < n; i++ {
+			xr := x.Row(i)
+			er := epsPred.Row(i)
+			nr := next.Row(i)
+			for j := range nr {
+				x0 := (xr[j] - sq1ab*er[j]) / sqab
+				nr[j] = c1*x0 + c2*er[j]
+				if sigma > 0 {
+					nr[j] += sigma * rng.NormFloat64()
+				}
+			}
+		}
+		x = next
+	}
+	return x
+}

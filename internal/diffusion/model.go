@@ -1,0 +1,166 @@
+package diffusion
+
+import (
+	"io"
+	"math"
+	"math/rand"
+
+	"silofuse/internal/nn"
+	"silofuse/internal/tensor"
+)
+
+// ModelConfig configures a Gaussian DDPM with an MLP backbone.
+type ModelConfig struct {
+	Dim       int     // data dimension
+	Hidden    int     // backbone hidden width
+	Depth     int     // backbone hidden blocks (paper: 8)
+	TimeDim   int     // sinusoidal embedding width
+	T         int     // training timesteps (paper: 200)
+	LR        float64 // Adam learning rate (paper: 1e-3)
+	Dropout   float64 // backbone dropout (paper: 0.01)
+	CosineSch bool    // cosine schedule instead of linear
+	// EMADecay, when > 0, maintains an exponential moving average of the
+	// backbone weights and samples with the averaged weights — the standard
+	// diffusion training stabiliser.
+	EMADecay float64
+	// PredictX0 switches the network parameterisation from ε-prediction
+	// (the paper's eq. 2) to x0-prediction: the backbone regresses the
+	// clean input directly and sampling converts its output back to an
+	// implied ε. Useful at very low step counts where ε-prediction is
+	// ill-conditioned near t≈T.
+	PredictX0 bool
+}
+
+// DefaultModelConfig returns the paper's backbone configuration scaled to
+// CPU-friendly widths; dim must be set by the caller.
+func DefaultModelConfig(dim int) ModelConfig {
+	return ModelConfig{Dim: dim, Hidden: 256, Depth: 8, TimeDim: 32, T: 200, LR: 1e-3, Dropout: 0.01}
+}
+
+// Model couples the Gaussian process mechanics with a trainable noise
+// predictor and its optimiser — the coordinator's generative backbone 𝒢.
+type Model struct {
+	G         *Gaussian
+	Net       *nn.DiffusionMLP
+	Opt       *nn.Adam
+	EMA       *nn.EMA // nil unless cfg.EMADecay > 0
+	PredictX0 bool
+	rng       *rand.Rand
+}
+
+// NewModel builds a model from cfg, drawing initial weights from rng.
+func NewModel(rng *rand.Rand, cfg ModelConfig) *Model {
+	var sch *Schedule
+	if cfg.CosineSch {
+		sch = CosineSchedule(cfg.T)
+	} else {
+		sch = LinearSchedule(cfg.T, 1e-4, 0.02)
+	}
+	net := nn.NewDiffusionMLP(rng, cfg.Dim, cfg.Hidden, cfg.Dim, cfg.Depth, cfg.TimeDim, cfg.Dropout)
+	m := &Model{
+		G:         NewGaussian(sch),
+		Net:       net,
+		Opt:       nn.NewAdam(net.Params(), cfg.LR),
+		PredictX0: cfg.PredictX0,
+		rng:       rng,
+	}
+	if cfg.EMADecay > 0 {
+		m.EMA = nn.NewEMA(net.Params(), cfg.EMADecay)
+	}
+	return m
+}
+
+// TrainStep performs one optimisation step on a batch of clean data x0:
+// sample t and ε, noise to x_t, predict ε, minimise MSE (paper eq. 5).
+// It returns the batch loss.
+func (m *Model) TrainStep(x0 *tensor.Matrix) float64 {
+	ts := m.G.SampleTimesteps(m.rng, x0.Rows)
+	eps := tensor.New(x0.Rows, x0.Cols).Randn(m.rng, 1)
+	xt := m.G.QSample(x0, ts, eps)
+	pred := m.Net.Forward(xt, ts, true)
+	target := eps
+	if m.PredictX0 {
+		target = x0
+	}
+	loss, grad := nn.MSELoss(pred, target)
+	m.Net.Backward(grad)
+	m.Opt.Step()
+	if m.EMA != nil {
+		m.EMA.Update()
+	}
+	return loss
+}
+
+// Train runs iters optimisation steps with minibatches of size batch drawn
+// uniformly from data, returning the mean loss of the final 10% of steps.
+func (m *Model) Train(data *tensor.Matrix, iters, batch int) float64 {
+	if batch > data.Rows {
+		batch = data.Rows
+	}
+	tail := iters - iters/10
+	var tailLoss float64
+	var tailCount int
+	idx := make([]int, batch)
+	for it := 0; it < iters; it++ {
+		for i := range idx {
+			idx[i] = m.rng.Intn(data.Rows)
+		}
+		loss := m.TrainStep(data.GatherRows(idx))
+		if it >= tail {
+			tailLoss += loss
+			tailCount++
+		}
+	}
+	if tailCount == 0 {
+		return 0
+	}
+	return tailLoss / float64(tailCount)
+}
+
+// Predict implements NoisePredictor in evaluation mode (no dropout). Under
+// x0-parameterisation the network output x̂0 is converted to the implied
+// noise ε̂ = (x_t − sqrt(ᾱ)·x̂0)/sqrt(1−ᾱ), so the DDIM sampler works
+// unchanged.
+func (m *Model) Predict(x *tensor.Matrix, ts []int) *tensor.Matrix {
+	out := m.Net.Forward(x, ts, false)
+	if !m.PredictX0 {
+		return out
+	}
+	eps := tensor.New(out.Rows, out.Cols)
+	for i := 0; i < out.Rows; i++ {
+		ab := m.G.S.AlphaBar[ts[i]]
+		sa := math.Sqrt(ab)
+		sb := math.Sqrt(1 - ab)
+		if sb < 1e-6 {
+			sb = 1e-6
+		}
+		xr, or, er := x.Row(i), out.Row(i), eps.Row(i)
+		for j := range er {
+			er[j] = (xr[j] - sa*or[j]) / sb
+		}
+	}
+	return eps
+}
+
+// Sample draws n synthetic rows using steps inference timesteps. When EMA
+// is enabled the averaged weights are used for the whole sampling loop.
+func (m *Model) Sample(n, steps int) *tensor.Matrix {
+	return m.SampleWithRng(m.rng, n, steps)
+}
+
+// SampleWithRng is Sample with an explicit randomness source, for callers
+// that need reproducible draws independent of training state.
+func (m *Model) SampleWithRng(rng *rand.Rand, n, steps int) *tensor.Matrix {
+	if m.EMA != nil {
+		m.EMA.Apply()
+		defer m.EMA.Restore()
+	}
+	return m.G.Sample(rng, m, n, m.Net.In, steps, 0)
+}
+
+// Save writes the backbone weights to w.
+func (m *Model) Save(w io.Writer) error { return nn.SaveParams(w, m.Net.Params()) }
+
+// Load restores backbone weights written by Save into a model built with
+// the same configuration.
+func (m *Model) Load(r io.Reader) error { return nn.LoadParams(r, m.Net.Params()) }

@@ -1,0 +1,106 @@
+// Package diffusion implements the denoising-diffusion mechanics used by
+// every DDPM in this repository: variance schedules, the Gaussian forward
+// process and DDIM-style strided sampling (the paper trains with T=200 and
+// samples with 25 inference steps), and the multinomial diffusion used by
+// the TabDDPM baseline for categorical features.
+package diffusion
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule holds a variance schedule over T timesteps. Arrays are indexed
+// 1..T; index 0 is the identity point (AlphaBar[0] = 1).
+type Schedule struct {
+	T        int
+	Beta     []float64 // β_t, len T+1
+	Alpha    []float64 // α_t = 1 - β_t
+	AlphaBar []float64 // ᾱ_t = Π_{j<=t} α_j
+}
+
+// LinearSchedule builds the classic Ho et al. linear β schedule from beta1
+// to betaT over T steps.
+func LinearSchedule(T int, beta1, betaT float64) *Schedule {
+	if T < 1 {
+		panic(fmt.Sprintf("diffusion: T must be >= 1, got %d", T))
+	}
+	s := &Schedule{
+		T:        T,
+		Beta:     make([]float64, T+1),
+		Alpha:    make([]float64, T+1),
+		AlphaBar: make([]float64, T+1),
+	}
+	s.AlphaBar[0] = 1
+	s.Alpha[0] = 1
+	for t := 1; t <= T; t++ {
+		var b float64
+		if T == 1 {
+			b = beta1
+		} else {
+			b = beta1 + (betaT-beta1)*float64(t-1)/float64(T-1)
+		}
+		s.Beta[t] = b
+		s.Alpha[t] = 1 - b
+		s.AlphaBar[t] = s.AlphaBar[t-1] * s.Alpha[t]
+	}
+	return s
+}
+
+// CosineSchedule builds the Nichol–Dhariwal cosine ᾱ schedule, which noises
+// more gently early on — better suited to low-dimensional latents.
+func CosineSchedule(T int) *Schedule {
+	if T < 1 {
+		panic(fmt.Sprintf("diffusion: T must be >= 1, got %d", T))
+	}
+	const offset = 0.008
+	f := func(t float64) float64 {
+		v := math.Cos((t/float64(T) + offset) / (1 + offset) * math.Pi / 2)
+		return v * v
+	}
+	s := &Schedule{
+		T:        T,
+		Beta:     make([]float64, T+1),
+		Alpha:    make([]float64, T+1),
+		AlphaBar: make([]float64, T+1),
+	}
+	s.AlphaBar[0] = 1
+	s.Alpha[0] = 1
+	f0 := f(0)
+	for t := 1; t <= T; t++ {
+		ab := f(float64(t)) / f0
+		beta := 1 - ab/s.AlphaBar[t-1]
+		beta = math.Min(math.Max(beta, 1e-5), 0.999)
+		s.Beta[t] = beta
+		s.Alpha[t] = 1 - beta
+		s.AlphaBar[t] = s.AlphaBar[t-1] * s.Alpha[t]
+	}
+	return s
+}
+
+// StridedTimesteps returns a descending subsequence of steps timesteps from
+// T down to 1, used for accelerated (25-step) inference.
+func (s *Schedule) StridedTimesteps(steps int) []int {
+	if steps < 1 {
+		steps = 1
+	}
+	if steps > s.T {
+		steps = s.T
+	}
+	out := make([]int, steps)
+	for i := 0; i < steps; i++ {
+		// Evenly spaced in [1, T], descending, endpoints included.
+		out[i] = 1 + (s.T-1)*(steps-1-i)/maxInt(steps-1, 1)
+	}
+	if steps == 1 {
+		out[0] = s.T
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig shrinks everything so the full harness paths run in seconds.
+func tinyConfig() Config {
+	c := Fast()
+	c.RowCap = 300
+	c.SynthRows = 200
+	c.Opts.AEIters = 60
+	c.Opts.DiffIters = 100
+	c.Opts.GANIters = 60
+	c.Opts.Batch = 64
+	c.UtilCfg.Boost.NumRounds = 5
+	c.UtilCfg.MaxColumns = 4
+	c.PrivCfg.Attacks = 50
+	return c
+}
+
+func TestTableIIMatchesPaper(t *testing.T) {
+	rows, err := Fast().TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]TableIIRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	churn := byName["churn"]
+	if churn.After != 2964 || churn.Before != 14 {
+		t.Fatalf("churn sizes wrong: %+v", churn)
+	}
+	if churn.Increase < 211 || churn.Increase > 212 {
+		t.Fatalf("churn increase %v, paper says 211.71", churn.Increase)
+	}
+	var buf bytes.Buffer
+	PrintTableII(&buf, rows)
+	if !strings.Contains(buf.String(), "churn") {
+		t.Fatal("printout missing dataset")
+	}
+}
+
+func TestTableIIIGridStructure(t *testing.T) {
+	c := tinyConfig()
+	c.Datasets = []string{"loan"}
+	c.Models = []string{"gan-linear", "silofuse"}
+	g, err := c.TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Datasets) != 1 || len(g.Models) != 2 {
+		t.Fatalf("grid shape: %v x %v", g.Datasets, g.Models)
+	}
+	for _, m := range g.Models {
+		s := g.Cell("loan", m)
+		if s.Mean < 0 || s.Mean > 100 {
+			t.Fatalf("%s score out of range: %v", m, s)
+		}
+	}
+	var buf bytes.Buffer
+	PrintGrid(&buf, g)
+	out := buf.String()
+	if !strings.Contains(out, "SiloFuse") || !strings.Contains(out, "PPD") {
+		t.Fatalf("grid printout incomplete:\n%s", out)
+	}
+}
+
+func TestTableIVGrid(t *testing.T) {
+	c := tinyConfig()
+	c.Datasets = []string{"loan"}
+	c.Models = []string{"silofuse"}
+	g, err := c.TableIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Cell("loan", "SiloFuse")
+	if s.Mean < 0 || s.Mean > 100 {
+		t.Fatalf("utility out of range: %v", s)
+	}
+}
+
+func TestTableVHeatmaps(t *testing.T) {
+	c := tinyConfig()
+	c.Datasets = []string{"cardio"}
+	c.Models = []string{"silofuse", "tabddpm"}
+	cells, err := c.TableV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, cell := range cells {
+		if cell.MeanDiff < 0 || cell.MeanDiff > 1 {
+			t.Fatalf("mean diff out of range: %v", cell.MeanDiff)
+		}
+		lines := strings.Split(strings.TrimRight(cell.HeatMap, "\n"), "\n")
+		if len(lines) != 12 { // cardio has 12 columns
+			t.Fatalf("heat map shape: %d lines", len(lines))
+		}
+	}
+	var buf bytes.Buffer
+	PrintTableV(&buf, cells)
+	if !strings.Contains(buf.String(), "cardio") {
+		t.Fatal("printout missing dataset")
+	}
+}
+
+func TestTableVI(t *testing.T) {
+	c := tinyConfig()
+	c.Datasets = []string{"diabetes"}
+	c.Models = []string{"silofuse", "latentdiff"}
+	g, err := c.TableVI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range g.Models {
+		s := g.Cell("diabetes", m)
+		if s.Mean < 0 || s.Mean > 100 {
+			t.Fatalf("privacy out of range: %v", s)
+		}
+	}
+}
+
+func TestTableVIIStepSweep(t *testing.T) {
+	c := tinyConfig()
+	c.Datasets = []string{"abalone"}
+	rows, err := c.TableVII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0].Scores) != 3 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	var buf bytes.Buffer
+	PrintTableVII(&buf, rows)
+	if !strings.Contains(buf.String(), "abalone") {
+		t.Fatal("printout missing dataset")
+	}
+}
+
+// TestFigure10Shape verifies the paper's headline communication property:
+// SiloFuse cost is flat across iteration counts while E2EDistr grows
+// linearly and dominates at every reported point.
+func TestFigure10Shape(t *testing.T) {
+	c := tinyConfig()
+	c.Datasets = []string{"abalone"}
+	series, err := c.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 {
+		t.Fatalf("series = %d", len(series))
+	}
+	s := series[0]
+	if s.SiloFuseBytes[0] != s.SiloFuseBytes[1] || s.SiloFuseBytes[1] != s.SiloFuseBytes[2] {
+		t.Fatalf("SiloFuse bytes must be constant: %v", s.SiloFuseBytes)
+	}
+	if s.E2EDistrBytes[1] != 10*s.E2EDistrBytes[0] || s.E2EDistrBytes[2] != 100*s.E2EDistrBytes[0] {
+		t.Fatalf("E2EDistr bytes must scale linearly: %v", s.E2EDistrBytes)
+	}
+	for i := range s.Iterations {
+		if s.E2EDistrBytes[i] <= s.SiloFuseBytes[i] {
+			t.Fatalf("E2EDistr should dominate at %d iters", s.Iterations[i])
+		}
+	}
+	var buf bytes.Buffer
+	PrintFigure10(&buf, series)
+	if !strings.Contains(buf.String(), "SiloFuse") {
+		t.Fatal("printout incomplete")
+	}
+}
+
+func TestFigure11Robustness(t *testing.T) {
+	c := tinyConfig()
+	c.Datasets = []string{"loan"}
+	points, err := c.Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 { // {4,8} clients x {default, permuted}
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Resemblance.Mean < 0 || p.Resemblance.Mean > 100 || p.Utility.Mean < 0 || p.Utility.Mean > 100 {
+			t.Fatalf("scores out of range: %+v", p)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFigure11(&buf, points)
+	if !strings.Contains(buf.String(), "permuted") {
+		t.Fatal("printout incomplete")
+	}
+}
+
+func TestStatFormatting(t *testing.T) {
+	s := statOf([]float64{50, 60})
+	if s.Mean != 55 || s.Std != 5 {
+		t.Fatalf("stat = %+v", s)
+	}
+	if s.String() != "55.0±5.00" {
+		t.Fatalf("format = %s", s.String())
+	}
+	if z := statOf(nil); z.Mean != 0 || z.Std != 0 {
+		t.Fatal("empty stat should be zero")
+	}
+}
+
+func TestConfigDatasetErrors(t *testing.T) {
+	c := Fast()
+	c.Datasets = []string{"nope"}
+	if _, err := c.TableII(); err == nil {
+		t.Fatal("expected unknown dataset error")
+	}
+}
+
+func TestAblationsStructure(t *testing.T) {
+	c := tinyConfig()
+	c.Datasets = []string{"loan"}
+	rows, err := c.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("variants = %d", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Variant] = true
+		if r.Resemblance.Mean < 0 || r.Resemblance.Mean > 100 {
+			t.Fatalf("%s resemblance out of range: %v", r.Variant, r.Resemblance)
+		}
+	}
+	for _, want := range []string{"baseline", "no-whitening", "mean-decode", "cosine-schedule", "ema-0.995", "steps-5"} {
+		if !names[want] {
+			t.Fatalf("missing variant %s", want)
+		}
+	}
+	var buf bytes.Buffer
+	PrintAblations(&buf, rows)
+	if !strings.Contains(buf.String(), "no-whitening") {
+		t.Fatal("printout incomplete")
+	}
+}

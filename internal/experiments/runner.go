@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"silofuse/internal/core"
+	"silofuse/internal/tabular"
+)
+
+// newSplitRng derives the train/test split randomness.
+func newSplitRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed * 31)) }
+
+// fitAndSample trains one model instance (seeded per trial) and draws the
+// configured number of synthetic rows.
+func (c Config) fitAndSample(model string, train *tabular.Table, trial int) (core.Synthesizer, *tabular.Table, error) {
+	opts := c.Opts
+	opts.Seed = c.Seed + int64(trial)*7919
+	m, err := core.New(model, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.Fit(train); err != nil {
+		return nil, nil, fmt.Errorf("experiments: fit %s: %w", model, err)
+	}
+	synth, err := m.Sample(c.SynthRows)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: sample %s: %w", model, err)
+	}
+	return m, synth, nil
+}
+
+// Grid holds a (dataset, model) score matrix with per-cell trial stats.
+type Grid struct {
+	Title    string
+	Datasets []string
+	Models   []string // display names
+	Cells    map[string]map[string]Stat
+}
+
+// Cell returns the stat for (dataset, model display name).
+func (g *Grid) Cell(dataset, model string) Stat { return g.Cells[dataset][model] }
+
+// PPD returns the paper's "percentage point difference" row: the best
+// SiloFuse-vs-best-GAN margin per dataset.
+func (g *Grid) PPD(dataset string) float64 {
+	sf := g.Cells[dataset]["SiloFuse"].Mean
+	bestGAN := 0.0
+	for _, m := range []string{"GAN(conv)", "GAN(linear)"} {
+		if s, ok := g.Cells[dataset][m]; ok && s.Mean > bestGAN {
+			bestGAN = s.Mean
+		}
+	}
+	return sf - bestGAN
+}

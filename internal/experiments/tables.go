@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"silofuse/internal/core"
+	"silofuse/internal/metrics"
+	"silofuse/internal/privacy"
+	"silofuse/internal/tabular"
+)
+
+// TableIIRow is one dataset-statistics row of Table II.
+type TableIIRow struct {
+	Name     string
+	Rows     int
+	Cat, Num int
+	Before   int
+	After    int
+	Increase float64
+}
+
+// TableII reproduces the dataset statistics table (schema sizes and the
+// one-hot expansion factor).
+func (c Config) TableII() ([]TableIIRow, error) {
+	specs, err := c.datasets()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TableIIRow, 0, len(specs))
+	for _, s := range specs {
+		sch := s.Schema()
+		out = append(out, TableIIRow{
+			Name:     s.Name,
+			Rows:     s.PaperRows,
+			Cat:      len(s.CatCards),
+			Num:      s.NumCols,
+			Before:   sch.NumColumns(),
+			After:    sch.OneHotWidth(),
+			Increase: float64(sch.OneHotWidth()) / float64(sch.NumColumns()),
+		})
+	}
+	return out, nil
+}
+
+// PrintTableII renders Table II in the paper's layout.
+func PrintTableII(w io.Writer, rows []TableIIRow) {
+	fmt.Fprintf(w, "%-10s %8s %6s %6s %6s %6s %8s\n", "Dataset", "#Rows", "#Cat", "#Num", "#Bef", "#Aft", "Incr")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8d %6d %6d %6d %6d %7.2fx\n", r.Name, r.Rows, r.Cat, r.Num, r.Before, r.After, r.Increase)
+	}
+}
+
+// TableIII computes the resemblance grid (models × datasets, mean±std over
+// trials) of Table III.
+func (c Config) TableIII() (*Grid, error) {
+	return c.scoreGrid("Table III: Resemblance", func(trial int, model string, d *preparedTables) (float64, error) {
+		_, synth, err := c.fitAndSample(model, d.train, trial)
+		if err != nil {
+			return 0, err
+		}
+		rep, err := metrics.Resemblance(d.train, synth, c.ResCfg)
+		if err != nil {
+			return 0, err
+		}
+		return rep.Score, nil
+	})
+}
+
+// TableIV computes the utility grid of Table IV.
+func (c Config) TableIV() (*Grid, error) {
+	return c.scoreGrid("Table IV: Utility", func(trial int, model string, d *preparedTables) (float64, error) {
+		_, synth, err := c.fitAndSample(model, d.train, trial)
+		if err != nil {
+			return 0, err
+		}
+		rep, err := metrics.Utility(d.train, synth, d.test, c.UtilCfg)
+		if err != nil {
+			return 0, err
+		}
+		return rep.Score, nil
+	})
+}
+
+// Quality computes Tables III (resemblance) and IV (utility) in a single
+// pass: each (dataset, model, trial) fit serves both metrics, halving the
+// compute relative to running the tables separately.
+func (c Config) Quality() (resemblance, utility *Grid, err error) {
+	specs, err := c.datasets()
+	if err != nil {
+		return nil, nil, err
+	}
+	resemblance = &Grid{Title: "Table III: Resemblance", Cells: make(map[string]map[string]Stat)}
+	utility = &Grid{Title: "Table IV: Utility", Cells: make(map[string]map[string]Stat)}
+	for _, spec := range specs {
+		resemblance.Datasets = append(resemblance.Datasets, spec.Name)
+		utility.Datasets = append(utility.Datasets, spec.Name)
+	}
+	for _, spec := range specs {
+		train, test := c.prepare(spec)
+		resemblance.Cells[spec.Name] = make(map[string]Stat)
+		utility.Cells[spec.Name] = make(map[string]Stat)
+		for _, model := range c.models() {
+			var resVals, utilVals []float64
+			display := ""
+			for trial := 0; trial < c.Trials; trial++ {
+				m, synth, err := c.fitAndSample(model, train, trial)
+				if err != nil {
+					return nil, nil, fmt.Errorf("%s / %s: %w", spec.Name, model, err)
+				}
+				display = m.Name()
+				r, err := metrics.Resemblance(train, synth, c.ResCfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				u, err := metrics.Utility(train, synth, test, c.UtilCfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				resVals = append(resVals, r.Score)
+				utilVals = append(utilVals, u.Score)
+			}
+			resemblance.Cells[spec.Name][display] = statOf(resVals)
+			utility.Cells[spec.Name][display] = statOf(utilVals)
+			if !contains(resemblance.Models, display) {
+				resemblance.Models = append(resemblance.Models, display)
+				utility.Models = append(utility.Models, display)
+			}
+		}
+	}
+	return resemblance, utility, nil
+}
+
+// TableVI computes the privacy grid of Table VI for the top three models
+// (TabDDPM, LatentDiff, SiloFuse) unless the config names others.
+func (c Config) TableVI() (*Grid, error) {
+	cc := c
+	if cc.Models == nil {
+		cc.Models = []string{"tabddpm", "latentdiff", "silofuse"}
+	}
+	return cc.scoreGrid("Table VI: Privacy", func(trial int, model string, d *preparedTables) (float64, error) {
+		_, synth, err := cc.fitAndSample(model, d.train, trial)
+		if err != nil {
+			return 0, err
+		}
+		rep, err := privacy.Evaluate(d.train, synth, cc.PrivCfg)
+		if err != nil {
+			return 0, err
+		}
+		return rep.Score, nil
+	})
+}
+
+// preparedTables bundles a dataset's train/test split.
+type preparedTables struct {
+	name        string
+	train, test *tabular.Table
+}
+
+// scoreGrid runs fn for every (dataset, model, trial) cell.
+func (c Config) scoreGrid(title string, fn func(trial int, model string, d *preparedTables) (float64, error)) (*Grid, error) {
+	specs, err := c.datasets()
+	if err != nil {
+		return nil, err
+	}
+	grid := &Grid{Title: title, Cells: make(map[string]map[string]Stat)}
+	for _, spec := range specs {
+		grid.Datasets = append(grid.Datasets, spec.Name)
+	}
+	modelNames := c.models()
+	for _, spec := range specs {
+		train, test := c.prepare(spec)
+		d := &preparedTables{name: spec.Name, train: train, test: test}
+		grid.Cells[spec.Name] = make(map[string]Stat)
+		for _, model := range modelNames {
+			vals := make([]float64, 0, c.Trials)
+			display := ""
+			for trial := 0; trial < c.Trials; trial++ {
+				v, err := fn(trial, model, d)
+				if err != nil {
+					return nil, fmt.Errorf("%s / %s: %w", spec.Name, model, err)
+				}
+				vals = append(vals, v)
+				if display == "" {
+					m, _ := core.New(model, c.Opts)
+					display = m.Name()
+				}
+			}
+			grid.Cells[spec.Name][display] = statOf(vals)
+			if !contains(grid.Models, display) {
+				grid.Models = append(grid.Models, display)
+			}
+		}
+	}
+	return grid, nil
+}
+
+// PrintGrid renders a grid in the paper's models-as-rows layout, including
+// the PPD (SiloFuse vs best GAN) row when both are present.
+func PrintGrid(w io.Writer, g *Grid) {
+	fmt.Fprintln(w, g.Title)
+	fmt.Fprintf(w, "%-12s", "Model")
+	for _, d := range g.Datasets {
+		fmt.Fprintf(w, " %14s", d)
+	}
+	fmt.Fprintln(w)
+	for _, m := range g.Models {
+		fmt.Fprintf(w, "%-12s", m)
+		for _, d := range g.Datasets {
+			fmt.Fprintf(w, " %14s", g.Cells[d][m])
+		}
+		fmt.Fprintln(w)
+	}
+	if contains(g.Models, "SiloFuse") && (contains(g.Models, "GAN(conv)") || contains(g.Models, "GAN(linear)")) {
+		fmt.Fprintf(w, "%-12s", "PPD(vs GAN)")
+		for _, d := range g.Datasets {
+			fmt.Fprintf(w, " %14.1f", g.PPD(d))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func contains(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TableVCell is one correlation-difference analysis of Table V.
+type TableVCell struct {
+	Dataset  string
+	Model    string
+	MeanDiff float64
+	HeatMap  string // ASCII rendering of the |Δassociation| matrix
+}
+
+// TableV computes the correlation-difference matrices for the paper's two
+// showcase datasets (Cardio and Intrusion) and top three models.
+func (c Config) TableV() ([]TableVCell, error) {
+	cc := c
+	if cc.Datasets == nil {
+		cc.Datasets = []string{"cardio", "intrusion"}
+	}
+	if cc.Models == nil {
+		cc.Models = []string{"silofuse", "latentdiff", "tabddpm"}
+	}
+	specs, err := cc.datasets()
+	if err != nil {
+		return nil, err
+	}
+	var out []TableVCell
+	for _, spec := range specs {
+		train, _ := cc.prepare(spec)
+		for _, model := range cc.Models {
+			m, synth, err := cc.fitAndSample(model, train, 0)
+			if err != nil {
+				return nil, err
+			}
+			diff, mean := metrics.AssociationDifference(train, synth)
+			heat := &strings.Builder{}
+			shades := []byte(" .:-=+*#%@")
+			for i := 0; i < diff.Rows; i++ {
+				for j := 0; j < diff.Cols; j++ {
+					v := diff.At(i, j)
+					idx := int(v * float64(len(shades)-1) * 2) // saturate at 0.5
+					if idx >= len(shades) {
+						idx = len(shades) - 1
+					}
+					heat.WriteByte(shades[idx])
+				}
+				heat.WriteByte('\n')
+			}
+			out = append(out, TableVCell{Dataset: spec.Name, Model: m.Name(), MeanDiff: mean, HeatMap: heat.String()})
+		}
+	}
+	return out, nil
+}
+
+// PrintTableV renders the correlation-difference summary with heat maps.
+func PrintTableV(w io.Writer, cells []TableVCell) {
+	fmt.Fprintln(w, "Table V: |real−synthetic| association difference (darker = worse)")
+	for _, c := range cells {
+		fmt.Fprintf(w, "\n%s / %s  (mean |Δ| = %.4f)\n%s", c.Dataset, c.Model, c.MeanDiff, c.HeatMap)
+	}
+}
+
+// TableVIIRow is one privacy-sensitivity row of Table VII.
+type TableVIIRow struct {
+	Dataset string
+	Steps   []int
+	Scores  []Stat
+}
+
+// TableVII sweeps the number of inference denoising steps (2, 5, 25) and
+// reports the privacy score of the centralized latent model (whose 25-step
+// column matches Table VI's LatentDiff row in the paper).
+func (c Config) TableVII() ([]TableVIIRow, error) {
+	cc := c
+	if cc.Datasets == nil {
+		cc.Datasets = []string{"abalone", "heloc"}
+	}
+	steps := []int{2, 5, 25}
+	specs, err := cc.datasets()
+	if err != nil {
+		return nil, err
+	}
+	var out []TableVIIRow
+	for _, spec := range specs {
+		train, _ := cc.prepare(spec)
+		row := TableVIIRow{Dataset: spec.Name, Steps: steps}
+		for _, st := range steps {
+			vals := make([]float64, 0, cc.Trials)
+			for trial := 0; trial < cc.Trials; trial++ {
+				opts := cc.Opts
+				opts.Seed = cc.Seed + int64(trial)*7919
+				m := core.NewLatentDiff(opts)
+				if err := m.Fit(train); err != nil {
+					return nil, err
+				}
+				m.SetSynthSteps(st)
+				synth, err := m.Sample(cc.SynthRows)
+				if err != nil {
+					return nil, err
+				}
+				rep, err := privacy.Evaluate(train, synth, cc.PrivCfg)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, rep.Score)
+			}
+			row.Scores = append(row.Scores, statOf(vals))
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// PrintTableVII renders the denoising-step privacy sensitivity table.
+func PrintTableVII(w io.Writer, rows []TableVIIRow) {
+	fmt.Fprintln(w, "Table VII: privacy score vs inference timesteps")
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-10s", "Dataset")
+	for _, s := range rows[0].Steps {
+		fmt.Fprintf(w, " %14d", s)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s", r.Dataset)
+		for _, s := range r.Scores {
+			fmt.Fprintf(w, " %14s", s)
+		}
+		fmt.Fprintln(w)
+	}
+}

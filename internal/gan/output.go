@@ -1,0 +1,69 @@
+// Package gan implements the two centralized GAN baselines of the paper's
+// evaluation: GAN(linear) (CTGAN-flavoured MLP backbone) and GAN(conv)
+// (CTAB-GAN-flavoured 1-D convolutional backbone). Both generate in the
+// one-hot + standardised feature space and are trained with the
+// non-saturating BCE objective.
+package gan
+
+import (
+	"silofuse/internal/nn"
+	"silofuse/internal/tabular"
+	"silofuse/internal/tensor"
+)
+
+// outputActivation applies a per-span activation to the generator output:
+// softmax over each categorical one-hot span (so fake rows resemble the
+// real one-hot blocks) and identity over numeric spans.
+type outputActivation struct {
+	spans  []tabular.Span
+	output *tensor.Matrix
+}
+
+// newOutputActivation builds the activation for the encoded layout spans.
+func newOutputActivation(spans []tabular.Span) *outputActivation {
+	return &outputActivation{spans: spans}
+}
+
+// Forward applies the span-wise activations.
+func (o *outputActivation) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	out := x.Clone()
+	for _, sp := range o.spans {
+		if sp.Kind != tabular.Categorical {
+			continue
+		}
+		logits := x.SliceCols(sp.Lo, sp.Hi)
+		probs := nn.Softmax(logits)
+		for k := 0; k < probs.Cols; k++ {
+			out.SetCol(sp.Lo+k, probs.Col(k))
+		}
+	}
+	o.output = out
+	return out
+}
+
+// Backward applies the softmax Jacobian on categorical spans and passes
+// numeric gradients through unchanged.
+func (o *outputActivation) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	out := gradOut.Clone()
+	for _, sp := range o.spans {
+		if sp.Kind != tabular.Categorical {
+			continue
+		}
+		for i := 0; i < gradOut.Rows; i++ {
+			y := o.output.Row(i)[sp.Lo:sp.Hi]
+			g := gradOut.Row(i)[sp.Lo:sp.Hi]
+			dot := 0.0
+			for k := range y {
+				dot += g[k] * y[k]
+			}
+			dst := out.Row(i)[sp.Lo:sp.Hi]
+			for k := range y {
+				dst[k] = y[k] * (g[k] - dot)
+			}
+		}
+	}
+	return out
+}
+
+// Params returns nil; the activation has no parameters.
+func (o *outputActivation) Params() []*nn.Param { return nil }

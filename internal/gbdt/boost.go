@@ -1,0 +1,271 @@
+package gbdt
+
+import (
+	"fmt"
+	"math"
+
+	"silofuse/internal/tensor"
+)
+
+// Params configures a boosted ensemble.
+type Params struct {
+	Tree         TreeParams
+	NumRounds    int
+	LearningRate float64
+}
+
+// DefaultParams returns defaults tuned for the benchmark tables (fast, yet
+// competitive on a few thousand rows).
+func DefaultParams() Params {
+	return Params{Tree: DefaultTreeParams(), NumRounds: 40, LearningRate: 0.2}
+}
+
+// Regressor is a gradient-boosted regressor with squared loss.
+type Regressor struct {
+	P     Params
+	base  float64
+	trees []*Tree
+}
+
+// NewRegressor creates a regressor with params p.
+func NewRegressor(p Params) *Regressor { return &Regressor{P: p} }
+
+// Fit trains on features x and targets y.
+func (r *Regressor) Fit(x *tensor.Matrix, y []float64) error {
+	if x.Rows != len(y) {
+		return fmt.Errorf("gbdt: %d rows but %d targets", x.Rows, len(y))
+	}
+	if x.Rows == 0 {
+		return fmt.Errorf("gbdt: empty training set")
+	}
+	r.base = 0
+	for _, v := range y {
+		r.base += v
+	}
+	r.base /= float64(len(y))
+
+	bn := newBinner(x, r.P.Tree.Bins)
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = r.base
+	}
+	idx := allIndexes(x.Rows)
+	g := make([]float64, len(y))
+	h := make([]float64, len(y))
+	r.trees = r.trees[:0]
+	for round := 0; round < r.P.NumRounds; round++ {
+		for i := range y {
+			g[i] = pred[i] - y[i] // d/dpred ½(pred-y)²
+			h[i] = 1
+		}
+		tree := buildTree(x, g, h, idx, bn, r.P.Tree)
+		r.trees = append(r.trees, tree)
+		for i := range pred {
+			pred[i] += r.P.LearningRate * tree.predictRow(x.Row(i))
+		}
+	}
+	return nil
+}
+
+// Predict returns predictions for every row of x.
+func (r *Regressor) Predict(x *tensor.Matrix) []float64 {
+	out := make([]float64, x.Rows)
+	for i := range out {
+		p := r.base
+		row := x.Row(i)
+		for _, t := range r.trees {
+			p += r.P.LearningRate * t.predictRow(row)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Classifier is a gradient-boosted classifier: logistic loss for two
+// classes, one-tree-per-class softmax for more.
+type Classifier struct {
+	P          Params
+	NumClasses int
+	base       []float64
+	trees      [][]*Tree // per round, per class (one entry for binary)
+}
+
+// NewClassifier creates a classifier for numClasses classes.
+func NewClassifier(p Params, numClasses int) *Classifier {
+	return &Classifier{P: p, NumClasses: numClasses}
+}
+
+// Fit trains on features x and integer labels in [0, NumClasses).
+func (c *Classifier) Fit(x *tensor.Matrix, labels []int) error {
+	if x.Rows != len(labels) {
+		return fmt.Errorf("gbdt: %d rows but %d labels", x.Rows, len(labels))
+	}
+	if x.Rows == 0 {
+		return fmt.Errorf("gbdt: empty training set")
+	}
+	if c.NumClasses < 2 {
+		return fmt.Errorf("gbdt: need at least 2 classes, got %d", c.NumClasses)
+	}
+	for i, l := range labels {
+		if l < 0 || l >= c.NumClasses {
+			return fmt.Errorf("gbdt: label %d at row %d out of range [0,%d)", l, i, c.NumClasses)
+		}
+	}
+	bn := newBinner(x, c.P.Tree.Bins)
+	idx := allIndexes(x.Rows)
+	n := x.Rows
+
+	if c.NumClasses == 2 {
+		pos := 0
+		for _, l := range labels {
+			pos += l
+		}
+		p := (float64(pos) + 0.5) / (float64(n) + 1)
+		c.base = []float64{math.Log(p / (1 - p))}
+		logit := make([]float64, n)
+		for i := range logit {
+			logit[i] = c.base[0]
+		}
+		g := make([]float64, n)
+		h := make([]float64, n)
+		c.trees = c.trees[:0]
+		for round := 0; round < c.P.NumRounds; round++ {
+			for i := range logit {
+				s := 1 / (1 + math.Exp(-logit[i]))
+				g[i] = s - float64(labels[i])
+				h[i] = math.Max(s*(1-s), 1e-6)
+			}
+			tree := buildTree(x, g, h, idx, bn, c.P.Tree)
+			c.trees = append(c.trees, []*Tree{tree})
+			for i := range logit {
+				logit[i] += c.P.LearningRate * tree.predictRow(x.Row(i))
+			}
+		}
+		return nil
+	}
+
+	// Multiclass softmax boosting.
+	k := c.NumClasses
+	c.base = make([]float64, k)
+	counts := make([]float64, k)
+	for _, l := range labels {
+		counts[l]++
+	}
+	for j := range c.base {
+		c.base[j] = math.Log((counts[j] + 0.5) / float64(n+1))
+	}
+	logits := tensor.New(n, k)
+	for i := 0; i < n; i++ {
+		copy(logits.Row(i), c.base)
+	}
+	g := make([]float64, n)
+	h := make([]float64, n)
+	c.trees = c.trees[:0]
+	probs := make([]float64, k)
+	for round := 0; round < c.P.NumRounds; round++ {
+		roundTrees := make([]*Tree, k)
+		// Compute softmax once per round, then fit one tree per class.
+		probMat := tensor.New(n, k)
+		for i := 0; i < n; i++ {
+			softmaxInto(logits.Row(i), probs)
+			copy(probMat.Row(i), probs)
+		}
+		for j := 0; j < k; j++ {
+			for i := 0; i < n; i++ {
+				p := probMat.At(i, j)
+				y := 0.0
+				if labels[i] == j {
+					y = 1
+				}
+				g[i] = p - y
+				h[i] = math.Max(p*(1-p), 1e-6)
+			}
+			roundTrees[j] = buildTree(x, g, h, idx, bn, c.P.Tree)
+		}
+		c.trees = append(c.trees, roundTrees)
+		for i := 0; i < n; i++ {
+			row := x.Row(i)
+			lrow := logits.Row(i)
+			for j := 0; j < k; j++ {
+				lrow[j] += c.P.LearningRate * roundTrees[j].predictRow(row)
+			}
+		}
+	}
+	return nil
+}
+
+// PredictProba returns the (rows, NumClasses) class-probability matrix.
+func (c *Classifier) PredictProba(x *tensor.Matrix) *tensor.Matrix {
+	n := x.Rows
+	if c.NumClasses == 2 {
+		out := tensor.New(n, 2)
+		for i := 0; i < n; i++ {
+			logit := c.base[0]
+			row := x.Row(i)
+			for _, rt := range c.trees {
+				logit += c.P.LearningRate * rt[0].predictRow(row)
+			}
+			p := 1 / (1 + math.Exp(-logit))
+			out.Set(i, 0, 1-p)
+			out.Set(i, 1, p)
+		}
+		return out
+	}
+	k := c.NumClasses
+	out := tensor.New(n, k)
+	logits := make([]float64, k)
+	for i := 0; i < n; i++ {
+		copy(logits, c.base)
+		row := x.Row(i)
+		for _, rt := range c.trees {
+			for j := 0; j < k; j++ {
+				logits[j] += c.P.LearningRate * rt[j].predictRow(row)
+			}
+		}
+		softmaxInto(logits, out.Row(i))
+	}
+	return out
+}
+
+// Predict returns the arg-max class per row.
+func (c *Classifier) Predict(x *tensor.Matrix) []int {
+	probs := c.PredictProba(x)
+	out := make([]int, x.Rows)
+	for i := range out {
+		row := probs.Row(i)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+func softmaxInto(logits, out []float64) {
+	max := math.Inf(-1)
+	for _, v := range logits {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for j, v := range logits {
+		e := math.Exp(v - max)
+		out[j] = e
+		sum += e
+	}
+	for j := range out {
+		out[j] /= sum
+	}
+}
+
+func allIndexes(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}

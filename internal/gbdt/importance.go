@@ -1,0 +1,46 @@
+package gbdt
+
+// FeatureImportance returns per-feature split counts normalised to sum to
+// 1 — the "weight" importance XGBoost reports. Useful for inspecting which
+// features a downstream-utility model actually uses.
+func (r *Regressor) FeatureImportance(numFeatures int) []float64 {
+	counts := make([]float64, numFeatures)
+	for _, t := range r.trees {
+		accumulateSplits(t, counts)
+	}
+	return normaliseImportance(counts)
+}
+
+// FeatureImportance returns normalised split counts for a classifier.
+func (c *Classifier) FeatureImportance(numFeatures int) []float64 {
+	counts := make([]float64, numFeatures)
+	for _, round := range c.trees {
+		for _, t := range round {
+			accumulateSplits(t, counts)
+		}
+	}
+	return normaliseImportance(counts)
+}
+
+func accumulateSplits(t *Tree, counts []float64) {
+	for _, n := range t.nodes {
+		if !n.isLeaf && n.feature < len(counts) {
+			counts[n.feature]++
+		}
+	}
+}
+
+func normaliseImportance(counts []float64) []float64 {
+	total := 0.0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return counts
+	}
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = c / total
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+// Package metrics implements the paper's benchmark framework: the
+// five-component resemblance score (Section V-B), the downstream-utility
+// score, and the association matrices behind the Table V correlation-
+// difference analysis.
+package metrics
+
+import (
+	"math"
+
+	"silofuse/internal/stats"
+	"silofuse/internal/tabular"
+	"silofuse/internal/tensor"
+)
+
+// AssociationMatrix computes the d×d mixed-type association matrix of a
+// table: Pearson correlation for numeric–numeric pairs, Theil's U for
+// categorical–categorical pairs (row given column), and the correlation
+// ratio η for categorical–numeric pairs. The diagonal is 1.
+func AssociationMatrix(t *tabular.Table) *tensor.Matrix {
+	d := t.Schema.NumColumns()
+	out := tensor.New(d, d)
+	// Pre-extract columns once.
+	numCols := make(map[int][]float64)
+	catCols := make(map[int][]int)
+	for j, c := range t.Schema.Columns {
+		if c.Kind == tabular.Numeric {
+			numCols[j] = t.NumColumn(j)
+		} else {
+			catCols[j] = t.CatColumn(j)
+		}
+	}
+	for i := 0; i < d; i++ {
+		out.Set(i, i, 1)
+		for j := 0; j < d; j++ {
+			if i == j {
+				continue
+			}
+			ci, cj := t.Schema.Columns[i], t.Schema.Columns[j]
+			switch {
+			case ci.Kind == tabular.Numeric && cj.Kind == tabular.Numeric:
+				out.Set(i, j, stats.Pearson(numCols[i], numCols[j]))
+			case ci.Kind == tabular.Categorical && cj.Kind == tabular.Categorical:
+				out.Set(i, j, stats.TheilsU(catCols[i], catCols[j], ci.Cardinality, cj.Cardinality))
+			case ci.Kind == tabular.Categorical:
+				out.Set(i, j, stats.CorrelationRatio(catCols[i], numCols[j], ci.Cardinality))
+			default:
+				out.Set(i, j, stats.CorrelationRatio(catCols[j], numCols[i], cj.Cardinality))
+			}
+		}
+	}
+	return out
+}
+
+// AssociationDifference returns the element-wise absolute difference of the
+// two tables' association matrices — the quantity visualised in the paper's
+// Table V heat maps — plus its mean.
+func AssociationDifference(real, synth *tabular.Table) (*tensor.Matrix, float64) {
+	a := AssociationMatrix(real)
+	b := AssociationMatrix(synth)
+	diff := tensor.New(a.Rows, a.Cols)
+	for i := range diff.Data {
+		diff.Data[i] = math.Abs(a.Data[i] - b.Data[i])
+	}
+	return diff, diff.Mean()
+}

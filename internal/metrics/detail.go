@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+
+	"silofuse/internal/stats"
+	"silofuse/internal/tabular"
+)
+
+// ColumnDetail holds one column's individual marginal-fit scores — the
+// per-column breakdown behind the aggregate resemblance score, useful for
+// diagnosing which features a synthesizer struggles with.
+type ColumnDetail struct {
+	Name       string
+	Kind       tabular.Kind
+	Similarity float64 // Q–Q correlation (numeric) or 1−TVD (categorical)
+	JS         float64 // 1 − Jensen–Shannon distance
+	KS         float64 // 1 − KS statistic (numeric) / 1 − TVD (categorical)
+}
+
+// ColumnDetails computes the per-column breakdown of the marginal scores.
+func ColumnDetails(real, synth *tabular.Table, cfg ResemblanceConfig) ([]ColumnDetail, error) {
+	if real.Schema.NumColumns() != synth.Schema.NumColumns() {
+		return nil, fmt.Errorf("metrics: schema width mismatch")
+	}
+	out := make([]ColumnDetail, 0, real.Schema.NumColumns())
+	for j, c := range real.Schema.Columns {
+		d := ColumnDetail{Name: c.Name, Kind: c.Kind}
+		if c.Kind == tabular.Numeric {
+			rv, sv := real.NumColumn(j), synth.NumColumn(j)
+			d.Similarity = stats.Clamp(stats.QuantileCorrelation(rv, sv, cfg.QuantilePoints), 0, 1)
+			lo, hi := rangeUnion(rv, sv)
+			d.JS = 1 - stats.JSDistance(
+				stats.Histogram(rv, lo, hi, cfg.HistBins),
+				stats.Histogram(sv, lo, hi, cfg.HistBins))
+			d.KS = 1 - stats.KSStatistic(rv, sv)
+		} else {
+			fr := stats.Frequencies(real.CatColumn(j), c.Cardinality)
+			fs := stats.Frequencies(synth.CatColumn(j), c.Cardinality)
+			tvd := stats.TVD(fr, fs)
+			d.Similarity = 1 - tvd
+			d.JS = 1 - stats.JSDistance(fr, fs)
+			d.KS = 1 - tvd
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// PrintColumnDetails renders the breakdown as an aligned table.
+func PrintColumnDetails(w io.Writer, details []ColumnDetail) {
+	fmt.Fprintf(w, "%-12s %-12s %10s %10s %10s\n", "Column", "Kind", "Similarity", "JS", "KS")
+	for _, d := range details {
+		fmt.Fprintf(w, "%-12s %-12s %10.3f %10.3f %10.3f\n", d.Name, d.Kind, d.Similarity, d.JS, d.KS)
+	}
+}

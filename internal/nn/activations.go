@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"math"
+
+	"silofuse/internal/tensor"
+)
+
+const invSqrt2 = 0.7071067811865476 // 1/sqrt(2)
+
+// GELU is the exact Gaussian error linear unit used by the paper's
+// autoencoders and diffusion backbones: gelu(x) = x·Φ(x).
+type GELU struct {
+	input *tensor.Matrix
+}
+
+// Forward applies gelu elementwise.
+func (g *GELU) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	g.input = x
+	return x.Map(func(v float64) float64 {
+		return 0.5 * v * (1 + math.Erf(v*invSqrt2))
+	})
+}
+
+// Backward multiplies by gelu'(x) = Φ(x) + x·φ(x).
+func (g *GELU) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	out := gradOut.Clone()
+	for i, v := range g.input.Data {
+		cdf := 0.5 * (1 + math.Erf(v*invSqrt2))
+		pdf := math.Exp(-0.5*v*v) / math.Sqrt(2*math.Pi)
+		out.Data[i] *= cdf + v*pdf
+	}
+	return out
+}
+
+// Params returns nil; GELU has no parameters.
+func (g *GELU) Params() []*Param { return nil }
+
+// LeakyReLU with negative slope Alpha, used by the GAN baselines.
+type LeakyReLU struct {
+	Alpha float64
+	input *tensor.Matrix
+}
+
+// NewLeakyReLU creates a LeakyReLU with the given negative slope.
+func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+// Forward applies max(x, αx) elementwise.
+func (l *LeakyReLU) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	l.input = x
+	a := l.Alpha
+	return x.Map(func(v float64) float64 {
+		if v >= 0 {
+			return v
+		}
+		return a * v
+	})
+}
+
+// Backward multiplies by 1 or α depending on the input sign.
+func (l *LeakyReLU) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	out := gradOut.Clone()
+	for i, v := range l.input.Data {
+		if v < 0 {
+			out.Data[i] *= l.Alpha
+		}
+	}
+	return out
+}
+
+// Params returns nil; LeakyReLU has no parameters.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// ReLU rectified linear unit.
+type ReLU struct {
+	input *tensor.Matrix
+}
+
+// Forward applies max(0, x) elementwise.
+func (r *ReLU) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	r.input = x
+	return x.Map(func(v float64) float64 { return math.Max(0, v) })
+}
+
+// Backward zeroes gradients where the input was negative.
+func (r *ReLU) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	out := gradOut.Clone()
+	for i, v := range r.input.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh hyperbolic tangent activation.
+type Tanh struct {
+	output *tensor.Matrix
+}
+
+// Forward applies tanh elementwise.
+func (t *Tanh) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	t.output = x.Map(math.Tanh)
+	return t.output
+}
+
+// Backward multiplies by 1 - tanh(x)^2.
+func (t *Tanh) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	out := gradOut.Clone()
+	for i, y := range t.output.Data {
+		out.Data[i] *= 1 - y*y
+	}
+	return out
+}
+
+// Params returns nil; Tanh has no parameters.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Sigmoid logistic activation.
+type Sigmoid struct {
+	output *tensor.Matrix
+}
+
+// Forward applies 1/(1+e^-x) elementwise.
+func (s *Sigmoid) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	s.output = x.Map(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	return s.output
+}
+
+// Backward multiplies by σ(x)(1-σ(x)).
+func (s *Sigmoid) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	out := gradOut.Clone()
+	for i, y := range s.output.Data {
+		out.Data[i] *= y * (1 - y)
+	}
+	return out
+}
+
+// Params returns nil; Sigmoid has no parameters.
+func (s *Sigmoid) Params() []*Param { return nil }

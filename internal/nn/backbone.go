@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"math/rand"
+
+	"silofuse/internal/tensor"
+)
+
+// DiffusionMLP is the timestep-conditioned denoising backbone used by every
+// DDPM in this repository: an input projection, a stack of
+// Linear→GELU→Dropout blocks (the paper's "eight layers with GELU activation
+// and a dropout factor of 0.01"), and an output projection back to the data
+// dimension. Timestep conditioning enters as a learned projection of the
+// sinusoidal embedding added to the post-input-projection activations.
+type DiffusionMLP struct {
+	In, Hidden, Out, TimeDim int
+
+	inProj   *Linear
+	timeProj *Linear
+	blocks   *Sequential
+	outProj  *Linear
+
+	tfeat *tensor.Matrix // cached sinusoidal features for Backward
+}
+
+// NewDiffusionMLP builds a backbone with depth hidden blocks. timeDim is the
+// sinusoidal embedding width (must be even).
+func NewDiffusionMLP(rng *rand.Rand, in, hidden, out, depth, timeDim int, dropout float64) *DiffusionMLP {
+	var layers []Layer
+	for i := 0; i < depth; i++ {
+		layers = append(layers, NewLinear(rng, hidden, hidden), &GELU{})
+		if dropout > 0 {
+			layers = append(layers, NewDropout(rng, dropout))
+		}
+	}
+	return &DiffusionMLP{
+		In: in, Hidden: hidden, Out: out, TimeDim: timeDim,
+		inProj:   NewLinear(rng, in, hidden),
+		timeProj: NewLinear(rng, timeDim, hidden),
+		blocks:   NewSequential(layers...),
+		outProj:  NewLinear(rng, hidden, out),
+	}
+}
+
+// Forward predicts the noise for inputs x at per-row timesteps ts.
+func (d *DiffusionMLP) Forward(x *tensor.Matrix, ts []int, train bool) *tensor.Matrix {
+	d.tfeat = TimestepFeatures(ts, d.TimeDim)
+	h := d.inProj.Forward(x, train)
+	te := d.timeProj.Forward(d.tfeat, train)
+	h = h.Clone().Add(h, te)
+	h = d.blocks.Forward(h, train)
+	return d.outProj.Forward(h, train)
+}
+
+// Backward propagates the output gradient, accumulating parameter gradients,
+// and returns dL/dx.
+func (d *DiffusionMLP) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	g := d.outProj.Backward(gradOut)
+	g = d.blocks.Backward(g)
+	// The add node fans the gradient to both the input and time projections.
+	d.timeProj.Backward(g) // gradient w.r.t. sinusoidal features is discarded
+	return d.inProj.Backward(g)
+}
+
+// Params returns all trainable parameters of the backbone.
+func (d *DiffusionMLP) Params() []*Param {
+	ps := append([]*Param{}, d.inProj.Params()...)
+	ps = append(ps, d.timeProj.Params()...)
+	ps = append(ps, d.blocks.Params()...)
+	ps = append(ps, d.outProj.Params()...)
+	return ps
+}

@@ -1,0 +1,49 @@
+package nn
+
+import (
+	"math/rand"
+
+	"silofuse/internal/tensor"
+)
+
+// Dropout zeroes each activation with probability P during training and
+// rescales survivors by 1/(1-P) (inverted dropout). It is the identity at
+// inference time.
+type Dropout struct {
+	P    float64
+	rng  *rand.Rand
+	mask *tensor.Matrix
+}
+
+// NewDropout creates a Dropout layer with drop probability p.
+func NewDropout(rng *rand.Rand, p float64) *Dropout { return &Dropout{P: p, rng: rng} }
+
+// Forward applies the dropout mask when train is true.
+func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if !train || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.P
+	d.mask = tensor.New(x.Rows, x.Cols)
+	out := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			d.mask.Data[i] = 1 / keep
+			out.Data[i] = v / keep
+		}
+	}
+	return out
+}
+
+// Backward applies the same mask to the incoming gradient.
+func (d *Dropout) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	if d.mask == nil {
+		return gradOut
+	}
+	out := gradOut.Clone()
+	return out.MulElem(out, d.mask)
+}
+
+// Params returns nil; Dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }

@@ -1,0 +1,296 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"silofuse/internal/tensor"
+)
+
+// checkLayerGradients verifies Backward against central finite differences
+// for both the input gradient and all parameter gradients, using the scalar
+// loss L = Σ output ⊙ R for a fixed random R.
+func checkLayerGradients(t *testing.T, l Layer, x *tensor.Matrix, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+
+	out := l.Forward(x, false)
+	r := tensor.New(out.Rows, out.Cols).Randn(rng, 1)
+	ZeroGrads(l.Params())
+	gradIn := l.Backward(r.Clone())
+
+	loss := func() float64 {
+		o := l.Forward(x, false)
+		s := 0.0
+		for i := range o.Data {
+			s += o.Data[i] * r.Data[i]
+		}
+		return s
+	}
+
+	const h = 1e-5
+	// Input gradient.
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		lp := loss()
+		x.Data[i] = orig - h
+		lm := loss()
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-gradIn.Data[i]) > tol*(1+math.Abs(num)) {
+			t.Fatalf("input grad mismatch at %d: analytic %g vs numeric %g", i, gradIn.Data[i], num)
+		}
+	}
+	// Parameter gradients.
+	for _, p := range l.Params() {
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + h
+			lp := loss()
+			p.Value.Data[i] = orig - h
+			lm := loss()
+			p.Value.Data[i] = orig
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-p.Grad.Data[i]) > tol*(1+math.Abs(num)) {
+				t.Fatalf("param %s grad mismatch at %d: analytic %g vs numeric %g", p.Name, i, p.Grad.Data[i], num)
+			}
+		}
+	}
+}
+
+func TestLinearGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(rng, 5, 3)
+	x := tensor.New(4, 5).Randn(rng, 1)
+	checkLayerGradients(t, l, x, 1e-5)
+}
+
+func TestGELUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(3, 6).Randn(rng, 1.5)
+	checkLayerGradients(t, &GELU{}, x, 1e-5)
+}
+
+func TestLeakyReLUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.New(3, 6).Randn(rng, 1.5)
+	checkLayerGradients(t, NewLeakyReLU(0.2), x, 1e-5)
+}
+
+func TestTanhGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.New(3, 4).Randn(rng, 1)
+	checkLayerGradients(t, &Tanh{}, x, 1e-5)
+}
+
+func TestSigmoidGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.New(3, 4).Randn(rng, 1)
+	checkLayerGradients(t, &Sigmoid{}, x, 1e-5)
+}
+
+func TestReLUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	// Keep values away from the kink at 0 for finite differences.
+	x := tensor.New(3, 5).Randn(rng, 1)
+	x.Apply(func(v float64) float64 {
+		if math.Abs(v) < 0.05 {
+			return v + 0.1
+		}
+		return v
+	})
+	checkLayerGradients(t, &ReLU{}, x, 1e-5)
+}
+
+func TestLayerNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	l := NewLayerNorm(7)
+	// Non-trivial gamma/beta so their gradients are exercised.
+	l.Gamma.Value.Randn(rng, 1)
+	l.Beta.Value.Randn(rng, 1)
+	x := tensor.New(4, 7).Randn(rng, 2)
+	checkLayerGradients(t, l, x, 1e-4)
+}
+
+func TestConv1DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewConv1D(rng, 2, 3, 3, 2, 1) // inC=2, outC=3, k=3, stride=2, pad=1
+	x := tensor.New(2, 2*8).Randn(rng, 1)
+	checkLayerGradients(t, c, x, 1e-4)
+}
+
+func TestConvTranspose1DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := NewConvTranspose1D(rng, 3, 2, 4, 2, 1)
+	x := tensor.New(2, 3*5).Randn(rng, 1)
+	checkLayerGradients(t, c, x, 1e-4)
+}
+
+func TestSequentialGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	seq := NewSequential(NewLinear(rng, 4, 8), &GELU{}, NewLinear(rng, 8, 3), &Tanh{})
+	x := tensor.New(3, 4).Randn(rng, 1)
+	checkLayerGradients(t, seq, x, 1e-4)
+}
+
+func TestDiffusionMLPGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := NewDiffusionMLP(rng, 4, 8, 4, 2, 8, 0)
+	x := tensor.New(3, 4).Randn(rng, 1)
+	ts := []int{1, 5, 9}
+
+	out := d.Forward(x, ts, false)
+	r := tensor.New(out.Rows, out.Cols).Randn(rng, 1)
+	ZeroGrads(d.Params())
+	gradIn := d.Backward(r.Clone())
+
+	loss := func() float64 {
+		o := d.Forward(x, ts, false)
+		s := 0.0
+		for i := range o.Data {
+			s += o.Data[i] * r.Data[i]
+		}
+		return s
+	}
+	const h = 1e-5
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		lp := loss()
+		x.Data[i] = orig - h
+		lm := loss()
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-gradIn.Data[i]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("input grad mismatch at %d: %g vs %g", i, gradIn.Data[i], num)
+		}
+	}
+	for _, p := range d.Params() {
+		for i := 0; i < len(p.Value.Data); i += 7 { // sample every 7th for speed
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + h
+			lp := loss()
+			p.Value.Data[i] = orig - h
+			lm := loss()
+			p.Value.Data[i] = orig
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-p.Grad.Data[i]) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("param %s grad mismatch at %d: %g vs %g", p.Name, i, p.Grad.Data[i], num)
+			}
+		}
+	}
+}
+
+// checkLossGradients verifies a loss function's gradient numerically.
+func checkLossGrad(t *testing.T, name string, f func(x *tensor.Matrix) (float64, *tensor.Matrix), x *tensor.Matrix, tol float64) {
+	t.Helper()
+	_, grad := f(x)
+	const h = 1e-6
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		lp, _ := f(x)
+		x.Data[i] = orig - h
+		lm, _ := f(x)
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-grad.Data[i]) > tol*(1+math.Abs(num)) {
+			t.Fatalf("%s grad mismatch at %d: analytic %g vs numeric %g", name, i, grad.Data[i], num)
+		}
+	}
+}
+
+func TestMSELossGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	target := tensor.New(3, 4).Randn(rng, 1)
+	x := tensor.New(3, 4).Randn(rng, 1)
+	checkLossGrad(t, "mse", func(x *tensor.Matrix) (float64, *tensor.Matrix) {
+		return MSELoss(x, target)
+	}, x, 1e-5)
+}
+
+func TestCrossEntropyLossGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x := tensor.New(5, 3).Randn(rng, 1)
+	labels := []int{0, 2, 1, 1, 0}
+	checkLossGrad(t, "ce", func(x *tensor.Matrix) (float64, *tensor.Matrix) {
+		return CrossEntropyLoss(x, labels)
+	}, x, 1e-4)
+}
+
+func TestBCEWithLogitsLossGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	x := tensor.New(6, 1).Randn(rng, 2)
+	targets := []float64{0, 1, 1, 0, 1, 0}
+	checkLossGrad(t, "bce", func(x *tensor.Matrix) (float64, *tensor.Matrix) {
+		return BCEWithLogitsLoss(x, targets)
+	}, x, 1e-5)
+}
+
+func TestGaussianNLLGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	target := tensor.New(3, 4).Randn(rng, 1)
+	mean := tensor.New(3, 4).Randn(rng, 1)
+	logVar := tensor.New(3, 4).Randn(rng, 0.5)
+
+	_, gm, glv := GaussianNLLLoss(mean, logVar, target)
+	const h = 1e-6
+	for i := range mean.Data {
+		orig := mean.Data[i]
+		mean.Data[i] = orig + h
+		lp, _, _ := GaussianNLLLoss(mean, logVar, target)
+		mean.Data[i] = orig - h
+		lm, _, _ := GaussianNLLLoss(mean, logVar, target)
+		mean.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-gm.Data[i]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("gaussian nll mean grad mismatch at %d: %g vs %g", i, gm.Data[i], num)
+		}
+	}
+	for i := range logVar.Data {
+		orig := logVar.Data[i]
+		logVar.Data[i] = orig + h
+		lp, _, _ := GaussianNLLLoss(mean, logVar, target)
+		logVar.Data[i] = orig - h
+		lm, _, _ := GaussianNLLLoss(mean, logVar, target)
+		logVar.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-glv.Data[i]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("gaussian nll logvar grad mismatch at %d: %g vs %g", i, glv.Data[i], num)
+		}
+	}
+}
+
+func TestKLStandardNormalGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	mu := tensor.New(3, 4).Randn(rng, 1)
+	lv := tensor.New(3, 4).Randn(rng, 0.5)
+	_, gMu, gLV := KLStandardNormal(mu, lv)
+	const h = 1e-6
+	for i := range mu.Data {
+		orig := mu.Data[i]
+		mu.Data[i] = orig + h
+		lp, _, _ := KLStandardNormal(mu, lv)
+		mu.Data[i] = orig - h
+		lm, _, _ := KLStandardNormal(mu, lv)
+		mu.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-gMu.Data[i]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("kl mu grad mismatch at %d", i)
+		}
+	}
+	for i := range lv.Data {
+		orig := lv.Data[i]
+		lv.Data[i] = orig + h
+		lp, _, _ := KLStandardNormal(mu, lv)
+		lv.Data[i] = orig - h
+		lm, _, _ := KLStandardNormal(mu, lv)
+		lv.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-gLV.Data[i]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("kl logvar grad mismatch at %d", i)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package nn is a minimal neural-network substrate with hand-derived
+// backpropagation, built on internal/tensor. It provides the layers, losses
+// and optimisers needed by the autoencoders, diffusion backbones and GAN
+// baselines in this repository.
+//
+// Layers are stateful: Forward caches whatever Backward needs, so each
+// Forward call must be paired with at most one Backward call before the next
+// Forward. Parameter gradients accumulate across Backward calls until the
+// optimiser zeroes them; this enables multi-head losses that share trunks.
+package nn
+
+import "silofuse/internal/tensor"
+
+// Param is a trainable parameter with its accumulated gradient.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// NewParam allocates a parameter and a zeroed gradient of the same shape.
+func NewParam(name string, value *tensor.Matrix) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Rows, value.Cols)}
+}
+
+// Size returns the number of scalar parameters.
+func (p *Param) Size() int { return len(p.Value.Data) }
+
+// Layer is one differentiable module.
+type Layer interface {
+	// Forward computes the layer output for x. train toggles behaviour of
+	// layers like Dropout.
+	Forward(x *tensor.Matrix, train bool) *tensor.Matrix
+	// Backward consumes dL/d(output) and returns dL/d(input), accumulating
+	// dL/d(params) into the layer's Param.Grad fields.
+	Backward(gradOut *tensor.Matrix) *tensor.Matrix
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// Sequential chains layers; the output of layer i feeds layer i+1.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward applies every layer in order.
+func (s *Sequential) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the gradient through all layers in reverse order.
+func (s *Sequential) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		gradOut = s.Layers[i].Backward(gradOut)
+	}
+	return gradOut
+}
+
+// Params returns the concatenated parameters of all layers.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ParamCount returns the total number of scalar parameters in ps.
+func ParamCount(ps []*Param) int {
+	n := 0
+	for _, p := range ps {
+		n += p.Size()
+	}
+	return n
+}
+
+// ZeroGrads clears the gradient of every parameter.
+func ZeroGrads(ps []*Param) {
+	for _, p := range ps {
+		p.Grad.Zero()
+	}
+}

@@ -1,0 +1,44 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"silofuse/internal/tensor"
+)
+
+// Linear is a fully connected layer: y = xW + b, with W of shape (in, out).
+type Linear struct {
+	W, B  *Param
+	input *tensor.Matrix // cached for Backward
+}
+
+// NewLinear creates a Linear layer with Kaiming-uniform initialised weights.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	bound := math.Sqrt(1.0 / float64(in))
+	w := tensor.New(in, out).RandUniform(rng, -bound, bound)
+	b := tensor.New(1, out).RandUniform(rng, -bound, bound)
+	return &Linear{W: NewParam("linear.W", w), B: NewParam("linear.b", b)}
+}
+
+// Forward computes xW + b.
+func (l *Linear) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	l.input = x
+	out := tensor.MatMul(x, l.W.Value)
+	out.AddRowVector(l.B.Value.Data)
+	return out
+}
+
+// Backward accumulates dW = xᵀg, db = Σ_rows g and returns g Wᵀ.
+func (l *Linear) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	dW := tensor.MatMulT1(l.input, gradOut)
+	l.W.Grad.Add(l.W.Grad, dW)
+	bs := gradOut.ColSums()
+	for j, v := range bs {
+		l.B.Grad.Data[j] += v
+	}
+	return tensor.MatMulT2(gradOut, l.W.Value)
+}
+
+// Params returns the weight and bias parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }

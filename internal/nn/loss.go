@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"math"
+
+	"silofuse/internal/tensor"
+)
+
+// MSELoss returns the mean-squared error between pred and target and the
+// gradient dLoss/dPred. The mean is taken over all elements, matching the
+// diffusion objective (2)/(5) in the paper.
+func MSELoss(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	n := float64(len(pred.Data))
+	grad := tensor.New(pred.Rows, pred.Cols)
+	loss := 0.0
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}
+
+// Softmax computes row-wise softmax of logits into a new matrix.
+func Softmax(logits *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		max := math.Inf(-1)
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		orow := out.Row(i)
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - max)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	return out
+}
+
+// CrossEntropyLoss computes the mean categorical cross-entropy of logits
+// against integer class labels, returning the loss and dLoss/dLogits
+// (softmax - onehot)/batch.
+func CrossEntropyLoss(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
+	probs := Softmax(logits)
+	n := float64(logits.Rows)
+	loss := 0.0
+	grad := tensor.New(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		p := probs.Row(i)
+		g := grad.Row(i)
+		y := labels[i]
+		loss -= math.Log(math.Max(p[y], 1e-12))
+		for j := range g {
+			g[j] = p[j] / n
+		}
+		g[y] -= 1 / n
+	}
+	return loss / n, grad
+}
+
+// BCEWithLogitsLoss computes the mean binary cross-entropy of logits against
+// 0/1 targets, returning the loss and dLoss/dLogits (σ(x)-y)/batch. It is
+// numerically stable via the log-sum-exp identity.
+func BCEWithLogitsLoss(logits *tensor.Matrix, targets []float64) (float64, *tensor.Matrix) {
+	n := float64(logits.Rows)
+	loss := 0.0
+	grad := tensor.New(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		x := logits.Data[i]
+		y := targets[i]
+		// log(1+e^x) computed stably.
+		var softplus float64
+		if x > 0 {
+			softplus = x + math.Log1p(math.Exp(-x))
+		} else {
+			softplus = math.Log1p(math.Exp(x))
+		}
+		loss += softplus - x*y
+		sig := 1 / (1 + math.Exp(-x))
+		grad.Data[i] = (sig - y) / n
+	}
+	return loss / n, grad
+}
+
+// GaussianNLLLoss computes the mean negative log-likelihood of target under
+// per-element Normal(mean, exp(logVar)). It returns the loss and the
+// gradients with respect to mean and logVar. Used by the autoencoder's
+// continuous output heads (loss (4) in the paper).
+func GaussianNLLLoss(mean, logVar, target *tensor.Matrix) (float64, *tensor.Matrix, *tensor.Matrix) {
+	n := float64(len(mean.Data))
+	gMean := tensor.New(mean.Rows, mean.Cols)
+	gLV := tensor.New(mean.Rows, mean.Cols)
+	loss := 0.0
+	const logVarClamp = 10
+	for i := range mean.Data {
+		lv := math.Max(-logVarClamp, math.Min(logVarClamp, logVar.Data[i]))
+		inv := math.Exp(-lv)
+		d := mean.Data[i] - target.Data[i]
+		loss += 0.5 * (lv + d*d*inv)
+		gMean.Data[i] = d * inv / n
+		if logVar.Data[i] == lv { // inside clamp: gradient flows
+			gLV.Data[i] = 0.5 * (1 - d*d*inv) / n
+		}
+	}
+	return loss / n, gMean, gLV
+}
+
+// KLStandardNormal computes the KL divergence of N(mu, exp(logVar)) from
+// N(0, I), averaged over the batch, and its gradients. Used for the optional
+// VAE-style regularisation of autoencoder latents.
+func KLStandardNormal(mu, logVar *tensor.Matrix) (float64, *tensor.Matrix, *tensor.Matrix) {
+	n := float64(mu.Rows)
+	gMu := tensor.New(mu.Rows, mu.Cols)
+	gLV := tensor.New(mu.Rows, mu.Cols)
+	loss := 0.0
+	for i := range mu.Data {
+		lv := logVar.Data[i]
+		v := math.Exp(lv)
+		loss += 0.5 * (v + mu.Data[i]*mu.Data[i] - 1 - lv)
+		gMu.Data[i] = mu.Data[i] / n
+		gLV.Data[i] = 0.5 * (v - 1) / n
+	}
+	return loss / n, gMu, gLV
+}

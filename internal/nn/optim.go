@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"math"
+
+	"silofuse/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and zeroes the gradients.
+	Step()
+	// ZeroGrads clears gradients without updating.
+	ZeroGrads()
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR, Momentum float64
+	params       []*Param
+	velocity     []*tensor.Matrix
+}
+
+// NewSGD creates an SGD optimiser over params.
+func NewSGD(params []*Param, lr, momentum float64) *SGD {
+	vel := make([]*tensor.Matrix, len(params))
+	for i, p := range params {
+		vel[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+	}
+	return &SGD{LR: lr, Momentum: momentum, params: params, velocity: vel}
+}
+
+// Step applies v = m·v - lr·g; w += v, then zeroes gradients.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		v := s.velocity[i]
+		for j := range p.Value.Data {
+			v.Data[j] = s.Momentum*v.Data[j] - s.LR*p.Grad.Data[j]
+			p.Value.Data[j] += v.Data[j]
+		}
+	}
+	s.ZeroGrads()
+}
+
+// ZeroGrads clears all parameter gradients.
+func (s *SGD) ZeroGrads() { ZeroGrads(s.params) }
+
+// Adam implements the Adam optimiser (Kingma & Ba) with bias correction.
+// The paper trains every model with Adam at lr=1e-3.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	// ClipNorm, when > 0, rescales the global gradient norm to at most this
+	// value before the update (gradient clipping for GAN stability).
+	ClipNorm float64
+
+	params []*Param
+	m, v   []*tensor.Matrix
+	t      int
+}
+
+// NewAdam creates an Adam optimiser with standard defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(params []*Param, lr float64) *Adam {
+	m := make([]*tensor.Matrix, len(params))
+	v := make([]*tensor.Matrix, len(params))
+	for i, p := range params {
+		m[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+		v[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+	}
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params, m: m, v: v}
+}
+
+// Step applies one Adam update and zeroes gradients.
+func (a *Adam) Step() {
+	a.t++
+	if a.ClipNorm > 0 {
+		total := 0.0
+		for _, p := range a.params {
+			for _, g := range p.Grad.Data {
+				total += g * g
+			}
+		}
+		norm := math.Sqrt(total)
+		if norm > a.ClipNorm {
+			scale := a.ClipNorm / norm
+			for _, p := range a.params {
+				p.Grad.Scale(scale)
+			}
+		}
+	}
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.Grad.Data {
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g
+			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*g*g
+			mHat := m.Data[j] / bc1
+			vHat := v.Data[j] / bc2
+			p.Value.Data[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+	a.ZeroGrads()
+}
+
+// ZeroGrads clears all parameter gradients.
+func (a *Adam) ZeroGrads() { ZeroGrads(a.params) }

@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// paramBlob is the gob wire format for one parameter.
+type paramBlob struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// SaveParams writes the parameter values (not gradients) to w in order.
+// Load must be given the same architecture so shapes line up.
+func SaveParams(w io.Writer, ps []*Param) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(len(ps)); err != nil {
+		return fmt.Errorf("nn: save header: %w", err)
+	}
+	for _, p := range ps {
+		blob := paramBlob{Name: p.Name, Rows: p.Value.Rows, Cols: p.Value.Cols, Data: p.Value.Data}
+		if err := enc.Encode(blob); err != nil {
+			return fmt.Errorf("nn: save %s: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// LoadParams reads values saved by SaveParams into ps, verifying count and
+// shapes.
+func LoadParams(r io.Reader, ps []*Param) error {
+	dec := gob.NewDecoder(r)
+	var n int
+	if err := dec.Decode(&n); err != nil {
+		return fmt.Errorf("nn: load header: %w", err)
+	}
+	if n != len(ps) {
+		return fmt.Errorf("nn: snapshot has %d params, model has %d", n, len(ps))
+	}
+	for i, p := range ps {
+		var blob paramBlob
+		if err := dec.Decode(&blob); err != nil {
+			return fmt.Errorf("nn: load param %d: %w", i, err)
+		}
+		if blob.Rows != p.Value.Rows || blob.Cols != p.Value.Cols {
+			return fmt.Errorf("nn: param %d (%s) shape %dx%d, snapshot %dx%d",
+				i, p.Name, p.Value.Rows, p.Value.Cols, blob.Rows, blob.Cols)
+		}
+		copy(p.Value.Data, blob.Data)
+	}
+	return nil
+}
+
+// EMA maintains an exponential moving average of a parameter set — the
+// standard stabiliser for diffusion model weights. Apply swaps the averaged
+// values into the live parameters (keeping a restore copy), Restore undoes
+// the swap.
+type EMA struct {
+	Decay  float64
+	params []*Param
+	shadow [][]float64
+	backup [][]float64
+}
+
+// NewEMA creates an EMA tracker initialised to the current values.
+func NewEMA(params []*Param, decay float64) *EMA {
+	e := &EMA{Decay: decay, params: params, shadow: make([][]float64, len(params))}
+	for i, p := range params {
+		e.shadow[i] = append([]float64(nil), p.Value.Data...)
+	}
+	return e
+}
+
+// Update folds the current parameter values into the average. Call after
+// every optimiser step.
+func (e *EMA) Update() {
+	d := e.Decay
+	for i, p := range e.params {
+		s := e.shadow[i]
+		for j, v := range p.Value.Data {
+			s[j] = d*s[j] + (1-d)*v
+		}
+	}
+}
+
+// Apply swaps the averaged values into the live parameters.
+func (e *EMA) Apply() {
+	e.backup = make([][]float64, len(e.params))
+	for i, p := range e.params {
+		e.backup[i] = append([]float64(nil), p.Value.Data...)
+		copy(p.Value.Data, e.shadow[i])
+	}
+}
+
+// Restore puts the live training values back after Apply.
+func (e *EMA) Restore() {
+	if e.backup == nil {
+		return
+	}
+	for i, p := range e.params {
+		copy(p.Value.Data, e.backup[i])
+	}
+	e.backup = nil
+}

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"silofuse/internal/tensor"
+)
+
+func TestSaveLoadParamsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := NewSequential(NewLinear(rng, 4, 8), &GELU{}, NewLinear(rng, 8, 3))
+	dst := NewSequential(NewLinear(rand.New(rand.NewSource(2)), 4, 8), &GELU{}, NewLinear(rand.New(rand.NewSource(2)), 8, 3))
+
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2, 4).Randn(rng, 1)
+	a := src.Forward(x, false)
+	b := dst.Forward(x, false)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("loaded model differs from saved model")
+		}
+	}
+}
+
+func TestLoadParamsShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := NewLinear(rng, 4, 8)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	wrong := NewLinear(rng, 4, 9)
+	if err := LoadParams(&buf, wrong.Params()); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestLoadParamsCountMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src := NewLinear(rng, 2, 2)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	two := NewSequential(NewLinear(rng, 2, 2), NewLinear(rng, 2, 2))
+	if err := LoadParams(&buf, two.Params()); err == nil {
+		t.Fatal("expected count mismatch error")
+	}
+}
+
+func TestEMATracksAverage(t *testing.T) {
+	p := NewParam("w", tensor.FromSlice(1, 1, []float64{0}))
+	e := NewEMA([]*Param{p}, 0.5)
+	// Shadow starts at 0; set value to 1 and update repeatedly: shadow
+	// converges geometrically to 1.
+	p.Value.Data[0] = 1
+	for i := 0; i < 10; i++ {
+		e.Update()
+	}
+	if got := e.shadow[0][0]; got < 0.99 {
+		t.Fatalf("shadow = %v", got)
+	}
+}
+
+func TestEMAApplyRestore(t *testing.T) {
+	p := NewParam("w", tensor.FromSlice(1, 1, []float64{5}))
+	e := NewEMA([]*Param{p}, 0.9)
+	p.Value.Data[0] = 10
+	e.Update() // shadow = 0.9*5 + 0.1*10 = 5.5
+	e.Apply()
+	if p.Value.Data[0] != 5.5 {
+		t.Fatalf("Apply: value = %v", p.Value.Data[0])
+	}
+	e.Restore()
+	if p.Value.Data[0] != 10 {
+		t.Fatalf("Restore: value = %v", p.Value.Data[0])
+	}
+	// Restore without Apply is a no-op.
+	e.Restore()
+	if p.Value.Data[0] != 10 {
+		t.Fatal("double Restore corrupted value")
+	}
+}

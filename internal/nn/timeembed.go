@@ -1,0 +1,30 @@
+package nn
+
+import (
+	"math"
+
+	"silofuse/internal/tensor"
+)
+
+// SinusoidalEmbedding fills out with the transformer-style sinusoidal
+// position features for timestep t: pairs of (sin, cos) at geometrically
+// spaced frequencies. dim must be even.
+func SinusoidalEmbedding(t int, out []float64) {
+	dim := len(out)
+	half := dim / 2
+	for i := 0; i < half; i++ {
+		freq := math.Exp(-math.Log(10000) * float64(i) / float64(half))
+		out[i] = math.Sin(float64(t) * freq)
+		out[half+i] = math.Cos(float64(t) * freq)
+	}
+}
+
+// TimestepFeatures returns the (batch, dim) matrix of sinusoidal embeddings
+// for a batch of timesteps.
+func TimestepFeatures(ts []int, dim int) *tensor.Matrix {
+	out := tensor.New(len(ts), dim)
+	for i, t := range ts {
+		SinusoidalEmbedding(t, out.Row(i))
+	}
+	return out
+}

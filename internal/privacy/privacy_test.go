@@ -1,0 +1,208 @@
+package privacy
+
+import (
+	"math/rand"
+	"testing"
+
+	"silofuse/internal/datagen"
+	"silofuse/internal/tabular"
+)
+
+func diabetesTables(t *testing.T) (real, fresh *tabular.Table) {
+	t.Helper()
+	spec, err := datagen.ByName("diabetes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	real = spec.Generate(600, 1)
+	fresh = spec.Generate(600, 2)
+	return real, fresh
+}
+
+// jitter returns a copy of tb with tiny numeric noise — a "synthetic" table
+// that essentially memorises the training data.
+func jitter(t *testing.T, tb *tabular.Table, eps float64, seed int64) *tabular.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := tb.Data.Clone()
+	for i := 0; i < data.Rows; i++ {
+		for j, c := range tb.Schema.Columns {
+			if c.Kind == tabular.Numeric {
+				data.Set(i, j, data.At(i, j)+eps*rng.NormFloat64())
+			}
+		}
+	}
+	out, err := tabular.NewTable(tb.Schema, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestEvaluateReturnsBoundedScores(t *testing.T) {
+	real, fresh := diabetesTables(t)
+	cfg := DefaultConfig()
+	cfg.Attacks = 100
+	r, err := Evaluate(real, fresh, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{r.SinglingOut, r.Linkability, r.AttributeInference, r.Score} {
+		if v < 0 || v > 100 {
+			t.Fatalf("score out of range: %+v", r)
+		}
+	}
+}
+
+// TestMemorisedDataIsRiskier is the core calibration property: synthetic
+// data that memorises the training set must score lower (riskier) than an
+// independent fresh sample from the same distribution.
+func TestMemorisedDataIsRiskier(t *testing.T) {
+	real, fresh := diabetesTables(t)
+	leaky := jitter(t, real, 1e-4, 3)
+	cfg := DefaultConfig()
+	cfg.Attacks = 200
+
+	rFresh, err := Evaluate(real, fresh, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLeaky, err := Evaluate(real, leaky, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rLeaky.Score >= rFresh.Score {
+		t.Fatalf("memorised synth should be riskier: leaky %v vs fresh %v", rLeaky.Score, rFresh.Score)
+	}
+	// Linkability in particular must collapse for memorised data: both
+	// halves of a real record point at its clone.
+	if rLeaky.Linkability >= rFresh.Linkability {
+		t.Fatalf("linkability should detect memorisation: %v vs %v", rLeaky.Linkability, rFresh.Linkability)
+	}
+}
+
+func TestAttributeInferenceDetectsMemorisation(t *testing.T) {
+	real, fresh := diabetesTables(t)
+	leaky := jitter(t, real, 1e-4, 4)
+	cfg := DefaultConfig()
+	cfg.Attacks = 200
+	rFresh, err := Evaluate(real, fresh, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLeaky, err := Evaluate(real, leaky, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rLeaky.AttributeInference >= rFresh.AttributeInference {
+		t.Fatalf("attribute inference should detect memorisation: %v vs %v",
+			rLeaky.AttributeInference, rFresh.AttributeInference)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	real, _ := diabetesTables(t)
+	sub := real.SelectColumns([]int{0, 1})
+	if _, err := Evaluate(real, sub, DefaultConfig()); err == nil {
+		t.Fatal("expected schema mismatch error")
+	}
+	empty := real.Head(0)
+	if _, err := Evaluate(real, empty, DefaultConfig()); err == nil {
+		t.Fatal("expected empty table error")
+	}
+}
+
+func TestEvaluateDeterministicForSeed(t *testing.T) {
+	real, fresh := diabetesTables(t)
+	cfg := DefaultConfig()
+	cfg.Attacks = 50
+	a, err := Evaluate(real, fresh, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(real, fresh, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != b.Score {
+		t.Fatalf("same seed must give same score: %v vs %v", a.Score, b.Score)
+	}
+}
+
+func TestResistanceBounds(t *testing.T) {
+	if resistance(1, 0) != 0 {
+		t.Fatal("always-successful attack over never-successful baseline must be 0")
+	}
+	if resistance(0, 0) != 1 {
+		t.Fatal("no attack success must be 1")
+	}
+	if resistance(0.3, 0.3) != 1 {
+		t.Fatal("attack no better than baseline must be 1")
+	}
+	if resistance(0.2, 1) != 1 {
+		t.Fatal("degenerate baseline must clamp to 1")
+	}
+}
+
+func TestMixedMetricProperties(t *testing.T) {
+	real, _ := diabetesTables(t)
+	m := newMixedMetric(real)
+	cols := make([]int, real.Schema.NumColumns())
+	for i := range cols {
+		cols[i] = i
+	}
+	row := real.Data.Row(0)
+	if d := m.distanceCols(row, row, cols); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+	other := real.Data.Row(1)
+	d := m.distanceCols(row, other, cols)
+	if d < 0 || d > 1 {
+		t.Fatalf("distance out of [0,1]: %v", d)
+	}
+	if m.distanceCols(row, other, nil) != 0 {
+		t.Fatal("empty column set must give 0")
+	}
+	// Nearest index of a row present in the table is that row.
+	if ni := m.nearestIndex(row, real, cols); ni != 0 {
+		t.Fatalf("nearest of self = %d", ni)
+	}
+}
+
+func TestDCRDetectsMemorisation(t *testing.T) {
+	real, fresh := diabetesTables(t)
+	spec, _ := datagen.ByName("diabetes")
+	holdout := spec.Generate(400, 9)
+	leaky := jitter(t, real, 1e-5, 10)
+
+	repFresh, err := DCR(real, holdout, fresh, 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repLeaky, err := DCR(real, holdout, leaky, 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh samples sit at similar distance from train and holdout.
+	if repFresh.Ratio < 0.6 || repFresh.Ratio > 1.5 {
+		t.Fatalf("fresh DCR ratio should be near 1: %v", repFresh.Ratio)
+	}
+	// Memorised samples sit on top of the training data.
+	if repLeaky.Ratio > 0.3 {
+		t.Fatalf("leaky DCR ratio should collapse: %v", repLeaky.Ratio)
+	}
+	if repLeaky.SynthToTrainMedian >= repFresh.SynthToTrainMedian {
+		t.Fatal("memorised data should be closer to training rows")
+	}
+}
+
+func TestDCRValidation(t *testing.T) {
+	real, fresh := diabetesTables(t)
+	sub := real.SelectColumns([]int{0})
+	if _, err := DCR(real, real, sub, 10, 1); err == nil {
+		t.Fatal("expected schema mismatch")
+	}
+	if _, err := DCR(real, real.Head(0), fresh, 10, 1); err == nil {
+		t.Fatal("expected empty table error")
+	}
+}

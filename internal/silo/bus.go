@@ -1,0 +1,129 @@
+// Package silo implements the cross-silo fabric of the paper: clients that
+// own vertical feature partitions and private autoencoders, a coordinator
+// that owns the diffusion backbone, message transports with exact byte
+// accounting, the stacked training protocol (Algorithm 1), distributed
+// synthesis (Algorithm 2), and the end-to-end split-learning baseline
+// (E2EDistr) whose communication grows with the iteration count.
+package silo
+
+import (
+	"fmt"
+	"sync"
+
+	"silofuse/internal/tensor"
+)
+
+// Kind tags protocol messages.
+type Kind string
+
+// Protocol message kinds.
+const (
+	KindLatents     Kind = "latents"      // client -> coordinator, encoded latents
+	KindSynthReq    Kind = "synth-req"    // client -> coordinator, synthesis request
+	KindSynthLatent Kind = "synth-latent" // coordinator -> client, synthetic latent partition
+	KindActivation  Kind = "activation"   // client -> coordinator, E2E forward activations
+	KindDenoised    Kind = "denoised"     // coordinator -> client, E2E denoised latents
+	KindGradUp      Kind = "grad-up"      // client -> coordinator, E2E decoder-loss gradients
+	KindGradDown    Kind = "grad-down"    // coordinator -> client, E2E encoder gradients
+)
+
+// Envelope is one protocol message. Payload may be nil for control
+// messages.
+type Envelope struct {
+	From, To string
+	Kind     Kind
+	Payload  *tensor.Matrix
+}
+
+// WireSize returns the message's size in bytes as transmitted: a fixed
+// header plus 8 bytes per float64 payload element. The TCP transport's gob
+// framing matches this within a few bytes; experiments use this exact
+// arithmetic so Figure 10 is reproducible bit-for-bit.
+func (e *Envelope) WireSize() int64 {
+	const header = 64 // from/to/kind strings + matrix dims + framing
+	if e.Payload == nil {
+		return header
+	}
+	return header + int64(8*len(e.Payload.Data))
+}
+
+// Stats aggregates transport traffic.
+type Stats struct {
+	Messages   int64
+	Bytes      int64
+	BytesByDir map[string]int64 // "from->to" aggregate
+}
+
+// Bus moves envelopes between named parties and accounts for every byte.
+type Bus interface {
+	// Send delivers an envelope to the recipient's inbox.
+	Send(e *Envelope) error
+	// Recv blocks until a message for the recipient arrives.
+	Recv(to string) (*Envelope, error)
+	// Stats returns a snapshot of traffic counters.
+	Stats() Stats
+}
+
+// LocalBus is an in-process Bus using buffered channels. It is
+// deterministic for single-producer/single-consumer pairs and counts wire
+// sizes exactly as the TCP transport would.
+type LocalBus struct {
+	mu     sync.Mutex
+	boxes  map[string]chan *Envelope
+	stats  Stats
+	closed bool
+}
+
+// NewLocalBus creates a bus with the given inbox capacity per party.
+func NewLocalBus() *LocalBus {
+	return &LocalBus{
+		boxes: make(map[string]chan *Envelope),
+		stats: Stats{BytesByDir: make(map[string]int64)},
+	}
+}
+
+func (b *LocalBus) box(name string) chan *Envelope {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ch, ok := b.boxes[name]; ok {
+		return ch
+	}
+	ch := make(chan *Envelope, 1024)
+	b.boxes[name] = ch
+	return ch
+}
+
+// Send implements Bus.
+func (b *LocalBus) Send(e *Envelope) error {
+	if e.To == "" {
+		return fmt.Errorf("silo: envelope has no recipient")
+	}
+	size := e.WireSize()
+	b.mu.Lock()
+	b.stats.Messages++
+	b.stats.Bytes += size
+	b.stats.BytesByDir[e.From+"->"+e.To] += size
+	b.mu.Unlock()
+	b.box(e.To) <- e
+	return nil
+}
+
+// Recv implements Bus.
+func (b *LocalBus) Recv(to string) (*Envelope, error) {
+	e, ok := <-b.box(to)
+	if !ok {
+		return nil, fmt.Errorf("silo: inbox %q closed", to)
+	}
+	return e, nil
+}
+
+// Stats implements Bus.
+func (b *LocalBus) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := Stats{Messages: b.stats.Messages, Bytes: b.stats.Bytes, BytesByDir: make(map[string]int64, len(b.stats.BytesByDir))}
+	for k, v := range b.stats.BytesByDir {
+		out.BytesByDir[k] = v
+	}
+	return out
+}

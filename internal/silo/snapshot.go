@@ -1,0 +1,97 @@
+package silo
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"silofuse/internal/diffusion"
+	"silofuse/internal/nn"
+)
+
+// snapshot is the gob wire format of a trained pipeline's state. Model
+// architectures are not stored — Load rebuilds them from the same training
+// table and configuration, then restores weights; the snapshot carries only
+// what training produced.
+type snapshot struct {
+	LatentDims   []int
+	LatMean      []float64
+	LatStd       []float64
+	ClientBlobs  [][]byte // autoencoder weights per client, in order
+	BackboneBlob []byte   // coordinator diffusion weights
+}
+
+// SaveState writes the trained pipeline state (client autoencoders,
+// coordinator backbone, latent scaler) to w. The pipeline must have been
+// trained.
+func (p *Pipeline) SaveState(w io.Writer) error {
+	if p.Coord.Model == nil {
+		return fmt.Errorf("silo: SaveState before training")
+	}
+	snap := snapshot{
+		LatentDims: append([]int(nil), p.Coord.latentDims...),
+		LatMean:    append([]float64(nil), p.Coord.latMean...),
+		LatStd:     append([]float64(nil), p.Coord.latStd...),
+	}
+	for _, c := range p.Clients {
+		var buf bytes.Buffer
+		if err := c.AE.Save(&buf); err != nil {
+			return fmt.Errorf("silo: save client %s: %w", c.ID, err)
+		}
+		snap.ClientBlobs = append(snap.ClientBlobs, buf.Bytes())
+	}
+	var buf bytes.Buffer
+	if err := p.Coord.Model.Save(&buf); err != nil {
+		return fmt.Errorf("silo: save backbone: %w", err)
+	}
+	snap.BackboneBlob = buf.Bytes()
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// LoadState restores state written by SaveState into a pipeline built with
+// the same configuration and training table (the table supplies the schema
+// and the featuriser statistics baked into each client's architecture).
+func (p *Pipeline) LoadState(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("silo: decode snapshot: %w", err)
+	}
+	if len(snap.ClientBlobs) != len(p.Clients) {
+		return fmt.Errorf("silo: snapshot has %d clients, pipeline has %d", len(snap.ClientBlobs), len(p.Clients))
+	}
+	for i, c := range p.Clients {
+		if err := c.AE.Load(bytes.NewReader(snap.ClientBlobs[i])); err != nil {
+			return fmt.Errorf("silo: load client %s: %w", c.ID, err)
+		}
+	}
+	// Rebuild the backbone at the snapshot's latent width, then restore.
+	total := 0
+	for _, d := range snap.LatentDims {
+		total += d
+	}
+	cfg := p.Cfg.Diff
+	cfg.Dim = total
+	model := diffusion.NewModel(p.Coord.rng, cfg)
+	if err := model.Load(bytes.NewReader(snap.BackboneBlob)); err != nil {
+		return fmt.Errorf("silo: load backbone: %w", err)
+	}
+	p.Coord.Model = model
+	p.Coord.latentDims = snap.LatentDims
+	p.Coord.latMean = snap.LatMean
+	p.Coord.latStd = snap.LatStd
+	return nil
+}
+
+// ParamCount reports the total trainable scalars across all actors (clients
+// plus backbone, when built).
+func (p *Pipeline) ParamCount() int {
+	total := 0
+	for _, c := range p.Clients {
+		total += c.AE.ParamCount()
+	}
+	if p.Coord.Model != nil {
+		total += nn.ParamCount(p.Coord.Model.Net.Params())
+	}
+	return total
+}

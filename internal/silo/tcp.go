@@ -1,0 +1,251 @@
+package silo
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"silofuse/internal/tensor"
+)
+
+// wireEnvelope is the gob wire format; tensor payloads are flattened.
+type wireEnvelope struct {
+	From, To string
+	Kind     Kind
+	Rows     int
+	Cols     int
+	Data     []float64
+}
+
+func toWire(e *Envelope) wireEnvelope {
+	w := wireEnvelope{From: e.From, To: e.To, Kind: e.Kind}
+	if e.Payload != nil {
+		w.Rows, w.Cols, w.Data = e.Payload.Rows, e.Payload.Cols, e.Payload.Data
+	}
+	return w
+}
+
+func fromWire(w wireEnvelope) *Envelope {
+	e := &Envelope{From: w.From, To: w.To, Kind: w.Kind}
+	if w.Data != nil {
+		e.Payload = tensor.FromSlice(w.Rows, w.Cols, w.Data)
+	}
+	return e
+}
+
+// countingWriter counts bytes flowing to the underlying connection.
+type countingWriter struct {
+	c     net.Conn
+	n     *int64
+	mu    *sync.Mutex
+	total *Stats
+	dir   string
+}
+
+func (w countingWriter) Write(p []byte) (int, error) {
+	n, err := w.c.Write(p)
+	w.mu.Lock()
+	*w.n += int64(n)
+	w.total.Bytes += int64(n)
+	w.total.BytesByDir[w.dir] += int64(n)
+	w.mu.Unlock()
+	return n, err
+}
+
+// TCPHub is the coordinator-side transport: it listens for client
+// connections and routes envelopes between parties. Envelopes addressed to
+// the hub's own name land in its local inbox; everything else is forwarded
+// to the destination peer. It implements Bus with real measured wire bytes.
+type TCPHub struct {
+	Name string
+
+	ln    net.Listener
+	mu    sync.Mutex
+	peers map[string]*gob.Encoder
+	conns map[string]net.Conn
+	inbox chan *Envelope
+	stats Stats
+	wg    sync.WaitGroup
+}
+
+// NewTCPHub starts a hub listening on addr (e.g. "127.0.0.1:0").
+func NewTCPHub(name, addr string) (*TCPHub, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("silo: hub listen: %w", err)
+	}
+	h := &TCPHub{
+		Name:  name,
+		ln:    ln,
+		peers: make(map[string]*gob.Encoder),
+		conns: make(map[string]net.Conn),
+		inbox: make(chan *Envelope, 1024),
+		stats: Stats{BytesByDir: make(map[string]int64)},
+	}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the hub's listen address.
+func (h *TCPHub) Addr() string { return h.ln.Addr().String() }
+
+func (h *TCPHub) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		h.wg.Add(1)
+		go h.serveConn(conn)
+	}
+}
+
+func (h *TCPHub) serveConn(conn net.Conn) {
+	defer h.wg.Done()
+	dec := gob.NewDecoder(conn)
+	var hello wireEnvelope
+	if err := dec.Decode(&hello); err != nil {
+		conn.Close()
+		return
+	}
+	name := hello.From
+	var dummy int64
+	enc := gob.NewEncoder(countingWriter{c: conn, n: &dummy, mu: &h.mu, total: &h.stats, dir: h.Name + "->" + name})
+	h.mu.Lock()
+	h.peers[name] = enc
+	h.conns[name] = conn
+	h.mu.Unlock()
+	for {
+		var w wireEnvelope
+		if err := dec.Decode(&w); err != nil {
+			return
+		}
+		e := fromWire(w)
+		// Received bytes are counted by the sender side (the peer's
+		// countingWriter); the hub only counts what it forwards or sends.
+		if e.To == h.Name {
+			h.inbox <- e
+			continue
+		}
+		h.mu.Lock()
+		dst := h.peers[e.To]
+		h.mu.Unlock()
+		if dst != nil {
+			_ = dst.Encode(w)
+		}
+	}
+}
+
+// Send implements Bus for the hub side.
+func (h *TCPHub) Send(e *Envelope) error {
+	if e.To == h.Name {
+		h.inbox <- e
+		return nil
+	}
+	h.mu.Lock()
+	dst, ok := h.peers[e.To]
+	h.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("silo: hub has no peer %q", e.To)
+	}
+	return dst.Encode(toWire(e))
+}
+
+// Recv implements Bus for the hub side.
+func (h *TCPHub) Recv(to string) (*Envelope, error) {
+	if to != h.Name {
+		return nil, fmt.Errorf("silo: hub Recv is only for %q", h.Name)
+	}
+	e, ok := <-h.inbox
+	if !ok {
+		return nil, fmt.Errorf("silo: hub inbox closed")
+	}
+	return e, nil
+}
+
+// Stats implements Bus.
+func (h *TCPHub) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := Stats{Messages: h.stats.Messages, Bytes: h.stats.Bytes, BytesByDir: make(map[string]int64)}
+	for k, v := range h.stats.BytesByDir {
+		out.BytesByDir[k] = v
+	}
+	return out
+}
+
+// Close shuts the hub down.
+func (h *TCPHub) Close() error {
+	err := h.ln.Close()
+	h.mu.Lock()
+	for _, c := range h.conns {
+		c.Close()
+	}
+	h.mu.Unlock()
+	return err
+}
+
+// TCPPeer is a client-side transport connected to a TCPHub.
+type TCPPeer struct {
+	Name string
+
+	conn  net.Conn
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+	mu    sync.Mutex
+	stats Stats
+	sent  int64
+}
+
+// DialHub connects to a hub and announces the peer's name.
+func DialHub(name, addr string) (*TCPPeer, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("silo: dial hub: %w", err)
+	}
+	p := &TCPPeer{Name: name, conn: conn, stats: Stats{BytesByDir: make(map[string]int64)}}
+	p.enc = gob.NewEncoder(countingWriter{c: conn, n: &p.sent, mu: &p.mu, total: &p.stats, dir: name + "->hub"})
+	p.dec = gob.NewDecoder(conn)
+	if err := p.enc.Encode(wireEnvelope{From: name, Kind: "hello"}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("silo: hello: %w", err)
+	}
+	return p, nil
+}
+
+// Send implements Bus (all traffic is routed via the hub).
+func (p *TCPPeer) Send(e *Envelope) error {
+	p.mu.Lock()
+	p.stats.Messages++
+	p.mu.Unlock()
+	return p.enc.Encode(toWire(e))
+}
+
+// Recv implements Bus; only the peer's own inbox is reachable.
+func (p *TCPPeer) Recv(to string) (*Envelope, error) {
+	if to != p.Name {
+		return nil, fmt.Errorf("silo: peer %q cannot receive for %q", p.Name, to)
+	}
+	var w wireEnvelope
+	if err := p.dec.Decode(&w); err != nil {
+		return nil, err
+	}
+	return fromWire(w), nil
+}
+
+// Stats implements Bus.
+func (p *TCPPeer) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := Stats{Messages: p.stats.Messages, Bytes: p.stats.Bytes, BytesByDir: make(map[string]int64)}
+	for k, v := range p.stats.BytesByDir {
+		out.BytesByDir[k] = v
+	}
+	return out
+}
+
+// Close closes the connection.
+func (p *TCPPeer) Close() error { return p.conn.Close() }

@@ -1,0 +1,113 @@
+package silo
+
+import (
+	"testing"
+
+	"silofuse/internal/datagen"
+)
+
+// TestVFLClassifierLearnsOnPartitionedData trains the split classifier on
+// vertically partitioned real data: the coordinator holds only labels,
+// clients hold feature slices, and accuracy must beat the majority class.
+func TestVFLClassifierLearnsOnPartitionedData(t *testing.T) {
+	spec, err := datagen.ByName("cardio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := spec.Generate(1200, 3)
+	labels := tb.CatColumn(0) // target column
+	// Feature partitions exclude the target.
+	featIdx := make([]int, 0, tb.Schema.NumColumns()-1)
+	for j := 1; j < tb.Schema.NumColumns(); j++ {
+		featIdx = append(featIdx, j)
+	}
+	features := tb.SelectColumns(featIdx)
+	parts, err := features.Schema.Partition(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	silos := features.VerticalPartition(parts)
+
+	cfg := VFLConfig{Classes: tb.Schema.Columns[0].Cardinality, EmbedDim: 8, HeadDim: 32, LR: 2e-3, Seed: 1}
+	v, err := NewVFLClassifier(silos, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := NewLocalBus()
+	if _, err := v.Train(bus, silos, labels, 400, 128); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := v.Predict(silos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	counts := make([]int, cfg.Classes)
+	for i := range labels {
+		counts[labels[i]]++
+		if pred[i] == labels[i] {
+			correct++
+		}
+	}
+	majority := 0
+	for _, c := range counts {
+		if c > majority {
+			majority = c
+		}
+	}
+	acc := float64(correct) / float64(len(labels))
+	base := float64(majority) / float64(len(labels))
+	if acc <= base+0.05 {
+		t.Fatalf("vfl accuracy %v not above majority baseline %v", acc, base)
+	}
+	// Split learning traffic: 2 messages per client per iteration.
+	if got := bus.Stats().Messages; got != int64(2*3*400) {
+		t.Fatalf("vfl messages = %d, want %d", got, 2*3*400)
+	}
+}
+
+func TestVFLValidation(t *testing.T) {
+	spec, _ := datagen.ByName("loan")
+	tb := spec.Generate(50, 1)
+	parts, _ := tb.Schema.Partition(2, nil)
+	silos := tb.VerticalPartition(parts)
+	if _, err := NewVFLClassifier(silos, VFLConfig{Classes: 1}); err == nil {
+		t.Fatal("expected class-count error")
+	}
+	v, err := NewVFLClassifier(silos, VFLConfig{Classes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Train(NewLocalBus(), silos[:1], nil, 1, 8); err == nil {
+		t.Fatal("expected part-count error")
+	}
+	if _, err := v.Train(NewLocalBus(), silos, []int{0}, 1, 8); err == nil {
+		t.Fatal("expected label-length error")
+	}
+	if _, err := v.Predict(silos[:1]); err == nil {
+		t.Fatal("expected predict part-count error")
+	}
+}
+
+// TestLatentNoiseKnob verifies the DP-style noise option changes uploaded
+// latents but keeps the pipeline functional.
+func TestLatentNoiseKnob(t *testing.T) {
+	tb := loanTable(t, 200)
+	cfg := smallConfig(2)
+	cfg.AEIters, cfg.DiffIters = 30, 30
+	cfg.LatentNoiseStd = 0.5
+	p, err := NewPipeline(NewLocalBus(), tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.TrainStacked(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.SynthesizeShared(0, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 20 {
+		t.Fatal("noisy-latent pipeline failed to synthesise")
+	}
+}

@@ -1,0 +1,76 @@
+package tabular
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the table with a header row. Categorical codes are written
+// as integers, numeric values with full float precision.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.Schema.NumColumns())
+	for j, c := range t.Schema.Columns {
+		header[j] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("tabular: write header: %w", err)
+	}
+	rec := make([]string, len(header))
+	for i := 0; i < t.Rows(); i++ {
+		row := t.Data.Row(i)
+		for j, c := range t.Schema.Columns {
+			if c.Kind == Categorical {
+				rec[j] = strconv.Itoa(int(row[j]))
+			} else {
+				rec[j] = strconv.FormatFloat(row[j], 'g', -1, 64)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("tabular: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a table written by WriteCSV (header plus rows) using the
+// provided schema. Column order must match the schema.
+func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("tabular: read header: %w", err)
+	}
+	if len(header) != schema.NumColumns() {
+		return nil, fmt.Errorf("tabular: header has %d columns, schema has %d", len(header), schema.NumColumns())
+	}
+	for j, c := range schema.Columns {
+		if header[j] != c.Name {
+			return nil, fmt.Errorf("tabular: header column %d is %q, schema says %q", j, header[j], c.Name)
+		}
+	}
+	var rows [][]float64
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tabular: read row %d: %w", len(rows), err)
+		}
+		row := make([]float64, len(rec))
+		for j, s := range rec {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tabular: row %d col %d: %w", len(rows), j, err)
+			}
+			row[j] = v
+		}
+		rows = append(rows, row)
+	}
+	m := fromRows(rows, schema.NumColumns())
+	return NewTable(schema, m)
+}

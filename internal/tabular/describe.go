@@ -1,0 +1,87 @@
+package tabular
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// ColumnSummary holds descriptive statistics for one column.
+type ColumnSummary struct {
+	Name string
+	Kind Kind
+	// Numeric statistics (zero for categorical columns).
+	Mean, Std, Min, Median, Max float64
+	// Categorical statistics (zero/nil for numeric columns).
+	Cardinality int
+	TopCode     int
+	TopFraction float64
+	Entropy     float64 // nats
+}
+
+// Describe computes per-column descriptive statistics.
+func (t *Table) Describe() []ColumnSummary {
+	out := make([]ColumnSummary, 0, t.Schema.NumColumns())
+	for j, c := range t.Schema.Columns {
+		s := ColumnSummary{Name: c.Name, Kind: c.Kind}
+		if c.Kind == Numeric {
+			col := t.NumColumn(j)
+			if len(col) > 0 {
+				for _, v := range col {
+					s.Mean += v
+				}
+				s.Mean /= float64(len(col))
+				for _, v := range col {
+					d := v - s.Mean
+					s.Std += d * d
+				}
+				s.Std = math.Sqrt(s.Std / float64(len(col)))
+				sorted := append([]float64(nil), col...)
+				sort.Float64s(sorted)
+				s.Min = sorted[0]
+				s.Max = sorted[len(sorted)-1]
+				if n := len(sorted); n%2 == 1 {
+					s.Median = sorted[n/2]
+				} else {
+					s.Median = 0.5 * (sorted[n/2-1] + sorted[n/2])
+				}
+			}
+		} else {
+			s.Cardinality = c.Cardinality
+			counts := make([]float64, c.Cardinality)
+			for _, code := range t.CatColumn(j) {
+				counts[code]++
+			}
+			n := float64(t.Rows())
+			for code, cnt := range counts {
+				if cnt > counts[s.TopCode] {
+					s.TopCode = code
+				}
+				if cnt > 0 && n > 0 {
+					p := cnt / n
+					s.Entropy -= p * math.Log(p)
+				}
+			}
+			if n > 0 {
+				s.TopFraction = counts[s.TopCode] / n
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// PrintDescribe renders the summaries as an aligned table.
+func PrintDescribe(w io.Writer, summaries []ColumnSummary) {
+	fmt.Fprintf(w, "%-12s %-12s %31s %31s\n", "Column", "Kind", "numeric (mean/std/min/med/max)", "categorical (card/top/frac/H)")
+	for _, s := range summaries {
+		if s.Kind == Numeric {
+			fmt.Fprintf(w, "%-12s %-12s %7.3g %7.3g %7.3g %7.3g %7.3g\n",
+				s.Name, s.Kind, s.Mean, s.Std, s.Min, s.Median, s.Max)
+		} else {
+			fmt.Fprintf(w, "%-12s %-12s %31s card=%d top=%d frac=%.2f H=%.2f\n",
+				s.Name, s.Kind, "", s.Cardinality, s.TopCode, s.TopFraction, s.Entropy)
+		}
+	}
+}

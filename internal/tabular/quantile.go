@@ -1,0 +1,147 @@
+package tabular
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// QuantileTransformer maps a numeric column to an approximately standard
+// normal distribution through its empirical CDF — the preprocessing TabDDPM
+// applies to numeric features, which makes heavy-tailed or skewed marginals
+// tractable for Gaussian diffusion. Inverse restores the original scale.
+type QuantileTransformer struct {
+	// refs holds the sorted reference sample per transformed column.
+	refs [][]float64
+	cols []int // transformed (numeric) column indexes
+}
+
+// NewQuantileTransformer fits on the numeric columns of t, keeping at most
+// maxRefs reference quantiles per column (0 means all rows).
+func NewQuantileTransformer(t *Table, maxRefs int) *QuantileTransformer {
+	q := &QuantileTransformer{cols: t.Schema.NumericIndexes()}
+	for _, j := range q.cols {
+		col := append([]float64(nil), t.NumColumn(j)...)
+		sort.Float64s(col)
+		if maxRefs > 0 && len(col) > maxRefs {
+			sub := make([]float64, maxRefs)
+			for i := range sub {
+				sub[i] = col[i*(len(col)-1)/(maxRefs-1)]
+			}
+			col = sub
+		}
+		q.refs = append(q.refs, col)
+	}
+	return q
+}
+
+// Transform returns a copy of t with numeric columns mapped through
+// Φ⁻¹(rank/(n+1)) — approximately N(0,1) marginals. Categorical columns are
+// untouched.
+func (q *QuantileTransformer) Transform(t *Table) (*Table, error) {
+	out := t.Clone()
+	for ci, j := range q.cols {
+		ref := q.refs[ci]
+		for i := 0; i < out.Rows(); i++ {
+			v := out.Data.At(i, j)
+			out.Data.Set(i, j, normalQuantile(empiricalCDF(ref, v)))
+		}
+	}
+	return out, nil
+}
+
+// Inverse maps transformed values back through the reference quantiles.
+func (q *QuantileTransformer) Inverse(t *Table) (*Table, error) {
+	out := t.Clone()
+	for ci, j := range q.cols {
+		ref := q.refs[ci]
+		if len(ref) == 0 {
+			return nil, fmt.Errorf("tabular: quantile transformer has empty reference for column %d", j)
+		}
+		for i := 0; i < out.Rows(); i++ {
+			p := normalCDF(out.Data.At(i, j))
+			out.Data.Set(i, j, referenceQuantile(ref, p))
+		}
+	}
+	return out, nil
+}
+
+// empiricalCDF returns the clipped empirical CDF of v in the sorted sample.
+func empiricalCDF(sorted []float64, v float64) float64 {
+	n := len(sorted)
+	rank := sort.SearchFloat64s(sorted, v)
+	// Midpoint correction for ties/interior values.
+	p := (float64(rank) + 0.5) / float64(n+1)
+	return clamp01(p, 1.0/float64(2*(n+1)))
+}
+
+// referenceQuantile interpolates the p-th quantile of the sorted sample
+// using the same plotting positions as empiricalCDF (p_i = (i+0.5)/(n+1)),
+// so Transform followed by Inverse reproduces sample points exactly.
+func referenceQuantile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := p*float64(n+1) - 0.5
+	if pos <= 0 {
+		return sorted[0]
+	}
+	if pos >= float64(n-1) {
+		return sorted[n-1]
+	}
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func clamp01(p, eps float64) float64 {
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}
+
+// normalCDF is Φ, the standard normal CDF.
+func normalCDF(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+
+// normalQuantile is Φ⁻¹ via the Acklam rational approximation (|ε| < 1e-9
+// over (0,1)), refined with one Halley step.
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Coefficients for the central and tail regions.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow = 0.02425
+
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := normalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	return x - u/(1+x*u/2)
+}

@@ -1,0 +1,159 @@
+package tabular
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"silofuse/internal/tensor"
+)
+
+func skewedTable(t *testing.T, n int, seed int64) *Table {
+	t.Helper()
+	s := MustSchema([]Column{
+		{Name: "skew", Kind: Numeric},
+		{Name: "cat", Kind: Categorical, Cardinality: 3},
+		{Name: "normal", Kind: Numeric},
+	})
+	rng := rand.New(rand.NewSource(seed))
+	data := tensor.New(n, 3)
+	for i := 0; i < n; i++ {
+		data.Set(i, 0, math.Exp(rng.NormFloat64())) // log-normal
+		data.Set(i, 1, float64(rng.Intn(3)))
+		data.Set(i, 2, rng.NormFloat64())
+	}
+	tb, err := NewTable(s, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{1e-6, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1 - 1e-6} {
+		x := normalQuantile(p)
+		back := normalCDF(x)
+		if math.Abs(back-p) > 1e-8 {
+			t.Fatalf("Φ(Φ⁻¹(%v)) = %v", p, back)
+		}
+	}
+	if normalQuantile(0.5) != 0 && math.Abs(normalQuantile(0.5)) > 1e-12 {
+		t.Fatalf("median quantile = %v", normalQuantile(0.5))
+	}
+	if !math.IsInf(normalQuantile(0), -1) || !math.IsInf(normalQuantile(1), 1) {
+		t.Fatal("boundary behaviour wrong")
+	}
+}
+
+func TestQuantileTransformGaussianises(t *testing.T) {
+	tb := skewedTable(t, 2000, 1)
+	qt := NewQuantileTransformer(tb, 0)
+	tr, err := qt.Transform(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transformed skewed column should be ~N(0,1): near-zero mean and
+	// skewness, unit-ish variance.
+	col := tr.NumColumn(0)
+	var mean, m2, m3 float64
+	for _, v := range col {
+		mean += v
+	}
+	mean /= float64(len(col))
+	for _, v := range col {
+		d := v - mean
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= float64(len(col))
+	m3 /= float64(len(col))
+	skew := m3 / math.Pow(m2, 1.5)
+	if math.Abs(mean) > 0.05 || math.Abs(m2-1) > 0.15 || math.Abs(skew) > 0.15 {
+		t.Fatalf("not gaussianised: mean %v, var %v, skew %v", mean, m2, skew)
+	}
+	// Categorical column untouched.
+	orig := tb.CatColumn(1)
+	trc := tr.CatColumn(1)
+	for i := range orig {
+		if orig[i] != trc[i] {
+			t.Fatal("categorical column was modified")
+		}
+	}
+}
+
+func TestQuantileRoundTrip(t *testing.T) {
+	tb := skewedTable(t, 1000, 2)
+	qt := NewQuantileTransformer(tb, 0)
+	tr, err := qt.Transform(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := qt.Inverse(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []int{0, 2} {
+		orig := tb.NumColumn(j)
+		rec := back.NumColumn(j)
+		for i := range orig {
+			scale := math.Abs(orig[i]) + 0.1
+			if math.Abs(orig[i]-rec[i]) > 0.05*scale {
+				t.Fatalf("col %d row %d: %v -> %v", j, i, orig[i], rec[i])
+			}
+		}
+	}
+}
+
+func TestQuantileTransformerMaxRefs(t *testing.T) {
+	tb := skewedTable(t, 2000, 3)
+	qt := NewQuantileTransformer(tb, 100)
+	if len(qt.refs[0]) != 100 {
+		t.Fatalf("refs = %d", len(qt.refs[0]))
+	}
+	tr, err := qt.Transform(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := qt.Inverse(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coarser references still give a decent round trip.
+	orig := tb.NumColumn(0)
+	rec := back.NumColumn(0)
+	var mae float64
+	for i := range orig {
+		mae += math.Abs(orig[i] - rec[i])
+	}
+	mae /= float64(len(orig))
+	if mae > 0.2 {
+		t.Fatalf("coarse round-trip MAE = %v", mae)
+	}
+}
+
+// Property: the transform is monotone — order of values is preserved.
+func TestQuantileTransformMonotoneProperty(t *testing.T) {
+	tb := skewedTable(t, 300, 4)
+	qt := NewQuantileTransformer(tb, 0)
+	tr, err := qt.Transform(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := tb.NumColumn(0)
+	mapped := tr.NumColumn(0)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		i, j := rng.Intn(len(orig)), rng.Intn(len(orig))
+		if orig[i] < orig[j] {
+			return mapped[i] <= mapped[j]
+		}
+		if orig[i] > orig[j] {
+			return mapped[i] >= mapped[j]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

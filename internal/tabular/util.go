@@ -1,0 +1,13 @@
+package tabular
+
+import "silofuse/internal/tensor"
+
+// fromRows builds a matrix from row slices, tolerating zero rows by using
+// the provided column count.
+func fromRows(rows [][]float64, cols int) *tensor.Matrix {
+	m := tensor.New(len(rows), cols)
+	for i, r := range rows {
+		copy(m.Row(i), r)
+	}
+	return m
+}

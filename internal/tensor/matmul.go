@@ -1,0 +1,161 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of multiply-adds before MatMul
+// spreads row blocks across goroutines. Below it, the scheduling overhead
+// dominates.
+const parallelThreshold = 1 << 16
+
+// MatMul returns a @ b. The inner loops are ordered i-k-j so the b matrix is
+// streamed row-wise (cache friendly), and independent row blocks of the
+// output are computed on separate goroutines. Per-row reduction order is
+// fixed, so results are bit-identical regardless of parallelism.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold || a.Rows < 2 {
+		matmulRows(a, b, out, 0, a.Rows)
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(a, b, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func matmulRows(a, b, out *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT1 returns aᵀ @ b without materialising the transpose.
+func MatMulT1(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulT1 shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold || a.Cols < 2 {
+		matmulT1Cols(a, b, out, 0, a.Cols)
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Cols {
+		workers = a.Cols
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Cols + workers - 1) / workers
+	for lo := 0; lo < a.Cols; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Cols {
+			hi = a.Cols
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulT1Cols(a, b, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func matmulT1Cols(a, b, out *Matrix, lo, hi int) {
+	n := b.Cols
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Row(r)
+		brow := b.Data[r*n : (r+1)*n]
+		for i := lo; i < hi; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT2 returns a @ bᵀ without materialising the transpose.
+func MatMulT2(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT2 shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	work := a.Rows * a.Cols * b.Rows
+	if work < parallelThreshold || a.Rows < 2 {
+		matmulT2Rows(a, b, out, 0, a.Rows)
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulT2Rows(a, b, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func matmulT2Rows(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewShapeAndAccess(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("unexpected shape: %v", m)
+	}
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+	if m.Data[1*4+2] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestFromRowsAndClone(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone is not a deep copy")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape %v", tr)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := MatMul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i := range c.Data {
+		if c.Data[i] != want.Data[i] {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want.Data)
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+// TestMatMulAgainstNaive checks the parallel kernel against a straightforward
+// triple loop on random shapes, including shapes above the parallel
+// threshold.
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := [][3]int{{1, 1, 1}, {2, 3, 4}, {7, 5, 9}, {64, 48, 80}, {130, 33, 70}}
+	for _, s := range shapes {
+		a := New(s[0], s[1]).Randn(rng, 1)
+		b := New(s[1], s[2]).Randn(rng, 1)
+		got := MatMul(a, b)
+		want := naiveMatMul(a, b)
+		for i := range got.Data {
+			if !almostEqual(got.Data[i], want.Data[i], 1e-9) {
+				t.Fatalf("shape %v: element %d: %v vs %v", s, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func naiveMatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestMatMulTransposedVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := New(17, 9).Randn(rng, 1)
+	b := New(17, 13).Randn(rng, 1)
+	got := MatMulT1(a, b)
+	want := MatMul(a.T(), b)
+	for i := range got.Data {
+		if !almostEqual(got.Data[i], want.Data[i], 1e-9) {
+			t.Fatalf("MatMulT1 mismatch at %d", i)
+		}
+	}
+	c := New(11, 9).Randn(rng, 1)
+	d := New(13, 9).Randn(rng, 1)
+	got2 := MatMulT2(c, d)
+	want2 := MatMul(c, d.T())
+	for i := range got2.Data {
+		if !almostEqual(got2.Data[i], want2.Data[i], 1e-9) {
+			t.Fatalf("MatMulT2 mismatch at %d", i)
+		}
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{10, 20}, {30, 40}})
+	sum := New(2, 2).Add(a, b)
+	if sum.At(1, 1) != 44 {
+		t.Fatalf("Add: got %v", sum.At(1, 1))
+	}
+	diff := New(2, 2).Sub(b, a)
+	if diff.At(0, 0) != 9 {
+		t.Fatalf("Sub: got %v", diff.At(0, 0))
+	}
+	had := New(2, 2).MulElem(a, b)
+	if had.At(0, 1) != 40 {
+		t.Fatalf("MulElem: got %v", had.At(0, 1))
+	}
+	sc := a.Clone().Scale(2)
+	if sc.At(1, 0) != 6 {
+		t.Fatalf("Scale: got %v", sc.At(1, 0))
+	}
+	as := a.Clone().AddScaled(b, 0.1)
+	if !almostEqual(as.At(0, 0), 2, 1e-12) {
+		t.Fatalf("AddScaled: got %v", as.At(0, 0))
+	}
+}
+
+func TestAddRowVectorAndColSums(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.AddRowVector([]float64{10, 20})
+	if m.At(0, 0) != 11 || m.At(1, 1) != 24 {
+		t.Fatalf("AddRowVector wrong: %v", m.Data)
+	}
+	cs := m.ColSums()
+	if cs[0] != 24 || cs[1] != 46 {
+		t.Fatalf("ColSums = %v", cs)
+	}
+}
+
+func TestStackAndSlice(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5}, {6}})
+	h := HStack(a, b)
+	if h.Cols != 3 || h.At(0, 2) != 5 || h.At(1, 0) != 3 {
+		t.Fatalf("HStack wrong: %v", h.Data)
+	}
+	back := h.SliceCols(0, 2)
+	for i := range back.Data {
+		if back.Data[i] != a.Data[i] {
+			t.Fatal("SliceCols does not invert HStack")
+		}
+	}
+	v := VStack(a, a)
+	if v.Rows != 4 || v.At(2, 0) != 1 {
+		t.Fatalf("VStack wrong: %v", v.Data)
+	}
+	sr := v.SliceRows(2, 4)
+	for i := range sr.Data {
+		if sr.Data[i] != a.Data[i] {
+			t.Fatal("SliceRows does not invert VStack")
+		}
+	}
+}
+
+func TestGatherRows(t *testing.T) {
+	m := FromRows([][]float64{{0, 0}, {1, 1}, {2, 2}})
+	g := m.GatherRows([]int{2, 0})
+	if g.At(0, 0) != 2 || g.At(1, 0) != 0 {
+		t.Fatalf("GatherRows wrong: %v", g.Data)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	m := FromRows([][]float64{{3, -4}})
+	if m.Sum() != -1 {
+		t.Fatalf("Sum = %v", m.Sum())
+	}
+	if m.Mean() != -0.5 {
+		t.Fatalf("Mean = %v", m.Mean())
+	}
+	if !almostEqual(m.Norm(), 5, 1e-12) {
+		t.Fatalf("Norm = %v", m.Norm())
+	}
+	if m.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs())
+	}
+}
+
+func TestRandnDeterminism(t *testing.T) {
+	a := New(4, 4).Randn(rand.New(rand.NewSource(42)), 1)
+	b := New(4, 4).Randn(rand.New(rand.NewSource(42)), 1)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("Randn not deterministic for same seed")
+		}
+	}
+}
+
+// Property: (AB)ᵀ == BᵀAᵀ for random matrices.
+func TestMatMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(8)
+		c := 1 + rng.Intn(8)
+		a := New(r, k).Randn(rng, 1)
+		b := New(k, c).Randn(rng, 1)
+		lhs := MatMul(a, b).T()
+		rhs := MatMul(b.T(), a.T())
+		for i := range lhs.Data {
+			if !almostEqual(lhs.Data[i], rhs.Data[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HStack then SliceCols round-trips each part.
+func TestHStackSliceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(6)
+		c1 := 1 + rng.Intn(5)
+		c2 := 1 + rng.Intn(5)
+		a := New(rows, c1).Randn(rng, 1)
+		b := New(rows, c2).Randn(rng, 1)
+		h := HStack(a, b)
+		ra := h.SliceCols(0, c1)
+		rb := h.SliceCols(c1, c1+c2)
+		for i := range a.Data {
+			if ra.Data[i] != a.Data[i] {
+				return false
+			}
+		}
+		for i := range b.Data {
+			if rb.Data[i] != b.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package silofuse
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the facade exactly as README shows:
+// dataset → SiloFuse → sample → metrics → privacy, plus CSV round trip.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	spec, err := DatasetByName("loan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := spec.Generate(400, 1)
+	train, test := full.Split(rand.New(rand.NewSource(1)), 0.25)
+
+	opts := FastOptions()
+	opts.Clients = 2
+	opts.AEIters = 80
+	opts.DiffIters = 120
+	model := NewSiloFuse(opts)
+	if err := model.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if model.CommStats().Messages != 2 {
+		t.Fatalf("messages = %d", model.CommStats().Messages)
+	}
+	synth, err := model.Sample(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Resemblance(train, synth, DefaultResemblanceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score < 0 || res.Score > 100 {
+		t.Fatalf("resemblance out of range: %v", res.Score)
+	}
+	util, err := Utility(train, synth, test, DefaultUtilityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if util.Score < 0 || util.Score > 100 {
+		t.Fatalf("utility out of range: %v", util.Score)
+	}
+	priv, err := EvaluatePrivacy(train, synth, DefaultPrivacyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priv.Score < 0 || priv.Score > 100 {
+		t.Fatalf("privacy out of range: %v", priv.Score)
+	}
+
+	var buf bytes.Buffer
+	if err := synth.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, synth.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows() != synth.Rows() {
+		t.Fatal("csv round trip lost rows")
+	}
+}
+
+// TestPublicAPICustomSchema builds a user-defined table through the facade
+// and runs every constructor in the registry against it.
+func TestPublicAPICustomSchema(t *testing.T) {
+	schema := MustSchema([]Column{
+		{Name: "x", Kind: Numeric},
+		{Name: "k", Kind: Categorical, Cardinality: 3},
+		{Name: "y", Kind: Numeric},
+	})
+	rng := rand.New(rand.NewSource(2))
+	data := NewMatrix(120, 3)
+	for i := 0; i < 120; i++ {
+		data.Set(i, 0, rng.NormFloat64())
+		data.Set(i, 1, float64(rng.Intn(3)))
+		data.Set(i, 2, rng.NormFloat64())
+	}
+	tb, err := NewTable(schema, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range SynthesizerNames() {
+		opts := FastOptions()
+		opts.Clients = 2
+		opts.AEIters, opts.DiffIters, opts.GANIters = 30, 30, 30
+		opts.Batch = 32
+		m, err := NewSynthesizer(name, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fit(tb); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out, err := m.Sample(10)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.Rows() != 10 {
+			t.Fatalf("%s: rows = %d", name, out.Rows())
+		}
+	}
+}
+
+// TestDatasetsExportMatchesInternal asserts the facade exposes all nine
+// datasets.
+func TestDatasetsExport(t *testing.T) {
+	if len(Datasets) != 9 || len(DatasetNames()) != 9 {
+		t.Fatalf("datasets = %d", len(Datasets))
+	}
+}
