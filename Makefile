@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build vet test race ci bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The transport and telemetry layers are exercised under the race detector;
+# the silo package trains real models, so give it a generous timeout.
+race:
+	$(GO) test -race -timeout 30m ./internal/silo/... ./internal/obs/...
+
+ci:
+	$(GO) vet ./... && $(GO) build ./... && $(GO) test ./... && $(GO) test -race -timeout 30m ./internal/silo/... ./internal/obs/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

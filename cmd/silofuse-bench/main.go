@@ -15,9 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"silofuse"
 	"silofuse/internal/experiments"
 )
 
@@ -33,6 +35,9 @@ func main() {
 	diffIters := flag.Int("diff-iters", 0, "override diffusion iterations")
 	ganIters := flag.Int("gan-iters", 0, "override GAN iterations")
 	utilCols := flag.Int("util-cols", 0, "cap on utility target columns (0 = all)")
+	tracePath := flag.String("trace", "", "write a Chrome-trace JSON covering every model fitted")
+	metricsFlag := flag.Bool("metrics", false, "print the metrics text exposition to stderr at the end")
+	runName := flag.String("run", "", "write results/<run>/manifest.json for the whole invocation")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -72,6 +77,11 @@ func main() {
 	if *utilCols > 0 {
 		cfg.UtilCfg.MaxColumns = *utilCols
 	}
+	var rec *silofuse.Recorder
+	if *tracePath != "" || *metricsFlag || *runName != "" {
+		rec = silofuse.NewRecorder()
+		cfg.Opts.Recorder = rec
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -85,6 +95,48 @@ func main() {
 		}
 		fmt.Printf("\n[%s done in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	if err := writeTelemetry(rec, *tracePath, *metricsFlag, *runName, *exp, cfg.Seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// writeTelemetry emits the optional trace file, metrics exposition and run
+// manifest once all experiments have finished.
+func writeTelemetry(rec *silofuse.Recorder, tracePath string, metrics bool, runName, exp string, seed int64) error {
+	if rec == nil {
+		return nil
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := rec.Trace.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trace %s\n", tracePath)
+	}
+	if metrics {
+		if err := rec.Reg.WriteText(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if runName != "" {
+		man := silofuse.NewRunManifest(runName, seed)
+		man.Config["exp"] = exp
+		man.FromRecorder(rec)
+		dir := filepath.Join("results", runName)
+		if err := man.Write(dir); err != nil {
+			return err
+		}
+		fmt.Printf("wrote manifest %s\n", filepath.Join(dir, "manifest.json"))
+	}
+	return nil
 }
 
 func run(id string, cfg experiments.Config) error {

@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"silofuse/internal/nn"
+	"silofuse/internal/obs"
 	"silofuse/internal/tabular"
 	"silofuse/internal/tensor"
 )
@@ -46,6 +48,9 @@ type Autoencoder struct {
 	Schema *tabular.Schema
 	Cfg    Config
 	Enc    *tabular.Encoder // input featuriser (one-hot + standardise)
+	// Rec, when non-nil, receives per-step loss/throughput telemetry from
+	// Train (stage "ae"). Shared safely across clients training in parallel.
+	Rec *obs.Recorder
 
 	encoder *nn.Sequential
 	decoder *nn.Sequential // trunk + final head linear
@@ -135,7 +140,14 @@ func (a *Autoencoder) Train(train *tabular.Table, iters, batch int) float64 {
 		for i := range idx {
 			idx[i] = a.rng.Intn(train.Rows())
 		}
+		var t0 time.Time
+		if a.Rec != nil {
+			t0 = time.Now()
+		}
 		loss := a.TrainStep(train.SelectRows(idx))
+		if a.Rec != nil {
+			a.Rec.TrainStep("ae", loss, batch, time.Since(t0))
+		}
 		if it >= tail {
 			tailLoss += loss
 			tailCount++

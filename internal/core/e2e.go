@@ -48,6 +48,7 @@ func (e *E2E) Fit(train *tabular.Table) error {
 	if err != nil {
 		return fmt.Errorf("%s: %w", e.name, err)
 	}
+	pipe.SetRecorder(e.Opts.Recorder)
 	e.pipe = pipe
 	if _, err := pipe.Train(e.Opts.AEIters + e.Opts.DiffIters); err != nil {
 		return fmt.Errorf("%s: train: %w", e.name, err)

@@ -36,6 +36,7 @@ func (m *GANModel) Fit(train *tabular.Table) error {
 	cfg.LatentDim = m.Opts.GANLatent
 	rng := rand.New(rand.NewSource(m.Opts.Seed + 17))
 	m.g = gan.New(rng, train, cfg)
+	m.g.Rec = m.Opts.Recorder
 	m.g.Train(train, m.Opts.GANIters, m.Opts.Batch)
 	return nil
 }

@@ -73,6 +73,7 @@ func (s *SiloFuse) Fit(train *tabular.Table) error {
 	if err != nil {
 		return fmt.Errorf("%s: %w", s.name, err)
 	}
+	pipe.SetRecorder(s.Opts.Recorder)
 	s.pipe = pipe
 	if _, _, err := pipe.TrainStacked(); err != nil {
 		return fmt.Errorf("%s: train: %w", s.name, err)
@@ -135,6 +136,7 @@ func (s *SiloFuse) Load(train *tabular.Table, r io.Reader) error {
 	if err := pipe.LoadState(r); err != nil {
 		return fmt.Errorf("%s: %w", s.name, err)
 	}
+	pipe.SetRecorder(s.Opts.Recorder)
 	s.pipe = pipe
 	return nil
 }

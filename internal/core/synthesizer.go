@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"silofuse/internal/obs"
 	"silofuse/internal/tabular"
 )
 
@@ -70,6 +71,11 @@ type Options struct {
 	// DecodeSampling draws from the decoder output heads instead of taking
 	// the mean / arg-max, adding sample diversity.
 	DecodeSampling bool
+
+	// Recorder, when non-nil, receives per-step training telemetry, phase
+	// spans and transport message telemetry from the fitted model (see
+	// internal/obs). nil disables telemetry at near-zero cost.
+	Recorder *obs.Recorder
 }
 
 // DefaultOptions returns CPU-scaled settings that preserve the paper's

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"silofuse/internal/diffusion"
 	"silofuse/internal/nn"
@@ -67,11 +68,19 @@ func (m *TabDDPM) Fit(train *tabular.Table) error {
 		batch = train.Rows()
 	}
 	idx := make([]int, batch)
+	rec := m.Opts.Recorder
 	for it := 0; it < iters; it++ {
 		for i := range idx {
 			idx[i] = m.rng.Intn(train.Rows())
 		}
-		m.trainStep(train.SelectRows(idx))
+		var t0 time.Time
+		if rec != nil {
+			t0 = time.Now()
+		}
+		loss := m.trainStep(train.SelectRows(idx))
+		if rec != nil {
+			rec.TrainStep("tabddpm", loss, batch, time.Since(t0))
+		}
 	}
 	return nil
 }

@@ -4,8 +4,10 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"time"
 
 	"silofuse/internal/nn"
+	"silofuse/internal/obs"
 	"silofuse/internal/tensor"
 )
 
@@ -45,7 +47,10 @@ type Model struct {
 	Opt       *nn.Adam
 	EMA       *nn.EMA // nil unless cfg.EMADecay > 0
 	PredictX0 bool
-	rng       *rand.Rand
+	// Rec, when non-nil, receives per-step loss/throughput telemetry from
+	// Train (stage "diffusion"). nil means telemetry off at zero cost.
+	Rec *obs.Recorder
+	rng *rand.Rand
 }
 
 // NewModel builds a model from cfg, drawing initial weights from rng.
@@ -105,7 +110,14 @@ func (m *Model) Train(data *tensor.Matrix, iters, batch int) float64 {
 		for i := range idx {
 			idx[i] = m.rng.Intn(data.Rows)
 		}
+		var t0 time.Time
+		if m.Rec != nil {
+			t0 = time.Now()
+		}
 		loss := m.TrainStep(data.GatherRows(idx))
+		if m.Rec != nil {
+			m.Rec.TrainStep("diffusion", loss, batch, time.Since(t0))
+		}
 		if it >= tail {
 			tailLoss += loss
 			tailCount++

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"silofuse/internal/obs"
+	"silofuse/internal/silo"
+)
+
+// PhaseSummary is one top-level trace span flattened for the manifest.
+type PhaseSummary struct {
+	Name     string         `json:"name"`
+	StartSec float64        `json:"start_sec"`
+	DurSec   float64        `json:"dur_sec"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
+// Manifest is the per-run record written to results/<run>/manifest.json: the
+// configuration that produced the run, per-phase wall-clock durations, final
+// quality metrics, wire traffic broken down by message kind, and the full
+// metrics snapshot. It is the machine-readable companion of a training or
+// benchmark run — enough to reconstruct Figure 10-style communication
+// numbers without re-running.
+type Manifest struct {
+	Run             string             `json:"run"`
+	CreatedAt       time.Time          `json:"created_at"`
+	Seed            int64              `json:"seed"`
+	Config          map[string]any     `json:"config,omitempty"`
+	Phases          []PhaseSummary     `json:"phases"`
+	FinalMetrics    map[string]float64 `json:"final_metrics,omitempty"`
+	WireMessages    int64              `json:"wire_messages"`
+	WireBytes       int64              `json:"wire_bytes"`
+	WireBytesByKind map[string]int64   `json:"wire_bytes_by_kind"`
+	WireBytesByDir  map[string]int64   `json:"wire_bytes_by_dir,omitempty"`
+	Metrics         obs.Snapshot       `json:"metrics"`
+}
+
+// NewManifest starts a manifest for the named run.
+func NewManifest(run string, seed int64) *Manifest {
+	return &Manifest{
+		Run:             run,
+		CreatedAt:       time.Now().UTC(),
+		Seed:            seed,
+		Config:          make(map[string]any),
+		FinalMetrics:    make(map[string]float64),
+		WireBytesByKind: make(map[string]int64),
+	}
+}
+
+// FromRecorder fills the manifest from rec: phases from the tracer's
+// top-level spans, wire traffic from the bus_* counters, and the full
+// metrics snapshot. A nil or disabled recorder leaves the manifest
+// unchanged.
+func (m *Manifest) FromRecorder(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	for _, sp := range rec.Trace.Spans() {
+		if sp.Parent != "" {
+			continue
+		}
+		m.Phases = append(m.Phases, PhaseSummary{
+			Name: sp.Name, StartSec: sp.StartSec, DurSec: sp.DurSec, Attrs: sp.Attrs,
+		})
+	}
+	m.Metrics = rec.Snapshot()
+	for name, v := range m.Metrics.Counters {
+		if kind, ok := strings.CutPrefix(name, "bus_bytes_total_"); ok {
+			m.WireBytesByKind[kind] += v
+			m.WireBytes += v
+		}
+		if strings.HasPrefix(name, "bus_messages_total_") {
+			m.WireMessages += v
+		}
+	}
+}
+
+// FromStats merges transport statistics from a Bus snapshot: the per-link
+// byte breakdown, plus totals when the recorder did not already supply them.
+func (m *Manifest) FromStats(st silo.Stats) {
+	if len(st.BytesByDir) > 0 {
+		if m.WireBytesByDir == nil {
+			m.WireBytesByDir = make(map[string]int64, len(st.BytesByDir))
+		}
+		for k, v := range st.BytesByDir {
+			m.WireBytesByDir[k] += v
+		}
+	}
+	if m.WireMessages == 0 {
+		m.WireMessages = st.Messages
+	}
+	if m.WireBytes == 0 {
+		m.WireBytes = st.Bytes
+		for k, v := range st.ByKind {
+			m.WireBytesByKind[string(k)] += v
+		}
+	}
+}
+
+// Write creates dir if needed and writes the manifest as indented JSON to
+// dir/manifest.json.
+func (m *Manifest) Write(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: manifest dir: %w", err)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: manifest encode: %w", err)
+	}
+	path := filepath.Join(dir, "manifest.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("experiments: manifest write: %w", err)
+	}
+	return nil
+}

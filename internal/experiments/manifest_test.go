@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"silofuse/internal/obs"
+	"silofuse/internal/silo"
+)
+
+func TestManifestFromRecorderAndWrite(t *testing.T) {
+	rec := obs.NewRecorder()
+	sp := rec.StartSpan("ae-train")
+	sp.SetAttr("clients", 2)
+	rec.TrainStep("ae", 1.5, 64, time.Millisecond)
+	sp.End()
+	sp = rec.StartSpan("diffusion-train")
+	child := sp.Child("inner") // nested spans must not become phases
+	child.End()
+	sp.End()
+	rec.Message("latents", 4096, time.Millisecond)
+	rec.Message("synth-latent", 1024, time.Millisecond)
+
+	m := NewManifest("unit", 7)
+	m.Config["model"] = "silofuse"
+	m.FinalMetrics["resemblance"] = 80.5
+	m.FromRecorder(rec)
+	m.FromStats(silo.Stats{
+		Messages:   3,
+		Bytes:      5120,
+		BytesByDir: map[string]int64{"c0->coord": 4096, "coord->c0": 1024},
+	})
+
+	if len(m.Phases) != 2 {
+		t.Fatalf("phases = %+v, want the 2 top-level spans", m.Phases)
+	}
+	if m.Phases[0].Name != "ae-train" || m.Phases[1].Name != "diffusion-train" {
+		t.Fatalf("phase order = %+v", m.Phases)
+	}
+	if m.WireBytesByKind["latents"] != 4096 || m.WireBytesByKind["synth-latent"] != 1024 {
+		t.Fatalf("wire bytes by kind = %v", m.WireBytesByKind)
+	}
+	if m.WireBytes != 5120 || m.WireMessages != 2 {
+		t.Fatalf("wire totals = %d B / %d msgs", m.WireBytes, m.WireMessages)
+	}
+	if m.WireBytesByDir["c0->coord"] != 4096 {
+		t.Fatalf("wire bytes by dir = %v", m.WireBytesByDir)
+	}
+	if m.Metrics.Counters["ae_steps_total"] != 1 {
+		t.Fatalf("metrics snapshot = %v", m.Metrics.Counters)
+	}
+
+	dir := filepath.Join(t.TempDir(), "results", "unit")
+	if err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if back.Run != "unit" || back.Seed != 7 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if back.WireBytesByKind["latents"] != 4096 {
+		t.Fatalf("round-trip wire bytes = %v", back.WireBytesByKind)
+	}
+	if back.FinalMetrics["resemblance"] != 80.5 {
+		t.Fatalf("round-trip final metrics = %v", back.FinalMetrics)
+	}
+}
+
+// TestManifestNilRecorder: building a manifest without telemetry is valid.
+func TestManifestNilRecorder(t *testing.T) {
+	m := NewManifest("empty", 1)
+	m.FromRecorder(nil)
+	if len(m.Phases) != 0 || m.WireBytes != 0 {
+		t.Fatalf("nil recorder should leave manifest empty: %+v", m)
+	}
+	if err := m.Write(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,8 +2,10 @@ package gan
 
 import (
 	"math/rand"
+	"time"
 
 	"silofuse/internal/nn"
+	"silofuse/internal/obs"
 	"silofuse/internal/tabular"
 	"silofuse/internal/tensor"
 )
@@ -39,6 +41,9 @@ func DefaultConfig(b Backbone) Config {
 type GAN struct {
 	Cfg Config
 	Enc *tabular.Encoder
+	// Rec, when non-nil, receives per-step loss/throughput telemetry from
+	// Train (stage "gan"; the recorded loss is the generator loss).
+	Rec *obs.Recorder
 
 	gen   *nn.Sequential
 	disc  *nn.Sequential
@@ -165,7 +170,14 @@ func (g *GAN) Train(train *tabular.Table, iters, batch int) float64 {
 		for i := range idx {
 			idx[i] = g.rng.Intn(train.Rows())
 		}
+		var t0 time.Time
+		if g.Rec != nil {
+			t0 = time.Now()
+		}
 		_, gLoss = g.TrainStep(train.SelectRows(idx))
+		if g.Rec != nil {
+			g.Rec.TrainStep("gan", gLoss, batch, time.Since(t0))
+		}
 	}
 	return gLoss
 }

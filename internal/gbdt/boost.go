@@ -3,7 +3,9 @@ package gbdt
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"silofuse/internal/obs"
 	"silofuse/internal/tensor"
 )
 
@@ -22,7 +24,10 @@ func DefaultParams() Params {
 
 // Regressor is a gradient-boosted regressor with squared loss.
 type Regressor struct {
-	P     Params
+	P Params
+	// Rec, when non-nil, receives per-boosting-round telemetry from Fit
+	// (stage "gbdt"; the recorded loss is the mean squared residual).
+	Rec   *obs.Recorder
 	base  float64
 	trees []*Tree
 }
@@ -54,6 +59,10 @@ func (r *Regressor) Fit(x *tensor.Matrix, y []float64) error {
 	h := make([]float64, len(y))
 	r.trees = r.trees[:0]
 	for round := 0; round < r.P.NumRounds; round++ {
+		var t0 time.Time
+		if r.Rec != nil {
+			t0 = time.Now()
+		}
 		for i := range y {
 			g[i] = pred[i] - y[i] // d/dpred ½(pred-y)²
 			h[i] = 1
@@ -62,6 +71,14 @@ func (r *Regressor) Fit(x *tensor.Matrix, y []float64) error {
 		r.trees = append(r.trees, tree)
 		for i := range pred {
 			pred[i] += r.P.LearningRate * tree.predictRow(x.Row(i))
+		}
+		if r.Rec != nil {
+			mse := 0.0
+			for i := range y {
+				d := pred[i] - y[i]
+				mse += d * d
+			}
+			r.Rec.TrainStep("gbdt", mse/float64(len(y)), len(y), time.Since(t0))
 		}
 	}
 	return nil
@@ -86,8 +103,11 @@ func (r *Regressor) Predict(x *tensor.Matrix) []float64 {
 type Classifier struct {
 	P          Params
 	NumClasses int
-	base       []float64
-	trees      [][]*Tree // per round, per class (one entry for binary)
+	// Rec, when non-nil, receives per-boosting-round telemetry from Fit
+	// (stage "gbdt"; the recorded loss is the mean log-loss).
+	Rec   *obs.Recorder
+	base  []float64
+	trees [][]*Tree // per round, per class (one entry for binary)
 }
 
 // NewClassifier creates a classifier for numClasses classes.
@@ -130,6 +150,10 @@ func (c *Classifier) Fit(x *tensor.Matrix, labels []int) error {
 		h := make([]float64, n)
 		c.trees = c.trees[:0]
 		for round := 0; round < c.P.NumRounds; round++ {
+			var t0 time.Time
+			if c.Rec != nil {
+				t0 = time.Now()
+			}
 			for i := range logit {
 				s := 1 / (1 + math.Exp(-logit[i]))
 				g[i] = s - float64(labels[i])
@@ -139,6 +163,9 @@ func (c *Classifier) Fit(x *tensor.Matrix, labels []int) error {
 			c.trees = append(c.trees, []*Tree{tree})
 			for i := range logit {
 				logit[i] += c.P.LearningRate * tree.predictRow(x.Row(i))
+			}
+			if c.Rec != nil {
+				c.Rec.TrainStep("gbdt", binaryLogLoss(logit, labels), n, time.Since(t0))
 			}
 		}
 		return nil
@@ -163,6 +190,10 @@ func (c *Classifier) Fit(x *tensor.Matrix, labels []int) error {
 	c.trees = c.trees[:0]
 	probs := make([]float64, k)
 	for round := 0; round < c.P.NumRounds; round++ {
+		var t0 time.Time
+		if c.Rec != nil {
+			t0 = time.Now()
+		}
 		roundTrees := make([]*Tree, k)
 		// Compute softmax once per round, then fit one tree per class.
 		probMat := tensor.New(n, k)
@@ -190,8 +221,37 @@ func (c *Classifier) Fit(x *tensor.Matrix, labels []int) error {
 				lrow[j] += c.P.LearningRate * roundTrees[j].predictRow(row)
 			}
 		}
+		if c.Rec != nil {
+			c.Rec.TrainStep("gbdt", softmaxLogLoss(logits, labels, probs), n, time.Since(t0))
+		}
 	}
 	return nil
+}
+
+// binaryLogLoss is the mean negative log-likelihood of labels under the
+// current logits (telemetry only; never on the no-recorder path).
+func binaryLogLoss(logit []float64, labels []int) float64 {
+	total := 0.0
+	for i, l := range logit {
+		s := 1 / (1 + math.Exp(-l))
+		p := s
+		if labels[i] == 0 {
+			p = 1 - s
+		}
+		total += -math.Log(math.Max(p, 1e-12))
+	}
+	return total / float64(len(logit))
+}
+
+// softmaxLogLoss is the mean multiclass negative log-likelihood; scratch is
+// reused for the per-row softmax.
+func softmaxLogLoss(logits *tensor.Matrix, labels []int, scratch []float64) float64 {
+	total := 0.0
+	for i := 0; i < logits.Rows; i++ {
+		softmaxInto(logits.Row(i), scratch)
+		total += -math.Log(math.Max(scratch[labels[i]], 1e-12))
+	}
+	return total / float64(logits.Rows)
 }
 
 // PredictProba returns the (rows, NumClasses) class-probability matrix.

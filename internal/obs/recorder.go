@@ -1,0 +1,74 @@
+package obs
+
+import "time"
+
+// Recorder bundles a metrics registry and a tracer into the single
+// telemetry sink that instrumented code holds. A nil *Recorder is the
+// default and means "telemetry off": every method (and every span it hands
+// out) guards the nil receiver, so hot paths pay one pointer comparison and
+// nothing else. Instrumented loops should also skip their time.Now calls
+// when the recorder is nil:
+//
+//	var t0 time.Time
+//	if m.Rec != nil {
+//		t0 = time.Now()
+//	}
+//	loss := step()
+//	if m.Rec != nil {
+//		m.Rec.TrainStep("diffusion", loss, batch, time.Since(t0))
+//	}
+type Recorder struct {
+	Reg   *Registry
+	Trace *Tracer
+}
+
+// NewRecorder creates an enabled recorder with a fresh registry and tracer.
+func NewRecorder() *Recorder {
+	return &Recorder{Reg: NewRegistry(), Trace: NewTracer()}
+}
+
+// Enabled reports whether the recorder collects anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// TrainStep records one optimisation step of the named training stage
+// ("ae", "diffusion", "gan", "gbdt", "e2e"): it bumps
+// <stage>_steps_total and <stage>_rows_total, sets the <stage>_loss gauge,
+// and observes the step duration in <stage>_step_seconds — enough to derive
+// loss curves and rows/sec throughput from a snapshot.
+func (r *Recorder) TrainStep(stage string, loss float64, rows int, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.Reg.Counter(stage + "_steps_total").Inc()
+	r.Reg.Counter(stage + "_rows_total").Add(int64(rows))
+	r.Reg.Gauge(stage + "_loss").Set(loss)
+	r.Reg.Histogram(stage + "_step_seconds").Observe(d.Seconds())
+}
+
+// Message records one transport send of the given message kind: it bumps
+// bus_messages_total_<kind> and bus_bytes_total_<kind> and observes the
+// send latency in bus_send_seconds_<kind>.
+func (r *Recorder) Message(kind string, bytes int64, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.Reg.Counter("bus_messages_total_" + kind).Inc()
+	r.Reg.Counter("bus_bytes_total_" + kind).Add(bytes)
+	r.Reg.Histogram("bus_send_seconds_" + kind).Observe(d.Seconds())
+}
+
+// StartSpan opens a trace span (nil span when disabled).
+func (r *Recorder) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.Trace.StartSpan(name)
+}
+
+// Snapshot returns the metric snapshot (zero value when disabled).
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	return r.Reg.Snapshot()
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer collects hierarchical spans and exports them in Chrome trace
+// format, so a training run can be opened directly in chrome://tracing or
+// https://ui.perfetto.dev. Spans are recorded as begin/end ("B"/"E") event
+// pairs in the order they actually happen, which keeps exported timestamps
+// monotonic by construction.
+//
+// The tracer targets coarse, phase-level tracing (ae-train, latent-ship,
+// diffusion-train, synthesis, ...). Parentage is tracked via the stack of
+// currently open spans, so strictly nested use yields an exact hierarchy;
+// concurrent span creation is safe but attributed best-effort.
+type Tracer struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []traceEvent
+	open   []*Span
+	nextID int
+}
+
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds since tracer start
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Span is one timed region. A nil *Span is a valid no-op: every method
+// guards the nil receiver, so span handles from a disabled tracer cost
+// nothing to use.
+type Span struct {
+	tr     *Tracer
+	id     int
+	parent int // span id, -1 for roots
+	name   string
+	start  time.Duration
+	end    time.Duration
+	attrs  map[string]any
+	ended  bool
+}
+
+// NewTracer creates a tracer whose timestamps are relative to now.
+func NewTracer() *Tracer { return &Tracer{start: time.Now()} }
+
+// StartSpan opens a span named name. The caller must End it. Calling on a
+// nil tracer returns a nil (no-op) span.
+func (t *Tracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{tr: t, id: t.nextID, parent: -1, name: name, start: time.Since(t.start)}
+	t.nextID++
+	if n := len(t.open); n > 0 {
+		s.parent = t.open[n-1].id
+	}
+	t.open = append(t.open, s)
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: "silofuse", Phase: "B",
+		TS: float64(s.start) / float64(time.Microsecond), PID: 1, TID: 1,
+	})
+	return s
+}
+
+// Child opens a sub-span of s. On a nil span it returns nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.StartSpan(name)
+}
+
+// SetAttr attaches a key/value attribute to the span; attributes are
+// exported as Chrome trace "args" on the span's end event.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any)
+	}
+	s.attrs[key] = value
+}
+
+// End closes the span. Ending twice (or ending a nil span) is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	s.endLocked()
+}
+
+func (s *Span) endLocked() {
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.end = time.Since(s.tr.start)
+	if s.end < s.start {
+		s.end = s.start
+	}
+	for i, o := range s.tr.open {
+		if o == s {
+			s.tr.open = append(s.tr.open[:i], s.tr.open[i+1:]...)
+			break
+		}
+	}
+	s.tr.events = append(s.tr.events, traceEvent{
+		Name: s.name, Cat: "silofuse", Phase: "E",
+		TS: float64(s.end) / float64(time.Microsecond), PID: 1, TID: 1,
+		Args: s.attrs,
+	})
+}
+
+// SpanInfo is an exported span summary (for run manifests).
+type SpanInfo struct {
+	Name     string         `json:"name"`
+	Parent   string         `json:"parent,omitempty"`
+	StartSec float64        `json:"start_sec"`
+	DurSec   float64        `json:"dur_sec"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
+// chromeTrace is the Chrome trace file envelope (JSON Object Format).
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the collected events as Chrome trace JSON. Spans
+// still open are closed at the current time first (innermost first), so the
+// output always has matched B/E pairs.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	t.mu.Lock()
+	for len(t.open) > 0 {
+		t.open[len(t.open)-1].endLocked()
+	}
+	out := chromeTrace{TraceEvents: append([]traceEvent(nil), t.events...), DisplayTimeUnit: "ms"}
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Spans lists every ended span in start order, reconstructed from the B/E
+// event log. Spans still open are excluded; call after the traced work
+// finishes (or after WriteChromeTrace, which closes stragglers).
+func (t *Tracer) Spans() []SpanInfo {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SpanInfo
+	var stack []int // indexes into out of currently open spans
+	ended := make([]bool, 0)
+	for _, ev := range t.events {
+		switch ev.Phase {
+		case "B":
+			info := SpanInfo{Name: ev.Name, StartSec: ev.TS / 1e6}
+			if len(stack) > 0 {
+				info.Parent = out[stack[len(stack)-1]].Name
+			}
+			out = append(out, info)
+			ended = append(ended, false)
+			stack = append(stack, len(out)-1)
+		case "E":
+			if len(stack) == 0 {
+				continue
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			out[top].DurSec = ev.TS/1e6 - out[top].StartSec
+			out[top].Attrs = ev.Args
+			ended[top] = true
+		}
+	}
+	res := make([]SpanInfo, 0, len(out))
+	for i, s := range out {
+		if ended[i] {
+			res = append(res, s)
+		}
+	}
+	return res
+}

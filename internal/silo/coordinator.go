@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"silofuse/internal/diffusion"
+	"silofuse/internal/obs"
 	"silofuse/internal/tensor"
 )
 
@@ -17,7 +18,10 @@ type Coordinator struct {
 	Model *diffusion.Model
 	// DisableWhitening skips latent standardisation (ablation switch).
 	DisableWhitening bool
-	rng              *rand.Rand
+	// Rec, when non-nil, is forwarded to the diffusion model when it is
+	// built, so per-step training telemetry flows to the same recorder.
+	Rec *obs.Recorder
+	rng *rand.Rand
 
 	latents     []*tensor.Matrix // received per client, in client order
 	latentDims  []int
@@ -82,6 +86,7 @@ func (c *Coordinator) TrainDiffusion(z *tensor.Matrix, cfg diffusion.ModelConfig
 	if c.Model == nil {
 		c.Model = diffusion.NewModel(c.rng, cfg)
 	}
+	c.Model.Rec = c.Rec
 	return c.Model.Train(zw, iters, batch)
 }
 

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"silofuse/internal/diffusion"
 	"silofuse/internal/nn"
+	"silofuse/internal/obs"
 	"silofuse/internal/tabular"
 	"silofuse/internal/tensor"
 )
@@ -29,11 +31,27 @@ type E2EPipeline struct {
 	Clients []*Client
 	Coord   *Coordinator
 	Cfg     PipelineConfig
+	// Rec, when non-nil, receives the e2e-train phase span, per-iteration
+	// loss/throughput telemetry (stage "e2e") and bus message telemetry.
+	Rec *obs.Recorder
 
 	gauss *diffusion.Gaussian
 	net   *nn.DiffusionMLP
 	opt   *nn.Adam
 	rng   *rand.Rand
+}
+
+// SetRecorder threads rec through the joint pipeline and its transport, the
+// E2E counterpart of Pipeline.SetRecorder.
+func (p *E2EPipeline) SetRecorder(rec *obs.Recorder) {
+	p.Rec = rec
+	for _, c := range p.Clients {
+		c.AE.Rec = rec
+	}
+	p.Coord.Rec = rec
+	if rs, ok := p.Bus.(RecorderSetter); ok {
+		rs.SetRecorder(rec)
+	}
 }
 
 // NewE2EPipeline partitions data and constructs the joint model. The
@@ -77,6 +95,10 @@ func (p *E2EPipeline) Train(iters int) (float64, error) {
 		batch = rows
 	}
 	batchRng := rand.New(rand.NewSource(p.Cfg.Seed + 555)) // shared batch seed
+	span := p.Rec.StartSpan("e2e-train")
+	span.SetAttr("clients", len(p.Clients))
+	span.SetAttr("iters", iters)
+	defer span.End()
 	tail := iters - iters/10
 	var tailLoss float64
 	var tailCount int
@@ -85,9 +107,16 @@ func (p *E2EPipeline) Train(iters int) (float64, error) {
 		for i := range idx {
 			idx[i] = batchRng.Intn(rows)
 		}
+		var t0 time.Time
+		if p.Rec != nil {
+			t0 = time.Now()
+		}
 		loss, err := p.trainStep(idx)
 		if err != nil {
 			return 0, err
+		}
+		if p.Rec != nil {
+			p.Rec.TrainStep("e2e", loss, batch, time.Since(t0))
 		}
 		if it >= tail {
 			tailLoss += loss
@@ -97,6 +126,7 @@ func (p *E2EPipeline) Train(iters int) (float64, error) {
 	if tailCount == 0 {
 		return 0, nil
 	}
+	span.SetAttr("loss", tailLoss/float64(tailCount))
 	return tailLoss / float64(tailCount), nil
 }
 
@@ -242,6 +272,10 @@ func clientIndex(id string) int {
 // noise, partitions are distributed, and clients decode — the same
 // Algorithm 2 flow as stacked synthesis.
 func (p *E2EPipeline) Synthesize(n int, sample bool) (*tabular.Table, error) {
+	span := p.Rec.StartSpan("synthesis")
+	span.SetAttr("rows", n)
+	span.SetAttr("steps", p.Cfg.SynthSteps)
+	defer span.End()
 	z := p.gauss.Sample(p.rng, netPredictor{p.net}, n, p.net.In, p.Cfg.SynthSteps, 0)
 	parts, err := p.Coord.splitLatents(z)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"silofuse/internal/autoencoder"
 	"silofuse/internal/diffusion"
+	"silofuse/internal/obs"
 	"silofuse/internal/tabular"
 )
 
@@ -41,6 +42,24 @@ type Pipeline struct {
 	Clients []*Client
 	Coord   *Coordinator
 	Cfg     PipelineConfig
+	// Rec, when non-nil, receives phase spans and per-step telemetry from
+	// every actor in the pipeline. Set it with SetRecorder.
+	Rec *obs.Recorder
+}
+
+// SetRecorder threads rec through the pipeline: phase spans on the pipeline
+// itself, per-step telemetry on every client autoencoder and the
+// coordinator's diffusion model, and per-message telemetry on the bus when
+// the transport supports it. A nil rec switches everything off.
+func (p *Pipeline) SetRecorder(rec *obs.Recorder) {
+	p.Rec = rec
+	for _, c := range p.Clients {
+		c.AE.Rec = rec
+	}
+	p.Coord.Rec = rec
+	if rs, ok := p.Bus.(RecorderSetter); ok {
+		rs.SetRecorder(rec)
+	}
 }
 
 // NewPipeline vertically partitions data across cfg.Clients silos and
@@ -88,6 +107,9 @@ func maxInt(a, b int) int {
 // training. It returns the mean tail losses of both phases.
 func (p *Pipeline) TrainStacked() (aeLoss, diffLoss float64, err error) {
 	// Step 1: local autoencoder training, clients in parallel.
+	span := p.Rec.StartSpan("ae-train")
+	span.SetAttr("clients", len(p.Clients))
+	span.SetAttr("iters", p.Cfg.AEIters)
 	losses := make([]float64, len(p.Clients))
 	var wg sync.WaitGroup
 	for i, c := range p.Clients {
@@ -102,8 +124,11 @@ func (p *Pipeline) TrainStacked() (aeLoss, diffLoss float64, err error) {
 		aeLoss += l
 	}
 	aeLoss /= float64(len(losses))
+	span.SetAttr("loss", aeLoss)
+	span.End()
 
 	// Step 2: single latent upload per client (the one communication round).
+	ship := p.Rec.StartSpan("latent-ship")
 	errs := make([]error, len(p.Clients))
 	for i, c := range p.Clients {
 		wg.Add(1)
@@ -115,16 +140,25 @@ func (p *Pipeline) TrainStacked() (aeLoss, diffLoss float64, err error) {
 	wg.Wait()
 	for _, e := range errs {
 		if e != nil {
+			ship.End()
 			return 0, 0, e
 		}
 	}
 	z, err := p.Coord.CollectLatents(p.Bus)
 	if err != nil {
+		ship.End()
 		return 0, 0, err
 	}
+	ship.SetAttr("rows", z.Rows)
+	ship.SetAttr("width", z.Cols)
+	ship.End()
 
 	// Step 3: coordinator-local diffusion training.
+	dspan := p.Rec.StartSpan("diffusion-train")
+	dspan.SetAttr("iters", p.Cfg.DiffIters)
 	diffLoss = p.Coord.TrainDiffusion(z, p.Cfg.Diff, p.Cfg.DiffIters, p.Cfg.Batch)
+	dspan.SetAttr("loss", diffLoss)
+	dspan.End()
 	return aeLoss, diffLoss, nil
 }
 
@@ -136,6 +170,10 @@ func (p *Pipeline) SynthesizePartitioned(requester int, n int, sample bool) ([]*
 	if requester < 0 || requester >= len(p.Clients) {
 		return nil, fmt.Errorf("silo: invalid requesting client %d", requester)
 	}
+	span := p.Rec.StartSpan("synthesis")
+	span.SetAttr("rows", n)
+	span.SetAttr("steps", p.Cfg.SynthSteps)
+	defer span.End()
 	// Request message (control only).
 	req := &Envelope{From: p.Clients[requester].ID, To: p.Coord.ID, Kind: KindSynthReq}
 	if err := p.Bus.Send(req); err != nil {

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"silofuse/internal/obs"
 	"silofuse/internal/tensor"
 )
 
@@ -53,6 +55,16 @@ func (w countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// hubPeer is one connected client as seen from the hub. sendMu serialises
+// encodes on the shared gob stream so the byte delta observed around an
+// Encode can be attributed to that message's kind.
+type hubPeer struct {
+	conn   net.Conn
+	enc    *gob.Encoder
+	sendMu sync.Mutex
+	sent   int64 // bytes written to this peer; guarded by the hub mutex
+}
+
 // TCPHub is the coordinator-side transport: it listens for client
 // connections and routes envelopes between parties. Envelopes addressed to
 // the hub's own name land in its local inbox; everything else is forwarded
@@ -62,10 +74,10 @@ type TCPHub struct {
 
 	ln    net.Listener
 	mu    sync.Mutex
-	peers map[string]*gob.Encoder
-	conns map[string]net.Conn
+	peers map[string]*hubPeer
 	inbox chan *Envelope
 	stats Stats
+	rec   *obs.Recorder
 	wg    sync.WaitGroup
 }
 
@@ -78,15 +90,17 @@ func NewTCPHub(name, addr string) (*TCPHub, error) {
 	h := &TCPHub{
 		Name:  name,
 		ln:    ln,
-		peers: make(map[string]*gob.Encoder),
-		conns: make(map[string]net.Conn),
+		peers: make(map[string]*hubPeer),
 		inbox: make(chan *Envelope, 1024),
-		stats: Stats{BytesByDir: make(map[string]int64)},
+		stats: Stats{BytesByDir: make(map[string]int64), ByKind: make(map[Kind]int64)},
 	}
 	h.wg.Add(1)
 	go h.acceptLoop()
 	return h, nil
 }
+
+// SetRecorder implements RecorderSetter.
+func (h *TCPHub) SetRecorder(rec *obs.Recorder) { h.rec = rec }
 
 // Addr returns the hub's listen address.
 func (h *TCPHub) Addr() string { return h.ln.Addr().String() }
@@ -112,11 +126,10 @@ func (h *TCPHub) serveConn(conn net.Conn) {
 		return
 	}
 	name := hello.From
-	var dummy int64
-	enc := gob.NewEncoder(countingWriter{c: conn, n: &dummy, mu: &h.mu, total: &h.stats, dir: h.Name + "->" + name})
+	pc := &hubPeer{conn: conn}
+	pc.enc = gob.NewEncoder(countingWriter{c: conn, n: &pc.sent, mu: &h.mu, total: &h.stats, dir: h.Name + "->" + name})
 	h.mu.Lock()
-	h.peers[name] = enc
-	h.conns[name] = conn
+	h.peers[name] = pc
 	h.mu.Unlock()
 	for {
 		var w wireEnvelope
@@ -130,28 +143,70 @@ func (h *TCPHub) serveConn(conn net.Conn) {
 			h.inbox <- e
 			continue
 		}
-		h.mu.Lock()
-		dst := h.peers[e.To]
-		h.mu.Unlock()
-		if dst != nil {
-			_ = dst.Encode(w)
+		if dst := h.waitPeer(e.To); dst != nil {
+			_ = h.sendWire(dst, w)
 		}
 	}
+}
+
+// waitPeer returns the destination's connection, waiting briefly for its
+// hello to be processed: peers dial concurrently, so a forwarded message can
+// otherwise race the recipient's registration and be dropped.
+func (h *TCPHub) waitPeer(name string) *hubPeer {
+	for i := 0; i < 1000; i++ {
+		h.mu.Lock()
+		pc := h.peers[name]
+		h.mu.Unlock()
+		if pc != nil {
+			return pc
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil
+}
+
+// sendWire encodes w to pc, attributing the measured byte delta to the
+// message kind. The per-peer sendMu keeps delta attribution exact when
+// several goroutines send to the same peer.
+func (h *TCPHub) sendWire(pc *hubPeer, w wireEnvelope) error {
+	var t0 time.Time
+	if h.rec != nil {
+		t0 = time.Now()
+	}
+	pc.sendMu.Lock()
+	h.mu.Lock()
+	before := pc.sent
+	h.mu.Unlock()
+	err := pc.enc.Encode(w)
+	h.mu.Lock()
+	delta := pc.sent - before
+	h.stats.Messages++
+	h.stats.ByKind[w.Kind] += delta
+	h.mu.Unlock()
+	pc.sendMu.Unlock()
+	if h.rec != nil {
+		h.rec.Message(string(w.Kind), delta, time.Since(t0))
+	}
+	return err
 }
 
 // Send implements Bus for the hub side.
 func (h *TCPHub) Send(e *Envelope) error {
 	if e.To == h.Name {
+		h.mu.Lock()
+		h.stats.Messages++
+		h.mu.Unlock()
+		if h.rec != nil {
+			h.rec.Message(string(e.Kind), 0, 0) // local delivery, no wire bytes
+		}
 		h.inbox <- e
 		return nil
 	}
-	h.mu.Lock()
-	dst, ok := h.peers[e.To]
-	h.mu.Unlock()
-	if !ok {
+	dst := h.waitPeer(e.To)
+	if dst == nil {
 		return fmt.Errorf("silo: hub has no peer %q", e.To)
 	}
-	return dst.Encode(toWire(e))
+	return h.sendWire(dst, toWire(e))
 }
 
 // Recv implements Bus for the hub side.
@@ -170,19 +225,15 @@ func (h *TCPHub) Recv(to string) (*Envelope, error) {
 func (h *TCPHub) Stats() Stats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	out := Stats{Messages: h.stats.Messages, Bytes: h.stats.Bytes, BytesByDir: make(map[string]int64)}
-	for k, v := range h.stats.BytesByDir {
-		out.BytesByDir[k] = v
-	}
-	return out
+	return copyStats(h.stats)
 }
 
 // Close shuts the hub down.
 func (h *TCPHub) Close() error {
 	err := h.ln.Close()
 	h.mu.Lock()
-	for _, c := range h.conns {
-		c.Close()
+	for _, pc := range h.peers {
+		pc.conn.Close()
 	}
 	h.mu.Unlock()
 	return err
@@ -192,12 +243,14 @@ func (h *TCPHub) Close() error {
 type TCPPeer struct {
 	Name string
 
-	conn  net.Conn
-	enc   *gob.Encoder
-	dec   *gob.Decoder
-	mu    sync.Mutex
-	stats Stats
-	sent  int64
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	mu     sync.Mutex
+	sendMu sync.Mutex
+	stats  Stats
+	rec    *obs.Recorder
+	sent   int64
 }
 
 // DialHub connects to a hub and announces the peer's name.
@@ -206,7 +259,7 @@ func DialHub(name, addr string) (*TCPPeer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("silo: dial hub: %w", err)
 	}
-	p := &TCPPeer{Name: name, conn: conn, stats: Stats{BytesByDir: make(map[string]int64)}}
+	p := &TCPPeer{Name: name, conn: conn, stats: Stats{BytesByDir: make(map[string]int64), ByKind: make(map[Kind]int64)}}
 	p.enc = gob.NewEncoder(countingWriter{c: conn, n: &p.sent, mu: &p.mu, total: &p.stats, dir: name + "->hub"})
 	p.dec = gob.NewDecoder(conn)
 	if err := p.enc.Encode(wireEnvelope{From: name, Kind: "hello"}); err != nil {
@@ -216,12 +269,31 @@ func DialHub(name, addr string) (*TCPPeer, error) {
 	return p, nil
 }
 
+// SetRecorder implements RecorderSetter.
+func (p *TCPPeer) SetRecorder(rec *obs.Recorder) { p.rec = rec }
+
 // Send implements Bus (all traffic is routed via the hub).
 func (p *TCPPeer) Send(e *Envelope) error {
+	w := toWire(e)
+	var t0 time.Time
+	if p.rec != nil {
+		t0 = time.Now()
+	}
+	p.sendMu.Lock()
 	p.mu.Lock()
-	p.stats.Messages++
+	before := p.sent
 	p.mu.Unlock()
-	return p.enc.Encode(toWire(e))
+	err := p.enc.Encode(w)
+	p.mu.Lock()
+	delta := p.sent - before
+	p.stats.Messages++
+	p.stats.ByKind[w.Kind] += delta
+	p.mu.Unlock()
+	p.sendMu.Unlock()
+	if p.rec != nil {
+		p.rec.Message(string(w.Kind), delta, time.Since(t0))
+	}
+	return err
 }
 
 // Recv implements Bus; only the peer's own inbox is reachable.
@@ -240,11 +312,7 @@ func (p *TCPPeer) Recv(to string) (*Envelope, error) {
 func (p *TCPPeer) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := Stats{Messages: p.stats.Messages, Bytes: p.stats.Bytes, BytesByDir: make(map[string]int64)}
-	for k, v := range p.stats.BytesByDir {
-		out.BytesByDir[k] = v
-	}
-	return out
+	return copyStats(p.stats)
 }
 
 // Close closes the connection.

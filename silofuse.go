@@ -22,7 +22,9 @@ import (
 	"silofuse/internal/core"
 	"silofuse/internal/datagen"
 	"silofuse/internal/diffusion"
+	"silofuse/internal/experiments"
 	"silofuse/internal/metrics"
+	"silofuse/internal/obs"
 	"silofuse/internal/privacy"
 	"silofuse/internal/silo"
 	"silofuse/internal/tabular"
@@ -238,3 +240,35 @@ var DialHub = silo.DialHub
 // NewVFLClassifier builds a split-learning classifier over feature
 // partitions.
 var NewVFLClassifier = silo.NewVFLClassifier
+
+// Observability: pure-stdlib metrics, trace spans, and run manifests. Attach
+// a Recorder via Options.Recorder (or Pipeline.SetRecorder) to collect
+// per-step training telemetry, per-kind transport counters and phase spans;
+// a nil Recorder disables everything at near-zero cost.
+type (
+	// Recorder bundles a metrics registry and a tracer; nil-safe throughout.
+	Recorder = obs.Recorder
+	// MetricsRegistry holds named counters, gauges and histograms.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// Tracer records hierarchical spans exportable as Chrome trace JSON.
+	Tracer = obs.Tracer
+	// TraceSpan is one span handle; nil-safe for disabled tracing.
+	TraceSpan = obs.Span
+	// RunManifest is the machine-readable per-run record
+	// (results/<run>/manifest.json).
+	RunManifest = experiments.Manifest
+)
+
+// NewRecorder builds an enabled Recorder with a fresh registry and tracer.
+var NewRecorder = obs.NewRecorder
+
+// NewMetricsRegistry builds an empty metrics registry.
+var NewMetricsRegistry = obs.NewRegistry
+
+// NewTracer builds an empty tracer.
+var NewTracer = obs.NewTracer
+
+// NewRunManifest starts a run manifest.
+var NewRunManifest = experiments.NewManifest
