@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race ci bench
+.PHONY: build vet test race ci bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,15 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./internal/silo/... ./internal/obs/...
 
+# bench-smoke runs a tiny end-to-end bench invocation and validates the perf
+# snapshot it writes, so CI catches a broken bench pipeline without paying for
+# a full benchmark run.
+bench-smoke:
+	$(GO) run ./cmd/silofuse-bench -exp fig10 -datasets abalone -rows 300 -scale fast -bench-json /tmp/BENCH_silofuse_smoke.json
+	$(GO) run ./cmd/silofuse-bench -check-bench /tmp/BENCH_silofuse_smoke.json
+
 ci:
-	$(GO) vet ./... && $(GO) build ./... && $(GO) test ./... && $(GO) test -race -timeout 30m ./internal/silo/... ./internal/obs/...
+	$(GO) vet ./... && $(GO) build ./... && $(GO) test ./... && $(GO) test -race -timeout 30m ./internal/silo/... ./internal/obs/... && $(MAKE) bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -37,8 +37,22 @@ func main() {
 	utilCols := flag.Int("util-cols", 0, "cap on utility target columns (0 = all)")
 	tracePath := flag.String("trace", "", "write a Chrome-trace JSON covering every model fitted")
 	metricsFlag := flag.Bool("metrics", false, "print the metrics text exposition to stderr at the end")
-	runName := flag.String("run", "", "write results/<run>/manifest.json for the whole invocation")
+	runName := flag.String("run", "", "write results/<run>/manifest.json for the whole invocation, and stream results/<run>/events.jsonl")
+	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof) on this address during the run")
+	benchJSON := flag.String("bench-json", "BENCH_silofuse.json", "write a perf snapshot (phases, rows/sec, bytes by kind) to this path; empty disables")
+	checkBench := flag.String("check-bench", "", "validate an existing bench snapshot and exit (CI smoke check)")
 	flag.Parse()
+
+	if *checkBench != "" {
+		snap, err := experiments.ReadBenchSnapshot(*checkBench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s ok: exp=%s scale=%s wall=%.2fs phases=%d stages=%d\n",
+			*checkBench, snap.Exp, snap.Scale, snap.WallSeconds, len(snap.Phases), len(snap.StepSeconds))
+		return
+	}
 
 	var cfg experiments.Config
 	switch *scale {
@@ -78,22 +92,62 @@ func main() {
 		cfg.UtilCfg.MaxColumns = *utilCols
 	}
 	var rec *silofuse.Recorder
-	if *tracePath != "" || *metricsFlag || *runName != "" {
+	if *tracePath != "" || *metricsFlag || *runName != "" || *listen != "" || *benchJSON != "" {
 		rec = silofuse.NewRecorder()
 		cfg.Opts.Recorder = rec
+	}
+	if *runName != "" {
+		ew, err := silofuse.OpenEventLog(filepath.Join("results", *runName, "events.jsonl"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer ew.Close()
+		rec.SetEvents(ew)
+		ew.Emit("run-start", map[string]any{"run": *runName, "exp": *exp, "scale": *scale, "seed": cfg.Seed})
+	}
+	if *listen != "" {
+		srv, err := silofuse.StartTelemetry(*listen, silofuse.TelemetryConfig{
+			Rec:     rec,
+			RunsDir: "results",
+			Health: func() map[string]any {
+				return map[string]any{"binary": "silofuse-bench", "exp": *exp, "scale": *scale}
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry listening on http://%s (/metrics /healthz /runs /debug/pprof)\n", srv.Addr())
 	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = []string{"table2", "quality", "table5", "table6", "table7", "fig10", "fig11"}
 	}
+	wallStart := time.Now()
 	for _, id := range ids {
 		start := time.Now()
 		if err := run(id, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("\n[%s done in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("\n[%s done in %s]\n\n", id, elapsed.Round(time.Millisecond))
+		if rec != nil {
+			rec.Events.Emit("experiment", map[string]any{"exp": id, "dur_sec": elapsed.Seconds()})
+		}
+	}
+	if *benchJSON != "" {
+		snap := experiments.NewBenchSnapshot(*exp, *scale)
+		snap.WallSeconds = time.Since(wallStart).Seconds()
+		snap.FromRecorder(rec)
+		if err := snap.Write(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote bench snapshot %s\n", *benchJSON)
 	}
 	if err := writeTelemetry(rec, *tracePath, *metricsFlag, *runName, *exp, cfg.Seed); err != nil {
 		fmt.Fprintln(os.Stderr, err)

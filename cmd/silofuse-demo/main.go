@@ -5,65 +5,148 @@
 // SiloFuse's single communication round is a property of the protocol, not
 // of an in-process simulation.
 //
+// With telemetry enabled the demo is also the distributed-observability
+// showcase: every party (the coordinator and each silo) records on its own
+// trace lane, message envelopes carry trace context across the sockets, and
+// -trace merges everything into one Chrome-trace JSON whose process lanes
+// share a single timeline with send→recv flow arrows between them.
+//
 // Usage:
 //
 //	silofuse-demo -dataset loan -clients 3 -rows 600
+//	silofuse-demo -clients 3 -trace demo.json -run demo -listen 127.0.0.1:8080
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"silofuse"
 )
 
+// config collects the parsed CLI flags.
+type config struct {
+	dataset            string
+	clients            int
+	rows, synth, iters int
+	tracePath          string
+	metrics            bool
+	runName            string
+	listen             string
+}
+
 func main() {
-	dataset := flag.String("dataset", "loan", "benchmark dataset name")
-	clients := flag.Int("clients", 3, "number of client silos")
-	rows := flag.Int("rows", 600, "training rows")
-	synth := flag.Int("synth", 100, "synthetic rows to generate")
-	iters := flag.Int("iters", 300, "training iterations per phase")
+	var c config
+	flag.StringVar(&c.dataset, "dataset", "loan", "benchmark dataset name")
+	flag.IntVar(&c.clients, "clients", 3, "number of client silos")
+	flag.IntVar(&c.rows, "rows", 600, "training rows")
+	flag.IntVar(&c.synth, "synth", 100, "synthetic rows to generate")
+	flag.IntVar(&c.iters, "iters", 300, "training iterations per phase")
+	flag.StringVar(&c.tracePath, "trace", "", "write a merged Chrome-trace JSON (one process lane per party) to this path")
+	flag.BoolVar(&c.metrics, "metrics", false, "print the Prometheus text exposition to stderr after the run")
+	flag.StringVar(&c.runName, "run", "", "write results/<run>/manifest.json and stream results/<run>/events.jsonl")
+	flag.StringVar(&c.listen, "listen", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof) on this address during the run")
 	flag.Parse()
 
-	if err := run(*dataset, *clients, *rows, *synth, *iters); err != nil {
+	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, clients, rows, synthRows, iters int) error {
-	spec, err := silofuse.DatasetByName(dataset)
+func run(c config) error {
+	spec, err := silofuse.DatasetByName(c.dataset)
 	if err != nil {
 		return err
 	}
-	train := spec.Generate(rows, 1)
+	train := spec.Generate(c.rows, 1)
+
+	// One recorder per party over a shared registry: metrics aggregate under
+	// their canonical names while each party keeps a private trace lane.
+	var coordRec *silofuse.Recorder
+	var clientRecs []*silofuse.Recorder
+	telemetry := c.tracePath != "" || c.metrics || c.runName != "" || c.listen != ""
+	if telemetry {
+		reg := silofuse.NewMetricsRegistry()
+		coordRec = silofuse.NewPartyRecorder(reg, 1, "coord")
+		clientRecs = make([]*silofuse.Recorder, c.clients)
+		for i := range clientRecs {
+			clientRecs[i] = silofuse.NewPartyRecorder(reg, 2+i, fmt.Sprintf("c%d", i))
+		}
+	}
+	if c.runName != "" {
+		ew, err := silofuse.OpenEventLog(filepath.Join("results", c.runName, "events.jsonl"))
+		if err != nil {
+			return err
+		}
+		defer ew.Close()
+		// All parties stream into the same events.jsonl; the writer
+		// serialises concurrent emits.
+		coordRec.SetEvents(ew)
+		for _, r := range clientRecs {
+			r.SetEvents(ew)
+		}
+		ew.Emit("run-start", map[string]any{
+			"run": c.runName, "dataset": c.dataset, "clients": c.clients, "rows": c.rows,
+		})
+	}
 
 	hub, err := silofuse.NewTCPHub("coord", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
 	defer hub.Close()
+	hub.SetRecorder(coordRec)
 	fmt.Printf("coordinator hub listening on %s\n", hub.Addr())
 
-	peers := make(map[string]*silofuse.TCPPeer, clients)
-	for i := 0; i < clients; i++ {
+	peers := make(map[string]*silofuse.TCPPeer, c.clients)
+	for i := 0; i < c.clients; i++ {
 		name := fmt.Sprintf("c%d", i)
 		p, err := silofuse.DialHub(name, hub.Addr())
 		if err != nil {
 			return err
 		}
 		defer p.Close()
+		if clientRecs != nil {
+			p.SetRecorder(clientRecs[i])
+		}
 		peers[name] = p
 		fmt.Printf("client %s connected\n", name)
 	}
 
+	if c.listen != "" {
+		srv, err := silofuse.StartTelemetry(c.listen, silofuse.TelemetryConfig{
+			Rec:     coordRec,
+			RunsDir: "results",
+			Health: func() map[string]any {
+				st := hub.Stats()
+				peerInfo := make(map[string]any, c.clients)
+				for _, name := range hub.Peers() {
+					peerInfo[name] = map[string]any{
+						"connected":     true,
+						"bytes_to_peer": st.BytesByDir["coord->"+name],
+					}
+				}
+				return map[string]any{"binary": "silofuse-demo", "peers": peerInfo}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry listening on http://%s (/metrics /healthz /runs /debug/pprof)\n", srv.Addr())
+	}
+
 	bus := &routedBus{hub: hub, peers: peers}
 	opts := silofuse.FastOptions()
-	opts.AEIters = iters
-	opts.DiffIters = iters
+	opts.AEIters = c.iters
+	opts.DiffIters = c.iters
 	cfg := silofuse.PipelineConfig{
-		Clients: clients,
+		Clients: c.clients,
 		AE:      silofuse.AutoencoderConfig{Hidden: opts.AEHidden, Embed: opts.AEEmbed, LR: opts.LR},
 		Diff: silofuse.DiffusionConfig{
 			Hidden: opts.DiffHidden, Depth: opts.DiffDepth, TimeDim: opts.DiffTimeDim,
@@ -79,6 +162,11 @@ func run(dataset string, clients, rows, synthRows, iters int) error {
 	if err != nil {
 		return err
 	}
+	if telemetry {
+		if err := pipe.SetPartyRecorders(coordRec, clientRecs); err != nil {
+			return err
+		}
+	}
 
 	fmt.Printf("\n== Algorithm 1: stacked training (%d AE iters, %d DDPM iters) ==\n", cfg.AEIters, cfg.DiffIters)
 	aeLoss, diffLoss, err := pipe.TrainStacked()
@@ -88,8 +176,8 @@ func run(dataset string, clients, rows, synthRows, iters int) error {
 	fmt.Printf("autoencoder NLL %.4f, diffusion MSE %.4f\n", aeLoss, diffLoss)
 	fmt.Printf("wire bytes after training: %d (one latent upload per client)\n", totalBytes(hub, peers))
 
-	fmt.Printf("\n== Algorithm 2: distributed synthesis (%d rows) ==\n", synthRows)
-	parts, err := pipe.SynthesizePartitioned(0, synthRows, true)
+	fmt.Printf("\n== Algorithm 2: distributed synthesis (%d rows) ==\n", c.synth)
+	parts, err := pipe.SynthesizePartitioned(0, c.synth, true)
 	if err != nil {
 		return err
 	}
@@ -107,6 +195,70 @@ func run(dataset string, clients, rows, synthRows, iters int) error {
 		return err
 	}
 	fmt.Printf("\njoined synthetic resemblance: %.1f/100\n", rep.Score)
+	return writeTelemetry(c, hub, peers, coordRec, clientRecs, rep.Score)
+}
+
+// writeTelemetry emits the merged trace, metrics exposition and run manifest
+// once the protocol has finished.
+func writeTelemetry(c config, hub *silofuse.TCPHub, peers map[string]*silofuse.TCPPeer,
+	coordRec *silofuse.Recorder, clientRecs []*silofuse.Recorder, resemblance float64) error {
+	if coordRec == nil {
+		return nil
+	}
+	if c.tracePath != "" {
+		// Each party exports its own Chrome trace (as separate processes
+		// would); the merge aligns them onto one timeline with a process
+		// lane per party, stitched by the envelope flow ids.
+		var docs []io.Reader
+		for _, r := range append([]*silofuse.Recorder{coordRec}, clientRecs...) {
+			var buf bytes.Buffer
+			if err := r.Trace.WriteChromeTrace(&buf); err != nil {
+				return err
+			}
+			docs = append(docs, &buf)
+		}
+		f, err := os.Create(c.tracePath)
+		if err != nil {
+			return err
+		}
+		if err := silofuse.MergeChromeTraces(f, docs...); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote merged trace %s (%d process lanes)\n", c.tracePath, 1+len(clientRecs))
+	}
+	if c.metrics {
+		if err := silofuse.WritePrometheus(os.Stderr, coordRec.Snapshot()); err != nil {
+			return err
+		}
+	}
+	if c.runName != "" {
+		man := silofuse.NewRunManifest(c.runName, 1)
+		man.Config["dataset"] = c.dataset
+		man.Config["clients"] = c.clients
+		man.Config["train_rows"] = c.rows
+		man.Config["synth_rows"] = c.synth
+		man.Config["iters"] = c.iters
+		man.Config["transport"] = "tcp"
+		man.FinalMetrics["resemblance"] = resemblance
+		// The registry is shared across parties, so one recorder carries the
+		// complete metric snapshot and wire counters; per-link byte
+		// breakdowns come from each endpoint's own measured stats.
+		man.FromRecorder(coordRec)
+		man.FromStats(hub.Stats())
+		for _, p := range peers {
+			man.FromStats(p.Stats())
+		}
+		dir := filepath.Join("results", c.runName)
+		if err := man.Write(dir); err != nil {
+			return err
+		}
+		fmt.Printf("wrote manifest %s\n", filepath.Join(dir, "manifest.json"))
+		coordRec.Events.Emit("run-end", map[string]any{"run": c.runName, "resemblance": resemblance})
+	}
 	return nil
 }
 

@@ -33,6 +33,7 @@ type config struct {
 	tracePath          string
 	metrics            bool
 	runName            string
+	listen             string
 }
 
 func main() {
@@ -51,7 +52,8 @@ func main() {
 	flag.StringVar(&c.loadModel, "load", "", "restore model state from this path instead of training (silofuse only)")
 	flag.StringVar(&c.tracePath, "trace", "", "write a Chrome-trace JSON of the run to this path")
 	flag.BoolVar(&c.metrics, "metrics", false, "print the metrics text exposition to stderr after the run")
-	flag.StringVar(&c.runName, "run", "", "write results/<run>/manifest.json with config, phases and wire stats")
+	flag.StringVar(&c.runName, "run", "", "write results/<run>/manifest.json with config, phases and wire stats, and stream results/<run>/events.jsonl")
+	flag.StringVar(&c.listen, "listen", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof) on this address during the run")
 	flag.Parse()
 
 	if err := run(c); err != nil {
@@ -92,9 +94,35 @@ func run(c config) error {
 		opts.GANIters = c.iters
 	}
 	var rec *silofuse.Recorder
-	if c.tracePath != "" || c.metrics || c.runName != "" {
+	if c.tracePath != "" || c.metrics || c.runName != "" || c.listen != "" {
 		rec = silofuse.NewRecorder()
 		opts.Recorder = rec
+	}
+	if c.runName != "" {
+		ew, err := silofuse.OpenEventLog(filepath.Join("results", c.runName, "events.jsonl"))
+		if err != nil {
+			return err
+		}
+		defer ew.Close()
+		rec.SetEvents(ew)
+		ew.Emit("run-start", map[string]any{
+			"run": c.runName, "dataset": c.dataset, "model": c.model,
+			"clients": c.clients, "seed": c.seed,
+		})
+	}
+	if c.listen != "" {
+		srv, err := silofuse.StartTelemetry(c.listen, silofuse.TelemetryConfig{
+			Rec:     rec,
+			RunsDir: "results",
+			Health: func() map[string]any {
+				return map[string]any{"binary": "silofuse-train", "dataset": c.dataset, "model": c.model}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry listening on http://%s (/metrics /healthz /runs /debug/pprof)\n", srv.Addr())
 	}
 	m, err := silofuse.NewSynthesizer(c.model, opts)
 	if err != nil {
@@ -222,6 +250,13 @@ func writeTelemetry(c config, m silofuse.Synthesizer, rec *silofuse.Recorder, fi
 			return err
 		}
 		fmt.Printf("wrote manifest %s\n", filepath.Join(dir, "manifest.json"))
+	}
+	if rec.Events != nil {
+		fields := map[string]any{"run": c.runName}
+		for k, v := range final {
+			fields[k] = v
+		}
+		rec.Events.Emit("run-end", fields)
 	}
 	return nil
 }

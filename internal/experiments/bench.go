@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"silofuse/internal/obs"
+)
+
+// BenchSnapshot is the perf record silofuse-bench writes (by default to
+// BENCH_silofuse.json): phase durations, per-stage training throughput and
+// step-latency quantiles, and wire traffic by message kind, stamped with the
+// runtime it ran on. Committed snapshots accumulate the repository's perf
+// trajectory across changes; ReadBenchSnapshot validates the schema so CI
+// can smoke-test that a fresh bench run produced a sane file.
+type BenchSnapshot struct {
+	CreatedAt       time.Time                     `json:"created_at"`
+	Exp             string                        `json:"exp"`
+	Scale           string                        `json:"scale"`
+	Runtime         RuntimeInfo                   `json:"runtime"`
+	WallSeconds     float64                       `json:"wall_seconds"`
+	Phases          []PhaseSummary                `json:"phases,omitempty"`
+	RowsPerSec      map[string]float64            `json:"rows_per_sec,omitempty"`
+	StepSeconds     map[string]obs.HistogramStats `json:"step_seconds,omitempty"`
+	WireMessages    int64                         `json:"wire_messages"`
+	WireBytesByKind map[string]int64              `json:"wire_bytes_by_kind,omitempty"`
+}
+
+// NewBenchSnapshot starts a snapshot for the named experiment and scale.
+func NewBenchSnapshot(exp, scale string) *BenchSnapshot {
+	return &BenchSnapshot{
+		CreatedAt: time.Now().UTC(),
+		Exp:       exp,
+		Scale:     scale,
+		Runtime:   CurrentRuntime(),
+	}
+}
+
+// FromRecorder fills the perf sections from rec: top-level trace spans as
+// phases, per-stage rows/sec derived from the <stage>_rows_total counters
+// over the <stage>_step_seconds histogram sums, the step-latency quantiles
+// themselves, and wire traffic from the bus_* counters. A nil recorder
+// leaves the snapshot unchanged.
+func (b *BenchSnapshot) FromRecorder(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	for _, sp := range rec.Trace.Spans() {
+		if sp.Parent != "" {
+			continue
+		}
+		b.Phases = append(b.Phases, PhaseSummary{
+			Name: sp.Name, StartSec: sp.StartSec, DurSec: sp.DurSec, Attrs: sp.Attrs,
+		})
+	}
+	snap := rec.Snapshot()
+	for name, v := range snap.Counters {
+		if kind, ok := strings.CutPrefix(name, "bus_bytes_total_"); ok {
+			if b.WireBytesByKind == nil {
+				b.WireBytesByKind = make(map[string]int64)
+			}
+			b.WireBytesByKind[kind] += v
+		}
+		if strings.HasPrefix(name, "bus_messages_total_") {
+			b.WireMessages += v
+		}
+		if stage, ok := strings.CutSuffix(name, "_rows_total"); ok {
+			h, ok := snap.Histograms[stage+"_step_seconds"]
+			if !ok || h.Sum <= 0 {
+				continue
+			}
+			if b.RowsPerSec == nil {
+				b.RowsPerSec = make(map[string]float64)
+			}
+			b.RowsPerSec[stage] = float64(v) / h.Sum
+		}
+	}
+	for name, h := range snap.Histograms {
+		if stage, ok := strings.CutSuffix(name, "_step_seconds"); ok {
+			if b.StepSeconds == nil {
+				b.StepSeconds = make(map[string]obs.HistogramStats)
+			}
+			b.StepSeconds[stage] = h
+		}
+	}
+}
+
+// Write stores the snapshot as indented JSON at path.
+func (b *BenchSnapshot) Write(path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("experiments: bench snapshot dir: %w", err)
+		}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: bench snapshot encode: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("experiments: bench snapshot write: %w", err)
+	}
+	return nil
+}
+
+// ReadBenchSnapshot loads and validates a snapshot: it must parse, carry a
+// timestamp, experiment id and runtime stamp, and report positive wall time.
+func ReadBenchSnapshot(path string) (*BenchSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: bench snapshot read: %w", err)
+	}
+	var b BenchSnapshot
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("experiments: bench snapshot parse: %w", err)
+	}
+	switch {
+	case b.CreatedAt.IsZero():
+		return nil, fmt.Errorf("experiments: bench snapshot %s: missing created_at", path)
+	case b.Exp == "":
+		return nil, fmt.Errorf("experiments: bench snapshot %s: missing exp", path)
+	case b.Runtime.GoVersion == "":
+		return nil, fmt.Errorf("experiments: bench snapshot %s: missing runtime.go_version", path)
+	case b.WallSeconds <= 0:
+		return nil, fmt.Errorf("experiments: bench snapshot %s: non-positive wall_seconds", path)
+	}
+	return &b, nil
+}

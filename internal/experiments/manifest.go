@@ -5,12 +5,32 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"silofuse/internal/obs"
 	"silofuse/internal/silo"
 )
+
+// RuntimeInfo pins the toolchain and machine a run executed on, so manifests
+// and bench snapshots from different hosts are comparable.
+type RuntimeInfo struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// CurrentRuntime captures this process's RuntimeInfo.
+func CurrentRuntime() RuntimeInfo {
+	return RuntimeInfo{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
 
 // PhaseSummary is one top-level trace span flattened for the manifest.
 type PhaseSummary struct {
@@ -30,6 +50,7 @@ type Manifest struct {
 	Run             string             `json:"run"`
 	CreatedAt       time.Time          `json:"created_at"`
 	Seed            int64              `json:"seed"`
+	Runtime         RuntimeInfo        `json:"runtime"`
 	Config          map[string]any     `json:"config,omitempty"`
 	Phases          []PhaseSummary     `json:"phases"`
 	FinalMetrics    map[string]float64 `json:"final_metrics,omitempty"`
@@ -46,6 +67,7 @@ func NewManifest(run string, seed int64) *Manifest {
 		Run:             run,
 		CreatedAt:       time.Now().UTC(),
 		Seed:            seed,
+		Runtime:         CurrentRuntime(),
 		Config:          make(map[string]any),
 		FinalMetrics:    make(map[string]float64),
 		WireBytesByKind: make(map[string]int64),

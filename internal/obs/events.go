@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// EventWriter streams run events as JSON lines (one object per line) to an
+// append-only sink, so a long training run is tailable while it happens and
+// a crash-truncated log keeps every completed line readable. Each line
+// carries a monotonically increasing "seq", the wall-clock "time", seconds
+// since the writer opened ("t_sec"), a "type" tag, and the caller's fields.
+//
+// Emit serialises under a mutex and issues a single Write per event, so one
+// writer can be shared by every party of a multi-actor run. A nil
+// *EventWriter is a valid no-op sink.
+type EventWriter struct {
+	mu    sync.Mutex
+	w     io.Writer
+	c     io.Closer
+	start time.Time
+	seq   int64
+}
+
+// NewEventWriter wraps an arbitrary sink (e.g. a bytes.Buffer in tests).
+func NewEventWriter(w io.Writer) *EventWriter {
+	ew := &EventWriter{w: w, start: time.Now()}
+	if c, ok := w.(io.Closer); ok {
+		ew.c = c
+	}
+	return ew
+}
+
+// OpenEventLog creates path's directory if needed and opens the file in
+// append mode, so successive runs with the same run name accumulate.
+func OpenEventLog(path string) (*EventWriter, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("obs: event log dir: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: event log: %w", err)
+	}
+	return NewEventWriter(f), nil
+}
+
+// Emit appends one event of the given type. fields may be nil; reserved keys
+// (seq, time, t_sec, type) are overwritten. Marshal or write errors are
+// dropped — telemetry must never fail the run it observes.
+func (ew *EventWriter) Emit(typ string, fields map[string]any) {
+	if ew == nil {
+		return
+	}
+	ew.mu.Lock()
+	defer ew.mu.Unlock()
+	rec := make(map[string]any, len(fields)+4)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["seq"] = ew.seq
+	rec["time"] = time.Now().UTC().Format(time.RFC3339Nano)
+	rec["t_sec"] = time.Since(ew.start).Seconds()
+	rec["type"] = typ
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	ew.seq++
+	_, _ = ew.w.Write(append(line, '\n'))
+}
+
+// Close closes the underlying sink when it supports closing.
+func (ew *EventWriter) Close() error {
+	if ew == nil || ew.c == nil {
+		return nil
+	}
+	return ew.c.Close()
+}

@@ -1,6 +1,10 @@
 package obs
 
-import "time"
+import (
+	"strings"
+	"sync/atomic"
+	"time"
+)
 
 // Recorder bundles a metrics registry and a tracer into the single
 // telemetry sink that instrumented code holds. A nil *Recorder is the
@@ -20,11 +24,77 @@ import "time"
 type Recorder struct {
 	Reg   *Registry
 	Trace *Tracer
+	// Events, when non-nil, receives streaming run records: one "train"
+	// event every EventEvery optimisation steps per stage, and one "phase"
+	// event per finished trace span. Attach it with SetEvents so the phase
+	// hook is installed too.
+	Events *EventWriter
+	// EventEvery is the per-stage step interval between "train" events.
+	// Zero means the default (50); negative disables train events.
+	EventEvery int
+
+	flow atomic.Uint64
 }
 
 // NewRecorder creates an enabled recorder with a fresh registry and tracer.
 func NewRecorder() *Recorder {
 	return &Recorder{Reg: NewRegistry(), Trace: NewTracer()}
+}
+
+// NewPartyRecorder builds a recorder for one party of a multi-actor run: it
+// shares reg — so metrics from every party aggregate under their canonical
+// names — but owns a private tracer on its own Chrome-trace process lane
+// (pid, labelled name). Merge the parties' traces with MergeChromeTraces.
+func NewPartyRecorder(reg *Registry, pid int, name string) *Recorder {
+	tr := NewTracer()
+	tr.SetProcess(pid, name)
+	return &Recorder{Reg: reg, Trace: tr}
+}
+
+// SetEvents attaches the event sink and installs the span-end hook that
+// streams "phase" records (name, duration, attributes, cumulative wire bytes
+// by kind). Several recorders may share one EventWriter; it serialises
+// internally. A nil recorder or nil sink is a no-op.
+func (r *Recorder) SetEvents(ew *EventWriter) {
+	if r == nil || ew == nil {
+		return
+	}
+	r.Events = ew
+	r.Trace.SetOnSpanEnd(func(sp SpanInfo) {
+		fields := map[string]any{
+			"name":      sp.Name,
+			"start_sec": sp.StartSec,
+			"dur_sec":   sp.DurSec,
+		}
+		if len(sp.Attrs) > 0 {
+			fields["attrs"] = sp.Attrs
+		}
+		if byKind := r.wireBytesByKind(); len(byKind) > 0 {
+			fields["bus_bytes_by_kind"] = byKind
+		}
+		ew.Emit("phase", fields)
+	})
+}
+
+// wireBytesByKind snapshots the cumulative bus_bytes_total_* counters.
+func (r *Recorder) wireBytesByKind() map[string]int64 {
+	out := make(map[string]int64)
+	for name, v := range r.Reg.Snapshot().Counters {
+		if kind, ok := strings.CutPrefix(name, "bus_bytes_total_"); ok {
+			out[kind] = v
+		}
+	}
+	return out
+}
+
+// NextFlow issues a flow id for cross-party message stitching, unique across
+// processes because the tracer's pid is folded into the high bits. Zero (from
+// a nil recorder) means "no trace context".
+func (r *Recorder) NextFlow() uint64 {
+	if r == nil {
+		return 0
+	}
+	return uint64(r.Trace.PID())<<32 | (r.flow.Add(1) & 0xffffffff)
 }
 
 // Enabled reports whether the recorder collects anything.
@@ -39,10 +109,31 @@ func (r *Recorder) TrainStep(stage string, loss float64, rows int, d time.Durati
 	if r == nil {
 		return
 	}
-	r.Reg.Counter(stage + "_steps_total").Inc()
+	steps := r.Reg.Counter(stage + "_steps_total")
+	steps.Inc()
 	r.Reg.Counter(stage + "_rows_total").Add(int64(rows))
 	r.Reg.Gauge(stage + "_loss").Set(loss)
 	r.Reg.Histogram(stage + "_step_seconds").Observe(d.Seconds())
+	if r.Events != nil {
+		every := r.EventEvery
+		if every == 0 {
+			every = 50
+		}
+		if n := steps.Value(); every > 0 && n%int64(every) == 0 {
+			rps := 0.0
+			if d > 0 {
+				rps = float64(rows) / d.Seconds()
+			}
+			r.Events.Emit("train", map[string]any{
+				"stage":        stage,
+				"step":         n,
+				"loss":         loss,
+				"rows":         rows,
+				"rows_per_sec": rps,
+				"step_seconds": d.Seconds(),
+			})
+		}
+	}
 }
 
 // Message records one transport send of the given message kind: it bumps

@@ -31,10 +31,18 @@ const (
 
 // Envelope is one protocol message. Payload may be nil for control
 // messages.
+//
+// Flow is the distributed trace context: a run-unique id stamped by the
+// sending transport when a recorder is attached (obs.Recorder.NextFlow folds
+// the sender's trace pid into the high bits). It travels in the wire framing,
+// and both endpoints record matching flow events, so traces from separate
+// processes merge into one timeline with send→recv arrows between lanes.
+// Zero means "no trace context".
 type Envelope struct {
 	From, To string
 	Kind     Kind
 	Payload  *tensor.Matrix
+	Flow     uint64
 }
 
 // WireSize returns the message's size in bytes under the deterministic cost
@@ -132,6 +140,10 @@ func (b *LocalBus) Send(e *Envelope) error {
 	var t0 time.Time
 	if b.rec != nil {
 		t0 = time.Now()
+		if e.Flow == 0 {
+			e.Flow = b.rec.NextFlow()
+		}
+		b.rec.Trace.FlowSend(string(e.Kind), e.Flow)
 	}
 	size := e.WireSize()
 	b.mu.Lock()
@@ -152,6 +164,9 @@ func (b *LocalBus) Recv(to string) (*Envelope, error) {
 	e, ok := <-b.box(to)
 	if !ok {
 		return nil, fmt.Errorf("silo: inbox %q closed", to)
+	}
+	if b.rec != nil {
+		b.rec.Trace.FlowRecv(string(e.Kind), e.Flow)
 	}
 	return e, nil
 }

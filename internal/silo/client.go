@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"silofuse/internal/autoencoder"
+	"silofuse/internal/obs"
 	"silofuse/internal/tabular"
 	"silofuse/internal/tensor"
 )
@@ -16,7 +17,12 @@ type Client struct {
 	ID   string
 	Data *tabular.Table
 	AE   *autoencoder.Autoencoder
-	rng  *rand.Rand
+	// Rec, when non-nil, is this client's own trace lane: local training and
+	// decoding record spans on it. Give each client a distinct recorder
+	// (obs.NewPartyRecorder) — clients run concurrently, so sharing one
+	// tracer between them would interleave their span stacks.
+	Rec *obs.Recorder
+	rng *rand.Rand
 }
 
 // NewClient creates a client for its local partition. The autoencoder's
@@ -33,7 +39,13 @@ func NewClient(id string, data *tabular.Table, cfg autoencoder.Config, seed int6
 // TrainLocal runs the client's autoencoder training (Algorithm 1 lines
 // 1-7), entirely on-premise: no messages are exchanged.
 func (c *Client) TrainLocal(iters, batch int) float64 {
-	return c.AE.Train(c.Data, iters, batch)
+	span := c.Rec.StartSpan("ae-train-local")
+	span.SetAttr("client", c.ID)
+	span.SetAttr("iters", iters)
+	loss := c.AE.Train(c.Data, iters, batch)
+	span.SetAttr("loss", loss)
+	span.End()
+	return loss
 }
 
 // LatentDim returns the client's latent contribution s_i.
@@ -60,6 +72,10 @@ func (c *Client) UploadLatents(bus Bus, coordinator string, noiseStd float64) er
 // DecodeLatents converts a partition of synthetic latents into the data
 // space using the private decoder (Algorithm 2 line 7).
 func (c *Client) DecodeLatents(z *tensor.Matrix, sample bool) (*tabular.Table, error) {
+	span := c.Rec.StartSpan("decode-local")
+	span.SetAttr("client", c.ID)
+	span.SetAttr("rows", z.Rows)
+	defer span.End()
 	t, err := c.AE.Decode(z, sample, c.rng)
 	if err != nil {
 		return nil, fmt.Errorf("silo: client %s decode: %w", c.ID, err)

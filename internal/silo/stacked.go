@@ -51,6 +51,10 @@ type Pipeline struct {
 // itself, per-step telemetry on every client autoencoder and the
 // coordinator's diffusion model, and per-message telemetry on the bus when
 // the transport supports it. A nil rec switches everything off.
+//
+// Client.Rec is deliberately left nil here: per-client spans from parallel
+// goroutines would garble a single tracer's B/E stack. Use SetPartyRecorders
+// to give each silo its own trace lane.
 func (p *Pipeline) SetRecorder(rec *obs.Recorder) {
 	p.Rec = rec
 	for _, c := range p.Clients {
@@ -60,6 +64,27 @@ func (p *Pipeline) SetRecorder(rec *obs.Recorder) {
 	if rs, ok := p.Bus.(RecorderSetter); ok {
 		rs.SetRecorder(rec)
 	}
+}
+
+// SetPartyRecorders threads one recorder per party, the distributed-trace
+// variant of SetRecorder: protocol phase spans and the coordinator's
+// diffusion telemetry land on coord; each client's autoencoder telemetry and
+// its local training span land on the matching clients[i]. Build the
+// recorders with obs.NewPartyRecorder over one shared registry so metrics
+// still aggregate, and give each party's transport its recorder separately
+// (the pipeline's shared Bus handle is left untouched — per-party transports
+// like TCPPeer own their telemetry).
+func (p *Pipeline) SetPartyRecorders(coord *obs.Recorder, clients []*obs.Recorder) error {
+	if len(clients) != len(p.Clients) {
+		return fmt.Errorf("silo: %d client recorders for %d clients", len(clients), len(p.Clients))
+	}
+	p.Rec = coord
+	p.Coord.Rec = coord
+	for i, c := range p.Clients {
+		c.Rec = clients[i]
+		c.AE.Rec = clients[i]
+	}
+	return nil
 }
 
 // NewPipeline vertically partitions data across cfg.Clients silos and

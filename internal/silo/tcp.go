@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -11,17 +12,20 @@ import (
 	"silofuse/internal/tensor"
 )
 
-// wireEnvelope is the gob wire format; tensor payloads are flattened.
+// wireEnvelope is the gob wire format; tensor payloads are flattened. Flow
+// carries the distributed trace context across the socket (gob omits the
+// field entirely when zero, so untraced runs pay no wire bytes for it).
 type wireEnvelope struct {
 	From, To string
 	Kind     Kind
 	Rows     int
 	Cols     int
 	Data     []float64
+	Flow     uint64
 }
 
 func toWire(e *Envelope) wireEnvelope {
-	w := wireEnvelope{From: e.From, To: e.To, Kind: e.Kind}
+	w := wireEnvelope{From: e.From, To: e.To, Kind: e.Kind, Flow: e.Flow}
 	if e.Payload != nil {
 		w.Rows, w.Cols, w.Data = e.Payload.Rows, e.Payload.Cols, e.Payload.Data
 	}
@@ -29,7 +33,7 @@ func toWire(e *Envelope) wireEnvelope {
 }
 
 func fromWire(w wireEnvelope) *Envelope {
-	e := &Envelope{From: w.From, To: w.To, Kind: w.Kind}
+	e := &Envelope{From: w.From, To: w.To, Kind: w.Kind, Flow: w.Flow}
 	if w.Data != nil {
 		e.Payload = tensor.FromSlice(w.Rows, w.Cols, w.Data)
 	}
@@ -104,6 +108,19 @@ func (h *TCPHub) SetRecorder(rec *obs.Recorder) { h.rec = rec }
 
 // Addr returns the hub's listen address.
 func (h *TCPHub) Addr() string { return h.ln.Addr().String() }
+
+// Peers lists the names of currently registered peers in sorted order —
+// the hub-side liveness view a health endpoint reports.
+func (h *TCPHub) Peers() []string {
+	h.mu.Lock()
+	names := make([]string, 0, len(h.peers))
+	for name := range h.peers {
+		names = append(names, name)
+	}
+	h.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
 
 func (h *TCPHub) acceptLoop() {
 	defer h.wg.Done()
@@ -192,6 +209,12 @@ func (h *TCPHub) sendWire(pc *hubPeer, w wireEnvelope) error {
 
 // Send implements Bus for the hub side.
 func (h *TCPHub) Send(e *Envelope) error {
+	if h.rec != nil {
+		if e.Flow == 0 {
+			e.Flow = h.rec.NextFlow()
+		}
+		h.rec.Trace.FlowSend(string(e.Kind), e.Flow)
+	}
 	if e.To == h.Name {
 		h.mu.Lock()
 		h.stats.Messages++
@@ -217,6 +240,9 @@ func (h *TCPHub) Recv(to string) (*Envelope, error) {
 	e, ok := <-h.inbox
 	if !ok {
 		return nil, fmt.Errorf("silo: hub inbox closed")
+	}
+	if h.rec != nil {
+		h.rec.Trace.FlowRecv(string(e.Kind), e.Flow)
 	}
 	return e, nil
 }
@@ -274,11 +300,15 @@ func (p *TCPPeer) SetRecorder(rec *obs.Recorder) { p.rec = rec }
 
 // Send implements Bus (all traffic is routed via the hub).
 func (p *TCPPeer) Send(e *Envelope) error {
-	w := toWire(e)
 	var t0 time.Time
 	if p.rec != nil {
 		t0 = time.Now()
+		if e.Flow == 0 {
+			e.Flow = p.rec.NextFlow()
+		}
+		p.rec.Trace.FlowSend(string(e.Kind), e.Flow)
 	}
+	w := toWire(e)
 	p.sendMu.Lock()
 	p.mu.Lock()
 	before := p.sent
@@ -304,6 +334,9 @@ func (p *TCPPeer) Recv(to string) (*Envelope, error) {
 	var w wireEnvelope
 	if err := p.dec.Decode(&w); err != nil {
 		return nil, err
+	}
+	if p.rec != nil {
+		p.rec.Trace.FlowRecv(string(w.Kind), w.Flow)
 	}
 	return fromWire(w), nil
 }

@@ -256,13 +256,29 @@ type (
 	Tracer = obs.Tracer
 	// TraceSpan is one span handle; nil-safe for disabled tracing.
 	TraceSpan = obs.Span
+	// EventWriter streams run events as JSON lines (events.jsonl).
+	EventWriter = obs.EventWriter
+	// TelemetryConfig wires the live telemetry endpoint to a run's state.
+	TelemetryConfig = obs.TelemetryConfig
+	// TelemetryServer is a running live telemetry HTTP endpoint
+	// (/metrics, /healthz, /runs, /debug/pprof).
+	TelemetryServer = obs.TelemetryServer
 	// RunManifest is the machine-readable per-run record
 	// (results/<run>/manifest.json).
 	RunManifest = experiments.Manifest
+	// RuntimeInfo pins the toolchain and machine a run executed on.
+	RuntimeInfo = experiments.RuntimeInfo
+	// BenchSnapshot is the perf record silofuse-bench writes
+	// (BENCH_silofuse.json).
+	BenchSnapshot = experiments.BenchSnapshot
 )
 
 // NewRecorder builds an enabled Recorder with a fresh registry and tracer.
 var NewRecorder = obs.NewRecorder
+
+// NewPartyRecorder builds a per-party recorder for a multi-actor run: a
+// shared registry, a private tracer on its own Chrome-trace process lane.
+var NewPartyRecorder = obs.NewPartyRecorder
 
 // NewMetricsRegistry builds an empty metrics registry.
 var NewMetricsRegistry = obs.NewRegistry
@@ -270,5 +286,20 @@ var NewMetricsRegistry = obs.NewRegistry
 // NewTracer builds an empty tracer.
 var NewTracer = obs.NewTracer
 
+// MergeChromeTraces stitches per-process Chrome traces into one timeline.
+var MergeChromeTraces = obs.MergeChromeTraces
+
+// WritePrometheus writes a metrics snapshot in Prometheus text exposition.
+var WritePrometheus = obs.WritePrometheus
+
+// StartTelemetry serves the live telemetry endpoint until Close.
+var StartTelemetry = obs.StartTelemetry
+
+// OpenEventLog opens (appending) a streaming run-event JSONL file.
+var OpenEventLog = obs.OpenEventLog
+
 // NewRunManifest starts a run manifest.
 var NewRunManifest = experiments.NewManifest
+
+// CurrentRuntime captures this process's RuntimeInfo.
+var CurrentRuntime = experiments.CurrentRuntime
