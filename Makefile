@@ -1,6 +1,7 @@
 GO ?= go
+BENCHFLAGS ?= -benchmem
 
-.PHONY: build vet test race ci bench bench-smoke
+.PHONY: build vet test race ci bench bench-smoke bench-kernels profile
 
 build:
 	$(GO) build ./...
@@ -12,9 +13,11 @@ test:
 	$(GO) test ./...
 
 # The transport and telemetry layers are exercised under the race detector;
-# the silo package trains real models, so give it a generous timeout.
+# the silo package trains real models, so give it a generous timeout. The
+# tensor package is included because its worker pool is the one piece of
+# hand-rolled concurrency under every training loop.
 race:
-	$(GO) test -race -timeout 30m ./internal/silo/... ./internal/obs/...
+	$(GO) test -race -timeout 30m ./internal/silo/... ./internal/obs/... ./internal/tensor/...
 
 # bench-smoke runs a tiny end-to-end bench invocation and validates the perf
 # snapshot it writes, so CI catches a broken bench pipeline without paying for
@@ -23,8 +26,21 @@ bench-smoke:
 	$(GO) run ./cmd/silofuse-bench -exp fig10 -datasets abalone -rows 300 -scale fast -bench-json /tmp/BENCH_silofuse_smoke.json
 	$(GO) run ./cmd/silofuse-bench -check-bench /tmp/BENCH_silofuse_smoke.json
 
+# bench-kernels runs the hot-path microbenchmarks (tensor kernels, Linear
+# forward/backward, diffusion train/sample steps) with allocation reporting.
+# CI invokes it with BENCHFLAGS='-benchtime=1x' as a does-it-run smoke test;
+# for real numbers use the default and prefer -count=8 medians on busy hosts.
+bench-kernels:
+	$(GO) test -run '^$$' -bench 'MatMul|Linear|TrainStep|SampleStep' $(BENCHFLAGS) ./internal/tensor/ ./internal/nn/ ./internal/diffusion/
+
+# profile captures CPU and heap profiles from a fast fig10 bench run into
+# /tmp, ready for `go tool pprof`.
+profile:
+	$(GO) run ./cmd/silofuse-bench -exp fig10 -datasets abalone -rows 2000 -scale fast -bench-json /tmp/BENCH_silofuse_profile.json -cpuprofile /tmp/silofuse_cpu.pprof -memprofile /tmp/silofuse_mem.pprof
+	@echo "profiles: /tmp/silofuse_cpu.pprof /tmp/silofuse_mem.pprof"
+
 ci:
-	$(GO) vet ./... && $(GO) build ./... && $(GO) test ./... && $(GO) test -race -timeout 30m ./internal/silo/... ./internal/obs/... && $(MAKE) bench-smoke
+	$(GO) vet ./... && $(GO) build ./... && $(GO) test ./... && $(MAKE) race && $(MAKE) bench-smoke && $(MAKE) bench-kernels BENCHFLAGS='-benchtime=1x'
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -41,7 +43,39 @@ func main() {
 	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof) on this address during the run")
 	benchJSON := flag.String("bench-json", "BENCH_silofuse.json", "write a perf snapshot (phases, rows/sec, bytes by kind) to this path; empty disables")
 	checkBench := flag.String("check-bench", "", "validate an existing bench snapshot and exit (CI smoke check)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile covering the whole run to this path")
+	memProfile := flag.String("memprofile", "", "write an allocation pprof profile at the end of the run to this path")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *checkBench != "" {
 		snap, err := experiments.ReadBenchSnapshot(*checkBench)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"silofuse/internal/nn"
@@ -136,6 +137,10 @@ func (a *Autoencoder) Train(train *tabular.Table, iters, batch int) float64 {
 	var tailLoss float64
 	var tailCount int
 	idx := make([]int, batch)
+	var ms0 runtime.MemStats
+	if a.Rec != nil {
+		runtime.ReadMemStats(&ms0)
+	}
 	for it := 0; it < iters; it++ {
 		for i := range idx {
 			idx[i] = a.rng.Intn(train.Rows())
@@ -152,6 +157,11 @@ func (a *Autoencoder) Train(train *tabular.Table, iters, batch int) float64 {
 			tailLoss += loss
 			tailCount++
 		}
+	}
+	if a.Rec != nil {
+		var ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms1)
+		a.Rec.TrainAllocs("ae", iters, ms1.Mallocs-ms0.Mallocs, ms1.TotalAlloc-ms0.TotalAlloc)
 	}
 	if tailCount == 0 {
 		return 0
@@ -200,7 +210,11 @@ func (a *Autoencoder) standardisedColumn(batch *tabular.Table, col int) *tensor.
 // Encode maps a table to its latent representation Z_i = E_i(X_i) in
 // evaluation mode.
 func (a *Autoencoder) Encode(t *tabular.Table) *tensor.Matrix {
-	return a.encoder.Forward(a.Enc.Transform(t), false)
+	// The encoder's Forward output is a per-layer workspace that the next
+	// Forward through the same encoder overwrites; latents are retained
+	// long-term by the pipeline (and mutated in place by DP noising), so
+	// hand the caller its own copy.
+	return a.encoder.Forward(a.Enc.Transform(t), false).Clone()
 }
 
 // Decode maps latents back to the data space. When sample is true, numeric

@@ -60,6 +60,7 @@ func (m *TabDDPM) Fit(train *tabular.Table) error {
 	width := m.enc.Width()
 	// The paper gives TabDDPM a 6-layer MLP backbone with hidden 256.
 	m.net = nn.NewDiffusionMLP(m.rng, width, m.Opts.DiffHidden, width, m.Opts.DiffDepth, m.Opts.DiffTimeDim, 0)
+	m.net.WarmTimesteps(m.Opts.T)
 	m.opt = nn.NewAdam(m.net.Params(), m.Opts.LR)
 
 	iters := m.Opts.DiffIters

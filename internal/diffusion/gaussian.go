@@ -26,36 +26,74 @@ func NewGaussian(s *Schedule) *Gaussian { return &Gaussian{S: s} }
 // x_t = sqrt(ᾱ_t)·x0 + sqrt(1-ᾱ_t)·ε, with per-row timesteps ts and noise
 // eps of the same shape as x0.
 func (g *Gaussian) QSample(x0 *tensor.Matrix, ts []int, eps *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(x0.Rows, x0.Cols)
+	return g.QSampleInto(tensor.New(x0.Rows, x0.Cols), x0, ts, eps)
+}
+
+// QSampleInto is the destination-passing form of QSample: the noised batch
+// is written into dst (same shape as x0) and returned.
+func (g *Gaussian) QSampleInto(dst, x0 *tensor.Matrix, ts []int, eps *tensor.Matrix) *tensor.Matrix {
 	for i := 0; i < x0.Rows; i++ {
 		ab := g.S.AlphaBar[ts[i]]
 		sa := math.Sqrt(ab)
 		sb := math.Sqrt(1 - ab)
 		src := x0.Row(i)
 		ns := eps.Row(i)
-		dst := out.Row(i)
-		for j := range dst {
-			dst[j] = sa*src[j] + sb*ns[j]
+		dr := dst.Row(i)
+		for j := range dr {
+			dr[j] = sa*src[j] + sb*ns[j]
 		}
 	}
-	return out
+	return dst
 }
 
 // SampleTimesteps draws one uniform timestep in [1, T] per row.
 func (g *Gaussian) SampleTimesteps(rng *rand.Rand, n int) []int {
 	ts := make([]int, n)
+	g.SampleTimestepsInto(rng, ts)
+	return ts
+}
+
+// SampleTimestepsInto fills ts with uniform timesteps in [1, T].
+func (g *Gaussian) SampleTimestepsInto(rng *rand.Rand, ts []int) {
 	for i := range ts {
 		ts[i] = 1 + rng.Intn(g.S.T)
 	}
-	return ts
+}
+
+// ddimStep applies one DDIM update from timestep t to tPrev, writing the
+// denoised batch into next: x0 is recovered from the noise prediction, then
+// re-noised toward tPrev with optional eta-scaled stochasticity. This is
+// the single inner update shared by Sample and Denoise.
+func (g *Gaussian) ddimStep(rng *rand.Rand, x, epsPred, next *tensor.Matrix, t, tPrev int, eta float64) {
+	ab := g.S.AlphaBar[t]
+	abPrev := g.S.AlphaBar[tPrev]
+	sigma := eta * math.Sqrt((1-abPrev)/(1-ab)) * math.Sqrt(1-ab/abPrev)
+	c1 := math.Sqrt(abPrev)
+	c2 := math.Sqrt(math.Max(1-abPrev-sigma*sigma, 0))
+	sqab := math.Sqrt(ab)
+	sq1ab := math.Sqrt(1 - ab)
+	for i := 0; i < x.Rows; i++ {
+		xr := x.Row(i)
+		er := epsPred.Row(i)
+		nr := next.Row(i)
+		for j := range nr {
+			x0 := (xr[j] - sq1ab*er[j]) / sqab
+			nr[j] = c1*x0 + c2*er[j]
+			if sigma > 0 {
+				nr[j] += sigma * rng.NormFloat64()
+			}
+		}
+	}
 }
 
 // Sample runs DDIM-style strided ancestral sampling: starting from pure
 // Gaussian noise it denoises over steps strided timesteps using net's noise
 // predictions. eta=0 gives deterministic DDIM; eta=1 recovers DDPM-like
-// stochastic sampling.
+// stochastic sampling. Two ping-pong buffers are reused across all steps,
+// so the per-step loop performs no allocation.
 func (g *Gaussian) Sample(rng *rand.Rand, net NoisePredictor, n, dim, steps int, eta float64) *tensor.Matrix {
 	x := tensor.New(n, dim).Randn(rng, 1)
+	buf := tensor.New(n, dim)
 	seq := g.S.StridedTimesteps(steps)
 	ts := make([]int, n)
 	for si, t := range seq {
@@ -67,29 +105,8 @@ func (g *Gaussian) Sample(rng *rand.Rand, net NoisePredictor, n, dim, steps int,
 			ts[i] = t
 		}
 		epsPred := net.Predict(x, ts)
-
-		ab := g.S.AlphaBar[t]
-		abPrev := g.S.AlphaBar[tPrev]
-		sigma := eta * math.Sqrt((1-abPrev)/(1-ab)) * math.Sqrt(1-ab/abPrev)
-		c1 := math.Sqrt(abPrev)
-		c2 := math.Sqrt(math.Max(1-abPrev-sigma*sigma, 0))
-		sqab := math.Sqrt(ab)
-		sq1ab := math.Sqrt(1 - ab)
-
-		next := tensor.New(n, dim)
-		for i := 0; i < n; i++ {
-			xr := x.Row(i)
-			er := epsPred.Row(i)
-			nr := next.Row(i)
-			for j := range nr {
-				x0 := (xr[j] - sq1ab*er[j]) / sqab
-				nr[j] = c1*x0 + c2*er[j]
-				if sigma > 0 {
-					nr[j] += sigma * rng.NormFloat64()
-				}
-			}
-		}
-		x = next
+		g.ddimStep(rng, x, epsPred, buf, t, tPrev, eta)
+		x, buf = buf, x
 	}
 	return x
 }
@@ -114,7 +131,8 @@ func (g *Gaussian) Denoise(rng *rand.Rand, net NoisePredictor, xt *tensor.Matrix
 	if steps == 1 {
 		seq[0] = tStart
 	}
-	n, dim := x.Rows, x.Cols
+	n := x.Rows
+	buf := tensor.New(n, x.Cols)
 	ts := make([]int, n)
 	for si, t := range seq {
 		tPrev := 0
@@ -125,27 +143,8 @@ func (g *Gaussian) Denoise(rng *rand.Rand, net NoisePredictor, xt *tensor.Matrix
 			ts[i] = t
 		}
 		epsPred := net.Predict(x, ts)
-		ab := g.S.AlphaBar[t]
-		abPrev := g.S.AlphaBar[tPrev]
-		sigma := eta * math.Sqrt((1-abPrev)/(1-ab)) * math.Sqrt(1-ab/abPrev)
-		c1 := math.Sqrt(abPrev)
-		c2 := math.Sqrt(math.Max(1-abPrev-sigma*sigma, 0))
-		sqab := math.Sqrt(ab)
-		sq1ab := math.Sqrt(1 - ab)
-		next := tensor.New(n, dim)
-		for i := 0; i < n; i++ {
-			xr := x.Row(i)
-			er := epsPred.Row(i)
-			nr := next.Row(i)
-			for j := range nr {
-				x0 := (xr[j] - sq1ab*er[j]) / sqab
-				nr[j] = c1*x0 + c2*er[j]
-				if sigma > 0 {
-					nr[j] += sigma * rng.NormFloat64()
-				}
-			}
-		}
-		x = next
+		g.ddimStep(rng, x, epsPred, buf, t, tPrev, eta)
+		x, buf = buf, x
 	}
 	return x
 }

@@ -4,6 +4,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"silofuse/internal/nn"
@@ -51,6 +52,13 @@ type Model struct {
 	// Train (stage "diffusion"). nil means telemetry off at zero cost.
 	Rec *obs.Recorder
 	rng *rand.Rand
+
+	// Persistent training/sampling workspaces: reused across steps while
+	// the batch shape is unchanged, so a steady-state TrainStep allocates
+	// nothing.
+	tsBuf                            []int
+	epsBuf, xtBuf, gradBuf, batchBuf *tensor.Matrix
+	predEps                          *tensor.Matrix
 }
 
 // NewModel builds a model from cfg, drawing initial weights from rng.
@@ -62,6 +70,7 @@ func NewModel(rng *rand.Rand, cfg ModelConfig) *Model {
 		sch = LinearSchedule(cfg.T, 1e-4, 0.02)
 	}
 	net := nn.NewDiffusionMLP(rng, cfg.Dim, cfg.Hidden, cfg.Dim, cfg.Depth, cfg.TimeDim, cfg.Dropout)
+	net.WarmTimesteps(cfg.T)
 	m := &Model{
 		G:         NewGaussian(sch),
 		Net:       net,
@@ -79,16 +88,21 @@ func NewModel(rng *rand.Rand, cfg ModelConfig) *Model {
 // sample t and ε, noise to x_t, predict ε, minimise MSE (paper eq. 5).
 // It returns the batch loss.
 func (m *Model) TrainStep(x0 *tensor.Matrix) float64 {
-	ts := m.G.SampleTimesteps(m.rng, x0.Rows)
-	eps := tensor.New(x0.Rows, x0.Cols).Randn(m.rng, 1)
-	xt := m.G.QSample(x0, ts, eps)
+	m.tsBuf = tensor.EnsureInts(m.tsBuf, x0.Rows)
+	ts := m.tsBuf
+	m.G.SampleTimestepsInto(m.rng, ts)
+	m.epsBuf = tensor.Ensure(m.epsBuf, x0.Rows, x0.Cols)
+	eps := m.epsBuf.Randn(m.rng, 1)
+	m.xtBuf = tensor.Ensure(m.xtBuf, x0.Rows, x0.Cols)
+	xt := m.G.QSampleInto(m.xtBuf, x0, ts, eps)
 	pred := m.Net.Forward(xt, ts, true)
 	target := eps
 	if m.PredictX0 {
 		target = x0
 	}
-	loss, grad := nn.MSELoss(pred, target)
-	m.Net.Backward(grad)
+	m.gradBuf = tensor.Ensure(m.gradBuf, pred.Rows, pred.Cols)
+	loss := nn.MSELossInto(pred, target, m.gradBuf)
+	m.Net.Backward(m.gradBuf)
 	m.Opt.Step()
 	if m.EMA != nil {
 		m.EMA.Update()
@@ -106,6 +120,11 @@ func (m *Model) Train(data *tensor.Matrix, iters, batch int) float64 {
 	var tailLoss float64
 	var tailCount int
 	idx := make([]int, batch)
+	m.batchBuf = tensor.Ensure(m.batchBuf, batch, data.Cols)
+	var ms0 runtime.MemStats
+	if m.Rec != nil {
+		runtime.ReadMemStats(&ms0)
+	}
 	for it := 0; it < iters; it++ {
 		for i := range idx {
 			idx[i] = m.rng.Intn(data.Rows)
@@ -114,7 +133,7 @@ func (m *Model) Train(data *tensor.Matrix, iters, batch int) float64 {
 		if m.Rec != nil {
 			t0 = time.Now()
 		}
-		loss := m.TrainStep(data.GatherRows(idx))
+		loss := m.TrainStep(data.GatherRowsInto(m.batchBuf, idx))
 		if m.Rec != nil {
 			m.Rec.TrainStep("diffusion", loss, batch, time.Since(t0))
 		}
@@ -122,6 +141,11 @@ func (m *Model) Train(data *tensor.Matrix, iters, batch int) float64 {
 			tailLoss += loss
 			tailCount++
 		}
+	}
+	if m.Rec != nil {
+		var ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms1)
+		m.Rec.TrainAllocs("diffusion", iters, ms1.Mallocs-ms0.Mallocs, ms1.TotalAlloc-ms0.TotalAlloc)
 	}
 	if tailCount == 0 {
 		return 0
@@ -138,7 +162,8 @@ func (m *Model) Predict(x *tensor.Matrix, ts []int) *tensor.Matrix {
 	if !m.PredictX0 {
 		return out
 	}
-	eps := tensor.New(out.Rows, out.Cols)
+	m.predEps = tensor.Ensure(m.predEps, out.Rows, out.Cols)
+	eps := m.predEps
 	for i := 0; i < out.Rows; i++ {
 		ab := m.G.S.AlphaBar[ts[i]]
 		sa := math.Sqrt(ab)

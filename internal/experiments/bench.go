@@ -26,8 +26,14 @@ type BenchSnapshot struct {
 	Phases          []PhaseSummary                `json:"phases,omitempty"`
 	RowsPerSec      map[string]float64            `json:"rows_per_sec,omitempty"`
 	StepSeconds     map[string]obs.HistogramStats `json:"step_seconds,omitempty"`
-	WireMessages    int64                         `json:"wire_messages"`
-	WireBytesByKind map[string]int64              `json:"wire_bytes_by_kind,omitempty"`
+	// AllocsPerStep and AllocBytesPerStep are per-stage heap-allocation
+	// costs of one optimisation step (runtime.MemStats deltas averaged over
+	// the stage's most recent training loop). Steady-state stages should sit
+	// near zero; a regression here shows up before it shows up in rows/sec.
+	AllocsPerStep     map[string]float64 `json:"allocs_per_step,omitempty"`
+	AllocBytesPerStep map[string]float64 `json:"alloc_bytes_per_step,omitempty"`
+	WireMessages      int64              `json:"wire_messages"`
+	WireBytesByKind   map[string]int64   `json:"wire_bytes_by_kind,omitempty"`
 }
 
 // NewBenchSnapshot starts a snapshot for the named experiment and scale.
@@ -85,6 +91,20 @@ func (b *BenchSnapshot) FromRecorder(rec *obs.Recorder) {
 				b.StepSeconds = make(map[string]obs.HistogramStats)
 			}
 			b.StepSeconds[stage] = h
+		}
+	}
+	for name, v := range snap.Gauges {
+		if stage, ok := strings.CutSuffix(name, "_allocs_per_step"); ok {
+			if b.AllocsPerStep == nil {
+				b.AllocsPerStep = make(map[string]float64)
+			}
+			b.AllocsPerStep[stage] = v
+		}
+		if stage, ok := strings.CutSuffix(name, "_alloc_bytes_per_step"); ok {
+			if b.AllocBytesPerStep == nil {
+				b.AllocBytesPerStep = make(map[string]float64)
+			}
+			b.AllocBytesPerStep[stage] = v
 		}
 	}
 }

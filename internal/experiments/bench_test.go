@@ -19,6 +19,7 @@ func TestBenchSnapshotFromRecorder(t *testing.T) {
 		rec.TrainStep("ae", 1.0, 25, 10*time.Millisecond)
 	}
 	sp.End()
+	rec.TrainAllocs("ae", 4, 8, 4096)
 	rec.Message("latents", 4096, time.Millisecond)
 	rec.Message("synth-req", 64, time.Microsecond)
 
@@ -43,8 +44,12 @@ func TestBenchSnapshotFromRecorder(t *testing.T) {
 	if b.WireMessages != 2 {
 		t.Fatalf("wire messages = %d, want 2", b.WireMessages)
 	}
-	if b.Runtime.GoVersion != runtime.Version() || b.Runtime.NumCPU < 1 {
+	if b.Runtime.GoVersion != runtime.Version() || b.Runtime.NumCPU < 1 || b.Runtime.GOMAXPROCS < 1 {
 		t.Fatalf("runtime stamp = %+v", b.Runtime)
+	}
+	if b.AllocsPerStep["ae"] != 2 || b.AllocBytesPerStep["ae"] != 1024 {
+		t.Fatalf("alloc stats = %v / %v, want 2 allocs and 1024 bytes per step",
+			b.AllocsPerStep["ae"], b.AllocBytesPerStep["ae"])
 	}
 
 	// A nil recorder leaves the snapshot unchanged.
@@ -134,7 +139,8 @@ func TestBenchSnapshotValidation(t *testing.T) {
 func TestManifestRuntimeStamp(t *testing.T) {
 	m := NewManifest("run", 1)
 	if m.Runtime.GoVersion != runtime.Version() || m.Runtime.GOOS != runtime.GOOS ||
-		m.Runtime.GOARCH != runtime.GOARCH || m.Runtime.NumCPU != runtime.NumCPU() {
+		m.Runtime.GOARCH != runtime.GOARCH || m.Runtime.NumCPU != runtime.NumCPU() ||
+		m.Runtime.GOMAXPROCS != runtime.GOMAXPROCS(0) {
 		t.Fatalf("manifest runtime = %+v", m.Runtime)
 	}
 }

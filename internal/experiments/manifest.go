@@ -20,15 +20,20 @@ type RuntimeInfo struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	NumCPU    int    `json:"num_cpu"`
+	// GOMAXPROCS is the scheduler's P count at capture time — the number
+	// that actually bounds kernel-pool parallelism, which can differ from
+	// NumCPU under cgroup limits or an explicit GOMAXPROCS override.
+	GOMAXPROCS int `json:"gomaxprocs"`
 }
 
 // CurrentRuntime captures this process's RuntimeInfo.
 func CurrentRuntime() RuntimeInfo {
 	return RuntimeInfo{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 }
 

@@ -2,6 +2,7 @@ package gan
 
 import (
 	"math/rand"
+	"runtime"
 	"time"
 
 	"silofuse/internal/nn"
@@ -166,6 +167,10 @@ func (g *GAN) Train(train *tabular.Table, iters, batch int) float64 {
 	}
 	idx := make([]int, batch)
 	var gLoss float64
+	var ms0 runtime.MemStats
+	if g.Rec != nil {
+		runtime.ReadMemStats(&ms0)
+	}
 	for it := 0; it < iters; it++ {
 		for i := range idx {
 			idx[i] = g.rng.Intn(train.Rows())
@@ -178,6 +183,11 @@ func (g *GAN) Train(train *tabular.Table, iters, batch int) float64 {
 		if g.Rec != nil {
 			g.Rec.TrainStep("gan", gLoss, batch, time.Since(t0))
 		}
+	}
+	if g.Rec != nil {
+		var ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms1)
+		g.Rec.TrainAllocs("gan", iters, ms1.Mallocs-ms0.Mallocs, ms1.TotalAlloc-ms0.TotalAlloc)
 	}
 	return gLoss
 }

@@ -152,10 +152,12 @@ func TestDiscriminatorArchitectureCanSeparate(t *testing.T) {
 		g.disc.Backward(gradNoise)
 		g.optD.Step()
 	}
-	outReal := g.disc.Forward(xReal, false)
-	outNoise := g.disc.Forward(noise, false)
-	if outReal.Mean() <= outNoise.Mean()+1 {
-		t.Fatalf("discriminator failed to separate fixed distributions: %v vs %v", outReal.Mean(), outNoise.Mean())
+	// Forward reuses the discriminator's workspaces, so capture the first
+	// mean before the second call overwrites the returned buffer.
+	meanReal := g.disc.Forward(xReal, false).Mean()
+	meanNoise := g.disc.Forward(noise, false).Mean()
+	if meanReal <= meanNoise+1 {
+		t.Fatalf("discriminator failed to separate fixed distributions: %v vs %v", meanReal, meanNoise)
 	}
 }
 

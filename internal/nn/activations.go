@@ -8,29 +8,37 @@ import (
 
 const invSqrt2 = 0.7071067811865476 // 1/sqrt(2)
 
+// Every activation keeps two persistent workspaces (forward output,
+// backward grad) reused across steps while the batch shape is unchanged.
+// The elementwise expressions are byte-for-byte the ones the old
+// Map/Clone-based paths evaluated, so outputs stay bit-identical.
+
 // GELU is the exact Gaussian error linear unit used by the paper's
 // autoencoders and diffusion backbones: gelu(x) = x·Φ(x).
 type GELU struct {
-	input *tensor.Matrix
+	input    *tensor.Matrix
+	out, gin *tensor.Matrix
 }
 
 // Forward applies gelu elementwise.
 func (g *GELU) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 	g.input = x
-	return x.Map(func(v float64) float64 {
-		return 0.5 * v * (1 + math.Erf(v*invSqrt2))
-	})
+	g.out = tensor.Ensure(g.out, x.Rows, x.Cols)
+	for i, v := range x.Data {
+		g.out.Data[i] = 0.5 * v * (1 + math.Erf(v*invSqrt2))
+	}
+	return g.out
 }
 
 // Backward multiplies by gelu'(x) = Φ(x) + x·φ(x).
 func (g *GELU) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
-	out := gradOut.Clone()
+	g.gin = tensor.Ensure(g.gin, gradOut.Rows, gradOut.Cols)
 	for i, v := range g.input.Data {
 		cdf := 0.5 * (1 + math.Erf(v*invSqrt2))
 		pdf := math.Exp(-0.5*v*v) / math.Sqrt(2*math.Pi)
-		out.Data[i] *= cdf + v*pdf
+		g.gin.Data[i] = gradOut.Data[i] * (cdf + v*pdf)
 	}
-	return out
+	return g.gin
 }
 
 // Params returns nil; GELU has no parameters.
@@ -38,8 +46,9 @@ func (g *GELU) Params() []*Param { return nil }
 
 // LeakyReLU with negative slope Alpha, used by the GAN baselines.
 type LeakyReLU struct {
-	Alpha float64
-	input *tensor.Matrix
+	Alpha    float64
+	input    *tensor.Matrix
+	out, gin *tensor.Matrix
 }
 
 // NewLeakyReLU creates a LeakyReLU with the given negative slope.
@@ -48,24 +57,29 @@ func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
 // Forward applies max(x, αx) elementwise.
 func (l *LeakyReLU) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 	l.input = x
+	l.out = tensor.Ensure(l.out, x.Rows, x.Cols)
 	a := l.Alpha
-	return x.Map(func(v float64) float64 {
+	for i, v := range x.Data {
 		if v >= 0 {
-			return v
+			l.out.Data[i] = v
+		} else {
+			l.out.Data[i] = a * v
 		}
-		return a * v
-	})
+	}
+	return l.out
 }
 
 // Backward multiplies by 1 or α depending on the input sign.
 func (l *LeakyReLU) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
-	out := gradOut.Clone()
+	l.gin = tensor.Ensure(l.gin, gradOut.Rows, gradOut.Cols)
 	for i, v := range l.input.Data {
 		if v < 0 {
-			out.Data[i] *= l.Alpha
+			l.gin.Data[i] = gradOut.Data[i] * l.Alpha
+		} else {
+			l.gin.Data[i] = gradOut.Data[i]
 		}
 	}
-	return out
+	return l.gin
 }
 
 // Params returns nil; LeakyReLU has no parameters.
@@ -73,24 +87,31 @@ func (l *LeakyReLU) Params() []*Param { return nil }
 
 // ReLU rectified linear unit.
 type ReLU struct {
-	input *tensor.Matrix
+	input    *tensor.Matrix
+	out, gin *tensor.Matrix
 }
 
 // Forward applies max(0, x) elementwise.
 func (r *ReLU) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 	r.input = x
-	return x.Map(func(v float64) float64 { return math.Max(0, v) })
+	r.out = tensor.Ensure(r.out, x.Rows, x.Cols)
+	for i, v := range x.Data {
+		r.out.Data[i] = math.Max(0, v)
+	}
+	return r.out
 }
 
 // Backward zeroes gradients where the input was negative.
 func (r *ReLU) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
-	out := gradOut.Clone()
+	r.gin = tensor.Ensure(r.gin, gradOut.Rows, gradOut.Cols)
 	for i, v := range r.input.Data {
 		if v <= 0 {
-			out.Data[i] = 0
+			r.gin.Data[i] = 0
+		} else {
+			r.gin.Data[i] = gradOut.Data[i]
 		}
 	}
-	return out
+	return r.gin
 }
 
 // Params returns nil; ReLU has no parameters.
@@ -99,21 +120,25 @@ func (r *ReLU) Params() []*Param { return nil }
 // Tanh hyperbolic tangent activation.
 type Tanh struct {
 	output *tensor.Matrix
+	gin    *tensor.Matrix
 }
 
 // Forward applies tanh elementwise.
 func (t *Tanh) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
-	t.output = x.Map(math.Tanh)
+	t.output = tensor.Ensure(t.output, x.Rows, x.Cols)
+	for i, v := range x.Data {
+		t.output.Data[i] = math.Tanh(v)
+	}
 	return t.output
 }
 
 // Backward multiplies by 1 - tanh(x)^2.
 func (t *Tanh) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
-	out := gradOut.Clone()
+	t.gin = tensor.Ensure(t.gin, gradOut.Rows, gradOut.Cols)
 	for i, y := range t.output.Data {
-		out.Data[i] *= 1 - y*y
+		t.gin.Data[i] = gradOut.Data[i] * (1 - y*y)
 	}
-	return out
+	return t.gin
 }
 
 // Params returns nil; Tanh has no parameters.
@@ -122,21 +147,25 @@ func (t *Tanh) Params() []*Param { return nil }
 // Sigmoid logistic activation.
 type Sigmoid struct {
 	output *tensor.Matrix
+	gin    *tensor.Matrix
 }
 
 // Forward applies 1/(1+e^-x) elementwise.
 func (s *Sigmoid) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
-	s.output = x.Map(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	s.output = tensor.Ensure(s.output, x.Rows, x.Cols)
+	for i, v := range x.Data {
+		s.output.Data[i] = 1 / (1 + math.Exp(-v))
+	}
 	return s.output
 }
 
 // Backward multiplies by σ(x)(1-σ(x)).
 func (s *Sigmoid) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
-	out := gradOut.Clone()
+	s.gin = tensor.Ensure(s.gin, gradOut.Rows, gradOut.Cols)
 	for i, y := range s.output.Data {
-		out.Data[i] *= y * (1 - y)
+		s.gin.Data[i] = gradOut.Data[i] * (y * (1 - y))
 	}
-	return out
+	return s.gin
 }
 
 // Params returns nil; Sigmoid has no parameters.

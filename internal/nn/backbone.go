@@ -21,6 +21,12 @@ type DiffusionMLP struct {
 	outProj  *Linear
 
 	tfeat *tensor.Matrix // cached sinusoidal features for Backward
+
+	// embed caches one sinusoidal row per timestep (grown on demand, or
+	// all at once via WarmTimesteps), so a steady-state Forward only
+	// copies precomputed rows. hsum is the add-node workspace.
+	embed [][]float64
+	hsum  *tensor.Matrix
 }
 
 // NewDiffusionMLP builds a backbone with depth hidden blocks. timeDim is the
@@ -42,12 +48,40 @@ func NewDiffusionMLP(rng *rand.Rand, in, hidden, out, depth, timeDim int, dropou
 	}
 }
 
+// embedRow returns the cached sinusoidal embedding for timestep t,
+// computing and caching it on first use.
+func (d *DiffusionMLP) embedRow(t int) []float64 {
+	if t >= len(d.embed) {
+		grown := make([][]float64, t+1)
+		copy(grown, d.embed)
+		d.embed = grown
+	}
+	if d.embed[t] == nil {
+		row := make([]float64, d.TimeDim)
+		SinusoidalEmbedding(t, row)
+		d.embed[t] = row
+	}
+	return d.embed[t]
+}
+
+// WarmTimesteps precomputes the sinusoidal embedding table for timesteps
+// 0..maxT so the first training step is already allocation-free.
+func (d *DiffusionMLP) WarmTimesteps(maxT int) {
+	for t := 0; t <= maxT; t++ {
+		d.embedRow(t)
+	}
+}
+
 // Forward predicts the noise for inputs x at per-row timesteps ts.
 func (d *DiffusionMLP) Forward(x *tensor.Matrix, ts []int, train bool) *tensor.Matrix {
-	d.tfeat = TimestepFeatures(ts, d.TimeDim)
+	d.tfeat = tensor.Ensure(d.tfeat, len(ts), d.TimeDim)
+	for i, t := range ts {
+		copy(d.tfeat.Row(i), d.embedRow(t))
+	}
 	h := d.inProj.Forward(x, train)
 	te := d.timeProj.Forward(d.tfeat, train)
-	h = h.Clone().Add(h, te)
+	d.hsum = tensor.Ensure(d.hsum, h.Rows, h.Cols)
+	h = tensor.AddInto(d.hsum, h, te)
 	h = d.blocks.Forward(h, train)
 	return d.outProj.Forward(h, train)
 }

@@ -17,9 +17,15 @@ type BatchNorm struct {
 
 	runMean, runVar []float64
 
-	// caches for Backward
+	// caches for Backward. invStd stays nil after an inference-mode
+	// Forward (that is the mode signal Backward keys on); the reusable
+	// buffer lives in invStdBuf.
 	xhat   *tensor.Matrix
 	invStd []float64
+
+	// persistent workspaces
+	invStdBuf, meanBuf, vrBuf, sumD, sumDXh []float64
+	out, gin                                *tensor.Matrix
 }
 
 // NewBatchNorm creates a BatchNorm over dim features.
@@ -42,14 +48,15 @@ func NewBatchNorm(dim int) *BatchNorm {
 // and running statistics otherwise.
 func (b *BatchNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	d := x.Cols
-	out := tensor.New(x.Rows, d)
+	b.out = tensor.Ensure(b.out, x.Rows, d)
+	out := b.out
 	g := b.Gamma.Value.Data
 	bt := b.Beta.Value.Data
 
 	if !train || x.Rows < 2 {
 		// Running statistics are constants here, but the normalised input is
 		// still cached so Backward can accumulate gamma/beta gradients.
-		b.xhat = tensor.New(x.Rows, d)
+		b.xhat = tensor.Ensure(b.xhat, x.Rows, d)
 		b.invStd = nil
 		for i := 0; i < x.Rows; i++ {
 			src, dst := x.Row(i), out.Row(i)
@@ -63,8 +70,11 @@ func (b *BatchNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	}
 
 	n := float64(x.Rows)
-	mean := make([]float64, d)
-	vr := make([]float64, d)
+	b.meanBuf = tensor.EnsureVec(b.meanBuf, d)
+	b.vrBuf = tensor.EnsureVec(b.vrBuf, d)
+	mean, vr := b.meanBuf, b.vrBuf
+	clear(mean)
+	clear(vr)
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
 		for j, v := range row {
@@ -81,14 +91,15 @@ func (b *BatchNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 			vr[j] += dlt * dlt
 		}
 	}
-	b.invStd = make([]float64, d)
+	b.invStdBuf = tensor.EnsureVec(b.invStdBuf, d)
+	b.invStd = b.invStdBuf
 	for j := range vr {
 		vr[j] /= n
 		b.invStd[j] = 1 / math.Sqrt(vr[j]+b.Eps)
 		b.runMean[j] = (1-b.Momentum)*b.runMean[j] + b.Momentum*mean[j]
 		b.runVar[j] = (1-b.Momentum)*b.runVar[j] + b.Momentum*vr[j]
 	}
-	b.xhat = tensor.New(x.Rows, d)
+	b.xhat = tensor.Ensure(b.xhat, x.Rows, d)
 	for i := 0; i < x.Rows; i++ {
 		src := x.Row(i)
 		xh := b.xhat.Row(i)
@@ -106,7 +117,8 @@ func (b *BatchNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 func (b *BatchNorm) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	d := gradOut.Cols
 	g := b.Gamma.Value.Data
-	out := tensor.New(gradOut.Rows, d)
+	b.gin = tensor.Ensure(b.gin, gradOut.Rows, d)
+	out := b.gin
 
 	if b.invStd == nil {
 		// Inference-mode forward: running stats are constants, so the input
@@ -124,8 +136,11 @@ func (b *BatchNorm) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	}
 
 	n := float64(gradOut.Rows)
-	sumD := make([]float64, d)
-	sumDXh := make([]float64, d)
+	b.sumD = tensor.EnsureVec(b.sumD, d)
+	b.sumDXh = tensor.EnsureVec(b.sumDXh, d)
+	sumD, sumDXh := b.sumD, b.sumDXh
+	clear(sumD)
+	clear(sumDXh)
 	for i := 0; i < gradOut.Rows; i++ {
 		grow := gradOut.Row(i)
 		xh := b.xhat.Row(i)

@@ -18,6 +18,8 @@ type Conv1D struct {
 	W, B  *Param // W: (OutC, InC*K)
 	input *tensor.Matrix
 	inLen int
+
+	out, gin *tensor.Matrix // persistent workspaces
 }
 
 // NewConv1D creates a Conv1D layer with Kaiming-uniform initialisation.
@@ -44,7 +46,8 @@ func (c *Conv1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 	if ol <= 0 {
 		panic(fmt.Sprintf("nn: Conv1D non-positive output length for input length %d", c.inLen))
 	}
-	out := tensor.New(x.Rows, c.OutC*ol)
+	c.out = tensor.Ensure(c.out, x.Rows, c.OutC*ol)
+	out := c.out // every element is overwritten below, so reuse needs no clear
 	for r := 0; r < x.Rows; r++ {
 		xr := x.Row(r)
 		or := out.Row(r)
@@ -73,7 +76,8 @@ func (c *Conv1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 // Backward accumulates weight/bias gradients and returns the input gradient.
 func (c *Conv1D) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	ol := c.OutLen(c.inLen)
-	gin := tensor.New(c.input.Rows, c.input.Cols)
+	c.gin = tensor.Ensure(c.gin, c.input.Rows, c.input.Cols)
+	gin := c.gin.Zero() // the loop below accumulates with +=
 	for r := 0; r < c.input.Rows; r++ {
 		xr := c.input.Row(r)
 		gr := gradOut.Row(r)
@@ -116,6 +120,8 @@ type ConvTranspose1D struct {
 	W, B  *Param // W: (InC, OutC*K)
 	input *tensor.Matrix
 	inLen int
+
+	out, gin *tensor.Matrix // persistent workspaces
 }
 
 // NewConvTranspose1D creates a transposed convolution layer.
@@ -142,7 +148,8 @@ func (c *ConvTranspose1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 	if ol <= 0 {
 		panic(fmt.Sprintf("nn: ConvTranspose1D non-positive output length for input length %d", c.inLen))
 	}
-	out := tensor.New(x.Rows, c.OutC*ol)
+	c.out = tensor.Ensure(c.out, x.Rows, c.OutC*ol)
+	out := c.out // every position is seeded with the bias below, so reuse needs no clear
 	for r := 0; r < x.Rows; r++ {
 		xr := x.Row(r)
 		or := out.Row(r)
@@ -177,7 +184,8 @@ func (c *ConvTranspose1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 // Backward accumulates weight/bias gradients and returns the input gradient.
 func (c *ConvTranspose1D) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	ol := c.OutLen(c.inLen)
-	gin := tensor.New(c.input.Rows, c.input.Cols)
+	c.gin = tensor.Ensure(c.gin, c.input.Rows, c.input.Cols)
+	gin := c.gin.Zero() // the loop below accumulates with +=
 	for r := 0; r < c.input.Rows; r++ {
 		xr := c.input.Row(r)
 		gr := gradOut.Row(r)

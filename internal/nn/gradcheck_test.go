@@ -294,3 +294,146 @@ func TestKLStandardNormalGradients(t *testing.T) {
 		}
 	}
 }
+
+// checkWarmMatchesCold proves the workspace-reuse path is bit-identical to
+// the cold-start path: a layer that has already run (and whose buffers are
+// dirty with previous results) must produce exactly the same output, input
+// gradient and parameter gradients as a freshly constructed twin. Compared
+// with ==, not a tolerance — the bench snapshot's losses must not move when
+// workspaces warm up.
+func checkWarmMatchesCold(t *testing.T, name string, mk func() Layer, x, g *tensor.Matrix) {
+	t.Helper()
+	cold := mk()
+	yCold := cold.Forward(x, true).Clone()
+	ginCold := cold.Backward(g).Clone()
+
+	warm := mk()
+	// Dirty every workspace with one full step, then reset gradients as an
+	// optimiser would.
+	warm.Forward(x, true)
+	warm.Backward(g)
+	ZeroGrads(warm.Params())
+	yWarm := warm.Forward(x, true)
+	ginWarm := warm.Backward(g)
+
+	for i := range yCold.Data {
+		if yCold.Data[i] != yWarm.Data[i] {
+			t.Fatalf("%s: warm output differs at %d: %v vs %v", name, i, yCold.Data[i], yWarm.Data[i])
+		}
+	}
+	for i := range ginCold.Data {
+		if ginCold.Data[i] != ginWarm.Data[i] {
+			t.Fatalf("%s: warm input grad differs at %d: %v vs %v", name, i, ginCold.Data[i], ginWarm.Data[i])
+		}
+	}
+	cp, wp := cold.Params(), warm.Params()
+	for pi := range cp {
+		for i := range cp[pi].Grad.Data {
+			if cp[pi].Grad.Data[i] != wp[pi].Grad.Data[i] {
+				t.Fatalf("%s: warm grad of %s differs at %d", name, cp[pi].Name, i)
+			}
+		}
+	}
+}
+
+func TestWorkspaceReuseBitIdentical(t *testing.T) {
+	dataRng := rand.New(rand.NewSource(41))
+	x := tensor.New(9, 12).Randn(dataRng, 1)
+	g := tensor.New(9, 12).Randn(dataRng, 1)
+	gHalf := tensor.New(9, 6).Randn(dataRng, 1)
+
+	mkRng := func() *rand.Rand { return rand.New(rand.NewSource(42)) }
+	cases := []struct {
+		name string
+		mk   func() Layer
+		g    *tensor.Matrix
+	}{
+		{"Linear", func() Layer { return NewLinear(mkRng(), 12, 6) }, gHalf},
+		{"GELU", func() Layer { return &GELU{} }, g},
+		{"ReLU", func() Layer { return &ReLU{} }, g},
+		{"LeakyReLU", func() Layer { return NewLeakyReLU(0.2) }, g},
+		{"Tanh", func() Layer { return &Tanh{} }, g},
+		{"Sigmoid", func() Layer { return &Sigmoid{} }, g},
+		{"LayerNorm", func() Layer { return NewLayerNorm(12) }, g},
+		{"BatchNorm", func() Layer { return NewBatchNorm(12) }, g},
+		{"Conv1D", func() Layer { return NewConv1D(mkRng(), 2, 2, 3, 1, 1) }, g},
+		{"ConvTranspose1D", func() Layer { return NewConvTranspose1D(mkRng(), 2, 2, 3, 1, 1) }, g},
+		{"Sequential", func() Layer {
+			rng := mkRng()
+			return NewSequential(NewLinear(rng, 12, 12), &GELU{}, NewLinear(rng, 12, 12))
+		}, g},
+	}
+	for _, c := range cases {
+		checkWarmMatchesCold(t, c.name, c.mk, x.Clone(), c.g.Clone())
+	}
+}
+
+// TestDropoutWorkspaceKeepsRNGStream verifies two things at once: the
+// reused-mask path draws exactly one rng.Float64 per element in the same
+// order as the cold path, and a shape change falls back to fresh buffers.
+// Two same-seeded instances see the same element counts, so their streams —
+// and therefore their masks — must stay aligned even though one of them is
+// forced through a workspace reallocation.
+func TestDropoutWorkspaceKeepsRNGStream(t *testing.T) {
+	dataRng := rand.New(rand.NewSource(43))
+	x := tensor.New(6, 4).Randn(dataRng, 1)
+	warmup := tensor.New(6, 4).Randn(dataRng, 1)   // same shape: warm reuse
+	reshaped := tensor.New(4, 6).Randn(dataRng, 1) // same count, new shape: cold restart
+
+	dWarm := NewDropout(rand.New(rand.NewSource(44)), 0.3)
+	dWarm.Forward(warmup, true)
+	yWarm := dWarm.Forward(x, true)
+
+	dCold := NewDropout(rand.New(rand.NewSource(44)), 0.3)
+	dCold.Forward(reshaped, true)
+	yCold := dCold.Forward(x, true)
+
+	for i := range yWarm.Data {
+		if yWarm.Data[i] != yCold.Data[i] {
+			t.Fatalf("dropout mask diverged at %d: %v vs %v", i, yWarm.Data[i], yCold.Data[i])
+		}
+	}
+}
+
+// TestLinearSteadyStateAllocs pins the zero-allocation contract for the
+// densest layer on the hot path.
+func TestLinearSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	l := NewLinear(rng, 64, 64)
+	x := tensor.New(128, 64).Randn(rng, 1)
+	g := tensor.New(128, 64).Randn(rng, 1)
+	l.Forward(x, true)
+	l.Backward(g)
+	if allocs := testing.AllocsPerRun(50, func() {
+		l.Forward(x, true)
+		l.Backward(g)
+	}); allocs != 0 {
+		t.Fatalf("warm Linear step performs %v allocs, want 0", allocs)
+	}
+}
+
+func BenchmarkLinearForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(46))
+	l := NewLinear(rng, 64, 64)
+	x := tensor.New(128, 64).Randn(rng, 1)
+	l.Forward(x, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x, true)
+	}
+}
+
+func BenchmarkLinearBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(47))
+	l := NewLinear(rng, 64, 64)
+	x := tensor.New(128, 64).Randn(rng, 1)
+	g := tensor.New(128, 64).Randn(rng, 1)
+	l.Forward(x, true)
+	l.Backward(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Backward(g)
+	}
+}

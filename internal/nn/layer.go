@@ -7,6 +7,14 @@
 // Forward call must be paired with at most one Backward call before the next
 // Forward. Parameter gradients accumulate across Backward calls until the
 // optimiser zeroes them; this enables multi-head losses that share trunks.
+//
+// Layers also own persistent workspaces: Forward and Backward return
+// buffers that are reused verbatim on the next call with the same batch
+// shape, so in steady state a training step performs no heap allocation.
+// The corollary is that a returned matrix is only valid until the layer's
+// next Forward/Backward — callers that need a result to survive a later
+// call through the same layer must Clone it. A shape change transparently
+// falls back to a fresh allocation (the cold-start path).
 package nn
 
 import "silofuse/internal/tensor"

@@ -14,6 +14,8 @@ type LayerNorm struct {
 
 	xhat   *tensor.Matrix // cached normalised input
 	invStd []float64      // cached per-row 1/sqrt(var+eps)
+
+	out, gin *tensor.Matrix // persistent workspaces
 }
 
 // NewLayerNorm creates a LayerNorm over feature dimension dim.
@@ -28,9 +30,10 @@ func NewLayerNorm(dim int) *LayerNorm {
 // Forward normalises each row and applies gamma/beta.
 func (l *LayerNorm) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 	n := float64(x.Cols)
-	l.xhat = tensor.New(x.Rows, x.Cols)
-	l.invStd = make([]float64, x.Rows)
-	out := tensor.New(x.Rows, x.Cols)
+	l.xhat = tensor.Ensure(l.xhat, x.Rows, x.Cols)
+	l.invStd = tensor.EnsureVec(l.invStd, x.Rows)
+	l.out = tensor.Ensure(l.out, x.Rows, x.Cols)
+	out := l.out
 	g := l.Gamma.Value.Data
 	b := l.Beta.Value.Data
 	for i := 0; i < x.Rows; i++ {
@@ -61,7 +64,8 @@ func (l *LayerNorm) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 // Backward implements the standard layer-norm gradient.
 func (l *LayerNorm) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	n := float64(gradOut.Cols)
-	out := tensor.New(gradOut.Rows, gradOut.Cols)
+	l.gin = tensor.Ensure(l.gin, gradOut.Rows, gradOut.Cols)
+	out := l.gin
 	g := l.Gamma.Value.Data
 	for i := 0; i < gradOut.Rows; i++ {
 		grow := gradOut.Row(i)

@@ -11,6 +11,11 @@ import (
 type Linear struct {
 	W, B  *Param
 	input *tensor.Matrix // cached for Backward
+
+	// Persistent workspaces, reused verbatim while the batch shape is
+	// unchanged; see the layer contract in layer.go.
+	out, dW, gin *tensor.Matrix
+	bsums        []float64
 }
 
 // NewLinear creates a Linear layer with Kaiming-uniform initialised weights.
@@ -24,20 +29,25 @@ func NewLinear(rng *rand.Rand, in, out int) *Linear {
 // Forward computes xW + b.
 func (l *Linear) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 	l.input = x
-	out := tensor.MatMul(x, l.W.Value)
-	out.AddRowVector(l.B.Value.Data)
-	return out
+	l.out = tensor.Ensure(l.out, x.Rows, l.W.Value.Cols)
+	return tensor.MatMulAddRowInto(l.out, x, l.W.Value, l.B.Value)
 }
 
 // Backward accumulates dW = xᵀg, db = Σ_rows g and returns g Wᵀ.
 func (l *Linear) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
-	dW := tensor.MatMulT1(l.input, gradOut)
-	l.W.Grad.Add(l.W.Grad, dW)
-	bs := gradOut.ColSums()
-	for j, v := range bs {
+	l.dW = tensor.Ensure(l.dW, l.W.Value.Rows, l.W.Value.Cols)
+	tensor.MatMulT1Into(l.dW, l.input, gradOut)
+	l.W.Grad.Add(l.W.Grad, l.dW)
+	// Two-phase bias reduction: column sums land in a scratch vector first
+	// and are added to the grad in one pass, preserving the FP accumulation
+	// order of the old ColSums-then-add code across repeated Backwards.
+	l.bsums = tensor.EnsureVec(l.bsums, gradOut.Cols)
+	gradOut.ColSumsInto(l.bsums)
+	for j, v := range l.bsums {
 		l.B.Grad.Data[j] += v
 	}
-	return tensor.MatMulT2(gradOut, l.W.Value)
+	l.gin = tensor.Ensure(l.gin, gradOut.Rows, l.W.Value.Rows)
+	return tensor.MatMulT2Into(l.gin, gradOut, l.W.Value)
 }
 
 // Params returns the weight and bias parameters.

@@ -10,15 +10,24 @@ import (
 // gradient dLoss/dPred. The mean is taken over all elements, matching the
 // diffusion objective (2)/(5) in the paper.
 func MSELoss(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
-	n := float64(len(pred.Data))
 	grad := tensor.New(pred.Rows, pred.Cols)
+	return MSELossInto(pred, target, grad), grad
+}
+
+// MSELossInto is the destination-passing form of MSELoss: the gradient is
+// written into grad (which must match pred's shape) and the loss returned.
+func MSELossInto(pred, target, grad *tensor.Matrix) float64 {
+	if grad.Rows != pred.Rows || grad.Cols != pred.Cols {
+		panic("nn: MSELossInto grad shape mismatch")
+	}
+	n := float64(len(pred.Data))
 	loss := 0.0
 	for i := range pred.Data {
 		d := pred.Data[i] - target.Data[i]
 		loss += d * d
 		grad.Data[i] = 2 * d / n
 	}
-	return loss / n, grad
+	return loss / n
 }
 
 // Softmax computes row-wise softmax of logits into a new matrix.

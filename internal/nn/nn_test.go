@@ -219,10 +219,12 @@ func TestDiffusionMLPTimeConditioning(t *testing.T) {
 		d.Backward(g)
 		opt.Step()
 	}
-	outA := d.Forward(x, tsA, false)
-	outB := d.Forward(x, tsB, false)
-	if outA.Mean() < 0.5 || outB.Mean() > -0.5 {
-		t.Fatalf("time conditioning not learned: %v vs %v", outA.Mean(), outB.Mean())
+	// Forward reuses the backbone's workspaces, so capture the first mean
+	// before the second call overwrites the returned buffer.
+	meanA := d.Forward(x, tsA, false).Mean()
+	meanB := d.Forward(x, tsB, false).Mean()
+	if meanA < 0.5 || meanB > -0.5 {
+		t.Fatalf("time conditioning not learned: %v vs %v", meanA, meanB)
 	}
 }
 
@@ -269,8 +271,9 @@ func TestBatchNormTrainStatistics(t *testing.T) {
 	if bn.runMean[0] == 0 {
 		t.Fatal("running mean not updated")
 	}
-	// Inference mode uses running stats and is deterministic.
-	a := bn.Forward(x, false)
+	// Inference mode uses running stats and is deterministic. Clone the
+	// first output: the layer's workspace is reused by the second call.
+	a := bn.Forward(x, false).Clone()
 	b := bn.Forward(x, false)
 	for i := range a.Data {
 		if a.Data[i] != b.Data[i] {

@@ -136,6 +136,21 @@ func (r *Recorder) TrainStep(stage string, loss float64, rows int, d time.Durati
 	}
 }
 
+// TrainAllocs records the heap-allocation cost of a finished training loop
+// of the named stage: allocs and bytes are runtime.MemStats deltas
+// (Mallocs, TotalAlloc) measured across steps optimisation steps. They land
+// in the <stage>_allocs_per_step and <stage>_alloc_bytes_per_step gauges,
+// the perf counterpart to <stage>_step_seconds. Training loops re-running
+// within one process overwrite the gauges, so a snapshot reflects the most
+// recent loop — steady state, once workspaces are warm.
+func (r *Recorder) TrainAllocs(stage string, steps int, allocs, bytes uint64) {
+	if r == nil || steps <= 0 {
+		return
+	}
+	r.Reg.Gauge(stage + "_allocs_per_step").Set(float64(allocs) / float64(steps))
+	r.Reg.Gauge(stage + "_alloc_bytes_per_step").Set(float64(bytes) / float64(steps))
+}
+
 // Message records one transport send of the given message kind: it bumps
 // bus_messages_total_<kind> and bus_bytes_total_<kind> and observes the
 // send latency in bus_send_seconds_<kind>.

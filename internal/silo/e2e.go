@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"silofuse/internal/diffusion"
@@ -81,6 +82,7 @@ func NewE2EPipeline(bus Bus, data *tabular.Table, cfg PipelineConfig) (*E2EPipel
 		net:   nn.NewDiffusionMLP(rng, total, cfg.Diff.Hidden, total, cfg.Diff.Depth, cfg.Diff.TimeDim, cfg.Diff.Dropout),
 		rng:   rng,
 	}
+	p.net.WarmTimesteps(cfg.Diff.T)
 	p.opt = nn.NewAdam(p.net.Params(), cfg.Diff.LR)
 	p.Coord.latentDims = dims
 	return p, nil
@@ -103,6 +105,10 @@ func (p *E2EPipeline) Train(iters int) (float64, error) {
 	var tailLoss float64
 	var tailCount int
 	idx := make([]int, batch)
+	var ms0 runtime.MemStats
+	if p.Rec != nil {
+		runtime.ReadMemStats(&ms0)
+	}
 	for it := 0; it < iters; it++ {
 		for i := range idx {
 			idx[i] = batchRng.Intn(rows)
@@ -122,6 +128,11 @@ func (p *E2EPipeline) Train(iters int) (float64, error) {
 			tailLoss += loss
 			tailCount++
 		}
+	}
+	if p.Rec != nil {
+		var ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms1)
+		p.Rec.TrainAllocs("e2e", iters, ms1.Mallocs-ms0.Mallocs, ms1.TotalAlloc-ms0.TotalAlloc)
 	}
 	if tailCount == 0 {
 		return 0, nil

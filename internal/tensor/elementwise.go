@@ -1,0 +1,46 @@
+package tensor
+
+// Pool-backed elementwise helpers. Unlike the matmul kernels these
+// parallelise over flat element ranges; each element of dst depends only on
+// the same element of a and b, so dst may alias either operand and chunk
+// boundaries cannot change the result. The work estimate is one unit per
+// element, so only large matrices fan out — these ops are memory-bound and
+// the pool pays off later than it does for matmul.
+
+func addElems(a, b, _, dst *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+func subElems(a, b, _, dst *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+func mulElems(a, b, _, dst *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+func elementwiseInto(kern kernelFn, dst, a, b *Matrix, op string) *Matrix {
+	a.assertSameShape(b, op)
+	dst.assertSameShape(a, op)
+	n := len(dst.Data)
+	dispatchKernel(kern, a, b, nil, dst, n, n)
+	return dst
+}
+
+// AddInto stores a+b into dst (dst may alias a or b) and returns dst.
+func AddInto(dst, a, b *Matrix) *Matrix { return elementwiseInto(addElems, dst, a, b, "AddInto") }
+
+// SubInto stores a-b into dst (dst may alias a or b) and returns dst.
+func SubInto(dst, a, b *Matrix) *Matrix { return elementwiseInto(subElems, dst, a, b, "SubInto") }
+
+// MulElemInto stores the Hadamard product a*b into dst (dst may alias a or
+// b) and returns dst.
+func MulElemInto(dst, a, b *Matrix) *Matrix {
+	return elementwiseInto(mulElems, dst, a, b, "MulElemInto")
+}

@@ -1,64 +1,139 @@
 package tensor
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
+import "fmt"
 
-// parallelThreshold is the minimum number of multiply-adds before MatMul
-// spreads row blocks across goroutines. Below it, the scheduling overhead
-// dominates.
+// parallelThreshold is the minimum number of multiply-adds before a kernel
+// spreads row blocks across the persistent worker pool. Below it, the
+// scheduling overhead dominates.
 const parallelThreshold = 1 << 16
+
+// Every kernel in this file keeps a fixed per-output-row reduction order,
+// so serial, pooled, and destination-passing execution are bit-identical.
+// The accumulation kernels (matmulRows, matmulT1Cols, matmulAddRowRows)
+// clear the destination rows they own before accumulating, which makes the
+// Into variants safe on dirty destination buffers at no cost on fresh ones.
+
+func checkInto(dst, a, b *Matrix, rows, cols int, op string) {
+	if dst.Rows != rows || dst.Cols != cols {
+		panic(fmt.Sprintf("tensor: %s dst shape %dx%d, want %dx%d", op, dst.Rows, dst.Cols, rows, cols))
+	}
+	if dst == a || dst == b || sharesData(dst, a) || sharesData(dst, b) {
+		panic(fmt.Sprintf("tensor: %s dst aliases an operand", op))
+	}
+}
+
+func sharesData(x, y *Matrix) bool {
+	return len(x.Data) > 0 && len(y.Data) > 0 && &x.Data[0] == &y.Data[0]
+}
 
 // MatMul returns a @ b. The inner loops are ordered i-k-j so the b matrix is
 // streamed row-wise (cache friendly), and independent row blocks of the
-// output are computed on separate goroutines. Per-row reduction order is
-// fixed, so results are bit-identical regardless of parallelism.
+// output are computed on the persistent worker pool. Per-row reduction order
+// is fixed, so results are bit-identical regardless of parallelism.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
-	work := a.Rows * a.Cols * b.Cols
-	if work < parallelThreshold || a.Rows < 2 {
-		matmulRows(a, b, out, 0, a.Rows)
-		return out
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > a.Rows {
-		workers = a.Rows
-	}
-	var wg sync.WaitGroup
-	chunk := (a.Rows + workers - 1) / workers
-	for lo := 0; lo < a.Rows; lo += chunk {
-		hi := lo + chunk
-		if hi > a.Rows {
-			hi = a.Rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulRows(a, b, out, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	dispatchKernel(matmulRows, a, b, nil, out, a.Rows, a.Rows*a.Cols*b.Cols)
 	return out
 }
 
-func matmulRows(a, b, out *Matrix, lo, hi int) {
-	n := b.Cols
+// MatMulInto stores a @ b into dst (which must not alias a or b) and
+// returns dst. It is the allocation-free form of MatMul: same kernel, same
+// reduction order, same bits.
+func MatMulInto(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	checkInto(dst, a, b, a.Rows, b.Cols, "MatMulInto")
+	dispatchKernel(matmulRows, a, b, nil, dst, a.Rows, a.Rows*a.Cols*b.Cols)
+	return dst
+}
+
+// MatMulAddRowInto stores a @ b + bias into dst, where bias is a 1 x b.Cols
+// row added to every output row after that row's accumulation finishes —
+// exactly the arithmetic of MatMul followed by AddRowVector, fused into one
+// pass over the output. dst must not alias a or b.
+func MatMulAddRowInto(dst, a, b, bias *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulAddRowInto shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if bias.Rows != 1 || bias.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulAddRowInto bias shape %dx%d, want 1x%d", bias.Rows, bias.Cols, b.Cols))
+	}
+	checkInto(dst, a, b, a.Rows, b.Cols, "MatMulAddRowInto")
+	dispatchKernel(matmulAddRowRows, a, b, bias, dst, a.Rows, a.Rows*a.Cols*b.Cols)
+	return dst
+}
+
+func matmulRows(a, b, _, out *Matrix, lo, hi int) {
 	for i := lo; i < hi; i++ {
-		arow := a.Row(i)
 		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*n : (k+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
+		clear(orow)
+		axpyRow(a.Row(i), b, orow)
+	}
+}
+
+func matmulAddRowRows(a, b, bias, out *Matrix, lo, hi int) {
+	brow0 := bias.Data
+	for i := lo; i < hi; i++ {
+		orow := out.Row(i)
+		clear(orow)
+		axpyRow(a.Row(i), b, orow)
+		dst := orow[:len(brow0)]
+		for j, bv := range brow0 {
+			dst[j] += bv
+		}
+	}
+}
+
+// axpyRow accumulates arow @ b into orow. Four k-rows of b are fused per
+// pass so the output row is loaded and stored once per four inputs, with
+// four independent multiply chains in flight. Per output element the adds
+// still land in ascending-k order, and any zero coefficient falls back to
+// the scalar skip loop, so the result is bit-identical to one k-row at a
+// time.
+func axpyRow(arow []float64, b *Matrix, orow []float64) {
+	n := b.Cols
+	k := 0
+	for ; k+3 < len(arow); k += 4 {
+		av0, av1, av2, av3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+		if av0 == 0 || av1 == 0 || av2 == 0 || av3 == 0 {
+			axpyScalar(arow[k:k+4], b, orow, k)
+			continue
+		}
+		b0 := b.Data[k*n : (k+1)*n]
+		b1 := b.Data[(k+1)*n : (k+2)*n]
+		b2 := b.Data[(k+2)*n : (k+3)*n]
+		b3 := b.Data[(k+3)*n : (k+4)*n]
+		dst := orow[:len(b0)]
+		b1 = b1[:len(b0)]
+		b2 = b2[:len(b0)]
+		b3 = b3[:len(b0)]
+		for j := range dst {
+			v := dst[j] + av0*b0[j]
+			v += av1 * b1[j]
+			v += av2 * b2[j]
+			v += av3 * b3[j]
+			dst[j] = v
+		}
+	}
+	axpyScalar(arow[k:], b, orow, k)
+}
+
+// axpyScalar is the one-k-row-at-a-time tail/fallback with the sparse skip.
+func axpyScalar(avs []float64, b *Matrix, orow []float64, k0 int) {
+	n := b.Cols
+	for dk, av := range avs {
+		if av == 0 {
+			continue
+		}
+		k := k0 + dk
+		brow := b.Data[k*n : (k+1)*n]
+		dst := orow[:len(brow)]
+		for j, bv := range brow {
+			dst[j] += av * bv
 		}
 	}
 }
@@ -69,46 +144,70 @@ func MatMulT1(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: MatMulT1 shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Cols, b.Cols)
-	work := a.Rows * a.Cols * b.Cols
-	if work < parallelThreshold || a.Cols < 2 {
-		matmulT1Cols(a, b, out, 0, a.Cols)
-		return out
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > a.Cols {
-		workers = a.Cols
-	}
-	var wg sync.WaitGroup
-	chunk := (a.Cols + workers - 1) / workers
-	for lo := 0; lo < a.Cols; lo += chunk {
-		hi := lo + chunk
-		if hi > a.Cols {
-			hi = a.Cols
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulT1Cols(a, b, out, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	dispatchKernel(matmulT1Cols, a, b, nil, out, a.Cols, a.Rows*a.Cols*b.Cols)
 	return out
 }
 
-func matmulT1Cols(a, b, out *Matrix, lo, hi int) {
+// MatMulT1Into stores aᵀ @ b into dst (which must not alias a or b) and
+// returns dst.
+func MatMulT1Into(dst, a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulT1Into shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	checkInto(dst, a, b, a.Cols, b.Cols, "MatMulT1Into")
+	dispatchKernel(matmulT1Cols, a, b, nil, dst, a.Cols, a.Rows*a.Cols*b.Cols)
+	return dst
+}
+
+// matmulT1Cols accumulates aᵀ@b for output rows [lo, hi). Four r-rows are
+// fused per pass (same scheme as axpyRow: ascending-r adds per output
+// element, scalar skip fallback on zeros), so the b rows stay cache-hot
+// across the whole i sweep.
+func matmulT1Cols(a, b, _, out *Matrix, lo, hi int) {
 	n := b.Cols
-	for r := 0; r < a.Rows; r++ {
-		arow := a.Row(r)
-		brow := b.Data[r*n : (r+1)*n]
+	clear(out.Data[lo*n : hi*n])
+	r := 0
+	for ; r+3 < a.Rows; r += 4 {
+		a0, a1, a2, a3 := a.Row(r), a.Row(r+1), a.Row(r+2), a.Row(r+3)
+		b0 := b.Data[r*n : (r+1)*n]
+		b1 := b.Data[(r+1)*n : (r+2)*n][:len(b0)]
+		b2 := b.Data[(r+2)*n : (r+3)*n][:len(b0)]
+		b3 := b.Data[(r+3)*n : (r+4)*n][:len(b0)]
 		for i := lo; i < hi; i++ {
-			av := arow[i]
-			if av == 0 {
+			av0, av1, av2, av3 := a0[i], a1[i], a2[i], a3[i]
+			orow := out.Data[i*n : (i+1)*n]
+			if av0 == 0 || av1 == 0 || av2 == 0 || av3 == 0 {
+				matmulT1Scalar(a, b, orow, i, r, r+4)
 				continue
 			}
-			orow := out.Data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
+			dst := orow[:len(b0)]
+			for j := range dst {
+				v := dst[j] + av0*b0[j]
+				v += av1 * b1[j]
+				v += av2 * b2[j]
+				v += av3 * b3[j]
+				dst[j] = v
 			}
+		}
+	}
+	for i := lo; i < hi; i++ {
+		matmulT1Scalar(a, b, out.Data[i*n:(i+1)*n], i, r, a.Rows)
+	}
+}
+
+// matmulT1Scalar accumulates rows [r0, r1) of a into output row i, one at a
+// time with the sparse skip.
+func matmulT1Scalar(a, b *Matrix, orow []float64, i, r0, r1 int) {
+	n := b.Cols
+	for r := r0; r < r1; r++ {
+		av := a.Row(r)[i]
+		if av == 0 {
+			continue
+		}
+		brow := b.Data[r*n : (r+1)*n]
+		dst := orow[:len(brow)]
+		for j, bv := range brow {
+			dst[j] += av * bv
 		}
 	}
 }
@@ -119,38 +218,50 @@ func MatMulT2(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: MatMulT2 shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Rows)
-	work := a.Rows * a.Cols * b.Rows
-	if work < parallelThreshold || a.Rows < 2 {
-		matmulT2Rows(a, b, out, 0, a.Rows)
-		return out
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > a.Rows {
-		workers = a.Rows
-	}
-	var wg sync.WaitGroup
-	chunk := (a.Rows + workers - 1) / workers
-	for lo := 0; lo < a.Rows; lo += chunk {
-		hi := lo + chunk
-		if hi > a.Rows {
-			hi = a.Rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulT2Rows(a, b, out, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	dispatchKernel(matmulT2Rows, a, b, nil, out, a.Rows, a.Rows*a.Cols*b.Rows)
 	return out
 }
 
-func matmulT2Rows(a, b, out *Matrix, lo, hi int) {
+// MatMulT2Into stores a @ bᵀ into dst (which must not alias a or b) and
+// returns dst.
+func MatMulT2Into(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT2Into shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	checkInto(dst, a, b, a.Rows, b.Rows, "MatMulT2Into")
+	dispatchKernel(matmulT2Rows, a, b, nil, dst, a.Rows, a.Rows*a.Cols*b.Rows)
+	return dst
+}
+
+// matmulT2Rows computes a@bᵀ rows [lo, hi). Four output columns (rows of b)
+// are produced per pass with four independent dot-product accumulators —
+// each still summed in ascending-k order — so the loads of arow are shared
+// and the add chains pipeline instead of serialising on FP latency.
+func matmulT2Rows(a, b, _, out *Matrix, lo, hi int) {
+	kw := a.Cols
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
+		j := 0
+		for ; j+3 < b.Rows; j += 4 {
+			b0 := b.Data[j*kw : (j+1)*kw][:len(arow)]
+			b1 := b.Data[(j+1)*kw : (j+2)*kw][:len(arow)]
+			b2 := b.Data[(j+2)*kw : (j+3)*kw][:len(arow)]
+			b3 := b.Data[(j+3)*kw : (j+4)*kw][:len(arow)]
+			var s0, s1, s2, s3 float64
+			for k, av := range arow {
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			orow[j] = s0
+			orow[j+1] = s1
+			orow[j+2] = s2
+			orow[j+3] = s3
+		}
+		for ; j < b.Rows; j++ {
+			brow := b.Row(j)[:len(arow)]
 			s := 0.0
 			for k, av := range arow {
 				s += av * brow[k]

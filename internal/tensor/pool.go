@@ -1,0 +1,132 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the package-level persistent worker pool that backs
+// every parallel kernel in the package. Instead of spawning goroutines per
+// MatMul call (scheduler churn plus one closure allocation per chunk), a
+// fixed set of long-lived workers ranges over a buffered channel of
+// by-value chunk descriptors. A steady-state kernel dispatch therefore
+// performs zero heap allocations: the task struct is copied into the
+// channel, and the per-call completion state is recycled via a sync.Pool.
+//
+// Chunk boundaries never change the result: every kernel keeps a fixed
+// per-row (or per-output-element) reduction order, so serial and parallel
+// execution are bit-identical.
+
+// kernelFn computes output elements in the half-open range [lo, hi) of its
+// parallel axis. The meaning of a, b, c depends on the kernel; c is nil for
+// kernels that only need two operands (e.g. plain matmul) and carries the
+// bias row for the fused matmul+bias kernel.
+type kernelFn func(a, b, c, dst *Matrix, lo, hi int)
+
+// chunkTask describes one contiguous chunk of a kernel invocation. It is
+// sent by value so enqueueing does not allocate.
+type chunkTask struct {
+	kern   kernelFn
+	a, b, c, dst *Matrix
+	lo, hi int
+	state  *callState
+}
+
+// callState tracks completion of one parallel kernel invocation. done is
+// buffered so the finishing worker never blocks on a caller that finished
+// its own chunk last and skipped the receive.
+type callState struct {
+	remain atomic.Int64
+	done   chan struct{}
+}
+
+var statePool = sync.Pool{New: func() any {
+	return &callState{done: make(chan struct{}, 1)}
+}}
+
+var (
+	poolOnce    sync.Once
+	poolWorkers int
+	workCh      chan chunkTask
+)
+
+// ensurePool lazily starts the worker pool on first parallel dispatch.
+// Worker count is fixed at startup: GOMAXPROCS at first use, with a floor
+// of 2 so the pool path stays exercisable (and race-testable) even on a
+// single-CPU machine. Idle workers cost one blocked goroutine each.
+func ensurePool() {
+	poolOnce.Do(func() {
+		poolWorkers = runtime.GOMAXPROCS(0)
+		if poolWorkers < 2 {
+			poolWorkers = 2
+		}
+		workCh = make(chan chunkTask, 4*poolWorkers)
+		for w := 0; w < poolWorkers; w++ {
+			go poolWorker()
+		}
+		startedWorkers.Store(int64(poolWorkers))
+	})
+}
+
+func poolWorker() {
+	for t := range workCh {
+		t.kern(t.a, t.b, t.c, t.dst, t.lo, t.hi)
+		finishChunk(t.state)
+	}
+}
+
+// finishChunk records one completed chunk and reports whether it was the
+// last one for its invocation (the completer signals done).
+func finishChunk(s *callState) bool {
+	if s.remain.Add(-1) == 0 {
+		s.done <- struct{}{}
+		return true
+	}
+	return false
+}
+
+// dispatchKernel runs kern over [0, n) on the parallel axis, either inline
+// (when the work is too small, or only one P is available) or sliced into
+// chunks fed to the worker pool. work is the multiply-add count used
+// against parallelThreshold. The caller always executes the final chunk
+// itself, so at most parts-1 chunks cross the channel.
+func dispatchKernel(kern kernelFn, a, b, c, dst *Matrix, n, work int) {
+	if n <= 0 {
+		return
+	}
+	parts := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || n < 2 || parts == 1 {
+		kern(a, b, c, dst, 0, n)
+		return
+	}
+	ensurePool()
+	if parts > n {
+		parts = n
+	}
+	s := statePool.Get().(*callState)
+	s.remain.Store(int64(parts))
+	chunk := (n + parts - 1) / parts
+	lo := 0
+	for p := 0; p < parts-1; p++ {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		workCh <- chunkTask{kern: kern, a: a, b: b, c: c, dst: dst, lo: lo, hi: hi, state: s}
+		lo = hi
+	}
+	kern(a, b, c, dst, lo, n)
+	// Exactly one chunk completion sends on done (the last one, possibly
+	// this caller's own); receiving it both waits for stragglers and
+	// drains the channel so the state is clean for reuse.
+	finishChunk(s)
+	<-s.done
+	statePool.Put(s)
+}
+
+var startedWorkers atomic.Int64
+
+// PoolWorkers reports the number of persistent kernel workers (0 until the
+// first parallel dispatch starts the pool).
+func PoolWorkers() int { return int(startedWorkers.Load()) }

@@ -1,0 +1,366 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// The Into kernels promise bit-identical results to their allocating
+// counterparts — the bench snapshot's losses must not move when training
+// switches to the destination-passing path. Every parity test therefore
+// compares with ==, not a tolerance, and runs against a dirty destination
+// buffer to prove the kernels do not depend on a zeroed dst.
+
+func dirty(rows, cols int) *Matrix {
+	return New(rows, cols).Fill(123.456)
+}
+
+func randMat(rng *rand.Rand, rows, cols int) *Matrix {
+	return New(rows, cols).Randn(rng, 1)
+}
+
+func assertSameBits(t *testing.T, op string, want, got *Matrix) {
+	t.Helper()
+	if want.Rows != got.Rows || want.Cols != got.Cols {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", op, want.Rows, want.Cols, got.Rows, got.Cols)
+	}
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("%s: bit mismatch at %d: %v vs %v", op, i, want.Data[i], got.Data[i])
+		}
+	}
+}
+
+// naiveMatMulSkip is the reference implementation: for every output element the
+// reduction runs in ascending-k order, the order every optimised kernel
+// (blocked, unrolled, pooled) must reproduce exactly.
+func naiveMatMulSkip(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				av := a.At(i, k)
+				if av == 0 {
+					continue
+				}
+				s += av * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// sprinkleZeros forces exact zeros into a so the kernels' sparse-skip and
+// mixed zero/non-zero unrolled paths are exercised.
+func sprinkleZeros(rng *rand.Rand, m *Matrix) *Matrix {
+	for i := range m.Data {
+		if rng.Intn(3) == 0 {
+			m.Data[i] = 0
+		}
+	}
+	return m
+}
+
+func TestMatMulMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 7, 3}, {5, 4, 9}, {128, 64, 64}, {65, 33, 47}, {31, 130, 17}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := sprinkleZeros(rng, randMat(rng, m, k))
+		b := randMat(rng, k, n)
+		assertSameBits(t, "MatMul vs naive", naiveMatMulSkip(a, b), MatMul(a, b))
+		// xᵀ@b via the T1 kernel against the same reference on xᵀ.
+		x := sprinkleZeros(rng, randMat(rng, k, m))
+		assertSameBits(t, "MatMulT1 vs naive", naiveMatMulSkip(x.T(), b), MatMulT1(x, b))
+		// a@bᵀ via the T2 kernel.
+		bt := randMat(rng, n, k)
+		assertSameBits(t, "MatMulT2 vs naive", naiveMatMulSkip(a, bt.T()), MatMulT2(a, bt))
+	}
+}
+
+func TestMatMulIntoParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 2}, {128, 64, 64}, {65, 33, 47}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		want := MatMul(a, b)
+		got := MatMulInto(dirty(m, n), a, b)
+		assertSameBits(t, "MatMulInto", want, got)
+	}
+}
+
+func TestMatMulT1IntoParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range [][3]int{{2, 3, 4}, {64, 128, 64}, {33, 65, 47}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randMat(rng, k, m), randMat(rng, k, n)
+		want := MatMulT1(a, b)
+		got := MatMulT1Into(dirty(m, n), a, b)
+		assertSameBits(t, "MatMulT1Into", want, got)
+	}
+}
+
+func TestMatMulT2IntoParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range [][3]int{{2, 3, 4}, {128, 64, 64}, {33, 65, 47}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randMat(rng, m, k), randMat(rng, n, k)
+		want := MatMulT2(a, b)
+		got := MatMulT2Into(dirty(m, n), a, b)
+		assertSameBits(t, "MatMulT2Into", want, got)
+	}
+}
+
+// TestMatMulAddRowIntoParity proves the fused kernel matches the exact
+// two-pass arithmetic it replaces (matmul, then row-broadcast bias add).
+func TestMatMulAddRowIntoParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, dims := range [][3]int{{1, 2, 3}, {128, 64, 64}, {61, 37, 29}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		bias := randMat(rng, 1, n)
+		want := MatMul(a, b).AddRowVector(bias.Data)
+		got := MatMulAddRowInto(dirty(m, n), a, b, bias)
+		assertSameBits(t, "MatMulAddRowInto", want, got)
+	}
+}
+
+func TestElementwiseIntoParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, b := randMat(rng, 70, 90), randMat(rng, 70, 90)
+	assertSameBits(t, "AddInto", New(70, 90).Add(a, b), AddInto(dirty(70, 90), a, b))
+	assertSameBits(t, "SubInto", New(70, 90).Sub(a, b), SubInto(dirty(70, 90), a, b))
+	assertSameBits(t, "MulElemInto", New(70, 90).MulElem(a, b), MulElemInto(dirty(70, 90), a, b))
+	// In-place aliasing is allowed for elementwise ops.
+	want := New(70, 90).Add(a, b)
+	got := AddInto(a, a, b)
+	assertSameBits(t, "AddInto aliased", want, got)
+}
+
+func TestIntoAliasPanics(t *testing.T) {
+	a, b := New(4, 4), New(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when dst aliases an operand")
+		}
+	}()
+	MatMulInto(a, a, b)
+}
+
+func TestGatherRowsIntoParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := randMat(rng, 40, 7)
+	idx := []int{5, 0, 39, 5, 17}
+	want := m.GatherRows(idx)
+	got := m.GatherRowsInto(dirty(len(idx), 7), idx)
+	assertSameBits(t, "GatherRowsInto", want, got)
+}
+
+func TestColSumsIntoParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randMat(rng, 33, 9)
+	want := m.ColSums()
+	got := make([]float64, 9)
+	for i := range got {
+		got[i] = 1e9 // dirty
+	}
+	m.ColSumsInto(got)
+	for j := range want {
+		if want[j] != got[j] {
+			t.Fatalf("ColSumsInto: bit mismatch at col %d: %v vs %v", j, want[j], got[j])
+		}
+	}
+}
+
+// TestPoolParityUnderParallelism raises GOMAXPROCS so dispatchKernel takes
+// the pooled path, and checks results stay bit-identical to serial
+// execution (fixed per-row reduction order regardless of chunking).
+func TestPoolParityUnderParallelism(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	rng := rand.New(rand.NewSource(8))
+	// Big enough to clear parallelThreshold on every kernel.
+	a, b := randMat(rng, 96, 96), randMat(rng, 96, 96)
+	bias := randMat(rng, 1, 96)
+
+	serial := New(96, 96)
+	matmulRows(a, b, nil, serial, 0, 96)
+	assertSameBits(t, "pooled MatMul", serial, MatMul(a, b))
+
+	serialT1 := New(96, 96)
+	matmulT1Cols(a, b, nil, serialT1, 0, 96)
+	assertSameBits(t, "pooled MatMulT1", serialT1, MatMulT1(a, b))
+
+	serialT2 := New(96, 96)
+	matmulT2Rows(a, b, nil, serialT2, 0, 96)
+	assertSameBits(t, "pooled MatMulT2", serialT2, MatMulT2(a, b))
+
+	serialFused := New(96, 96)
+	matmulAddRowRows(a, b, bias, serialFused, 0, 96)
+	assertSameBits(t, "pooled fused", serialFused, MatMulAddRowInto(New(96, 96), a, b, bias))
+
+	if PoolWorkers() < 2 {
+		t.Fatalf("worker pool did not start: %d workers", PoolWorkers())
+	}
+}
+
+// TestPoolConcurrentCallers hammers the shared pool from many goroutines to
+// shake out races in the chunk channel and callState recycling (run under
+// -race).
+func TestPoolConcurrentCallers(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	rng := rand.New(rand.NewSource(9))
+	a, b := randMat(rng, 80, 80), randMat(rng, 80, 80)
+	want := MatMul(a, b)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := New(80, 80)
+			for it := 0; it < 50; it++ {
+				MatMulInto(dst, a, b)
+			}
+			for i := range want.Data {
+				if dst.Data[i] != want.Data[i] {
+					t.Errorf("concurrent pool result diverged at %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSteadyStateKernelAllocs pins the headline claim: destination-passing
+// kernels allocate nothing once buffers exist. AllocsPerRun forces
+// GOMAXPROCS=1, which also exercises the serial dispatch path.
+func TestSteadyStateKernelAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a, b := randMat(rng, 64, 64), randMat(rng, 64, 64)
+	bias := randMat(rng, 1, 64)
+	dst := New(64, 64)
+	checks := map[string]func(){
+		"MatMulInto":       func() { MatMulInto(dst, a, b) },
+		"MatMulT1Into":     func() { MatMulT1Into(dst, a, b) },
+		"MatMulT2Into":     func() { MatMulT2Into(dst, a, b) },
+		"MatMulAddRowInto": func() { MatMulAddRowInto(dst, a, b, bias) },
+		"AddInto":          func() { AddInto(dst, a, b) },
+		"CopyInto":         func() { CopyInto(dst, a) },
+	}
+	for name, fn := range checks {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs per run, want 0", name, allocs)
+		}
+	}
+}
+
+// TestPooledDispatchAllocs allows a small tolerance: the pooled path reuses
+// callState via a sync.Pool, which the GC may occasionally clear.
+func TestPooledDispatchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates in the background, polluting MemStats deltas")
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	rng := rand.New(rand.NewSource(11))
+	a, b := randMat(rng, 96, 96), randMat(rng, 96, 96)
+	dst := New(96, 96)
+	MatMulInto(dst, a, b) // warm pool + state
+	var total float64
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		MatMulInto(dst, a, b)
+		runtime.ReadMemStats(&ms1)
+		total += float64(ms1.Mallocs - ms0.Mallocs)
+	}
+	if avg := total / rounds; avg > 0.5 {
+		t.Errorf("pooled MatMulInto averages %v allocs per call, want < 0.5", avg)
+	}
+}
+
+const benchM, benchK, benchN = 128, 64, 64 // fast-scale diffusion step shapes
+
+func benchOperands(bb *testing.B) (a, b, bias, dst *Matrix) {
+	rng := rand.New(rand.NewSource(12))
+	a = randMat(rng, benchM, benchK)
+	b = randMat(rng, benchK, benchN)
+	bias = randMat(rng, 1, benchN)
+	dst = New(benchM, benchN)
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	return
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	a, m, _, _ := benchOperands(b)
+	for i := 0; i < b.N; i++ {
+		MatMul(a, m)
+	}
+}
+
+func BenchmarkMatMulInto(b *testing.B) {
+	a, m, _, dst := benchOperands(b)
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, a, m)
+	}
+}
+
+func BenchmarkMatMulAddRowInto(b *testing.B) {
+	a, m, bias, dst := benchOperands(b)
+	for i := 0; i < b.N; i++ {
+		MatMulAddRowInto(dst, a, m, bias)
+	}
+}
+
+func BenchmarkMatMulT1(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	a := randMat(rng, benchM, benchK)
+	m := randMat(rng, benchM, benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulT1(a, m)
+	}
+}
+
+func BenchmarkMatMulT1Into(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	a := randMat(rng, benchM, benchK)
+	m := randMat(rng, benchM, benchN)
+	dst := New(benchK, benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulT1Into(dst, a, m)
+	}
+}
+
+func BenchmarkMatMulT2(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	a := randMat(rng, benchM, benchK)
+	m := randMat(rng, benchN, benchK)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulT2(a, m)
+	}
+}
+
+func BenchmarkMatMulT2Into(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	a := randMat(rng, benchM, benchK)
+	m := randMat(rng, benchN, benchK)
+	dst := New(benchM, benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulT2Into(dst, a, m)
+	}
+}

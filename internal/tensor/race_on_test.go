@@ -1,0 +1,9 @@
+//go:build race
+
+package tensor
+
+// raceEnabled reports whether the race detector instruments this build.
+// MemStats-delta allocation assertions are skipped under it: the race
+// runtime performs background allocations that pollute process-wide
+// Mallocs counts.
+const raceEnabled = true

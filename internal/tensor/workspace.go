@@ -1,0 +1,73 @@
+package tensor
+
+import "fmt"
+
+// Workspace-reuse primitives. Layers and training loops keep *Matrix (or
+// slice) fields that are lazily sized on first use and reused verbatim on
+// every later call with the same shape — the steady-state path performs no
+// allocation, and a shape change simply falls back to a fresh buffer (the
+// cold-start path, identical to the old allocating code).
+
+// Ensure returns m when it already has shape rows x cols, else a fresh
+// zero matrix of that shape. The contents of a reused m are NOT cleared;
+// callers that accumulate into the buffer must clear it themselves (the
+// Into kernels in this package already do).
+func Ensure(m *Matrix, rows, cols int) *Matrix {
+	if m != nil && m.Rows == rows && m.Cols == cols {
+		return m
+	}
+	return New(rows, cols)
+}
+
+// EnsureVec returns v when it already has length n, else a fresh zero
+// slice of that length.
+func EnsureVec(v []float64, n int) []float64 {
+	if len(v) == n {
+		return v
+	}
+	return make([]float64, n)
+}
+
+// EnsureInts returns v when it already has length n, else a fresh zero
+// slice of that length.
+func EnsureInts(v []int, n int) []int {
+	if len(v) == n {
+		return v
+	}
+	return make([]int, n)
+}
+
+// CopyInto copies src into dst (shapes must match) and returns dst.
+func CopyInto(dst, src *Matrix) *Matrix {
+	dst.assertSameShape(src, "CopyInto")
+	copy(dst.Data, src.Data)
+	return dst
+}
+
+// GatherRowsInto copies the rows of m selected by idx into dst, in order.
+// dst must be len(idx) x m.Cols.
+func (m *Matrix) GatherRowsInto(dst *Matrix, idx []int) *Matrix {
+	if dst.Rows != len(idx) || dst.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: GatherRowsInto dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, len(idx), m.Cols))
+	}
+	for i, r := range idx {
+		copy(dst.Row(i), m.Row(r))
+	}
+	return dst
+}
+
+// ColSumsInto accumulates the per-column sums of m into out, which must
+// have length Cols and is cleared first. Summation order matches ColSums.
+func (m *Matrix) ColSumsInto(out []float64) []float64 {
+	if len(out) != m.Cols {
+		panic(fmt.Sprintf("tensor: ColSumsInto length %d != cols %d", len(out), m.Cols))
+	}
+	clear(out)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
