@@ -1,13 +1,24 @@
 GO ?= go
 BENCHFLAGS ?= -benchmem
 
-.PHONY: build vet test race ci bench bench-smoke bench-kernels profile
+.PHONY: build vet lint test race ci bench bench-smoke bench-kernels profile
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's own determinism/hot-path analyzers (silofuse-vet)
+# plus go vet and a gofmt check. The tree must stay clean: silofuse-vet
+# exits nonzero on any finding, and unformatted files fail the gofmt step.
+lint:
+	$(GO) run ./cmd/silofuse-vet .
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l . | grep -v testdata); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -40,7 +51,7 @@ profile:
 	@echo "profiles: /tmp/silofuse_cpu.pprof /tmp/silofuse_mem.pprof"
 
 ci:
-	$(GO) vet ./... && $(GO) build ./... && $(GO) test ./... && $(MAKE) race && $(MAKE) bench-smoke && $(MAKE) bench-kernels BENCHFLAGS='-benchtime=1x'
+	$(MAKE) lint && $(GO) build ./... && $(GO) test ./... && $(MAKE) race && $(MAKE) bench-smoke && $(MAKE) bench-kernels BENCHFLAGS='-benchtime=1x'
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

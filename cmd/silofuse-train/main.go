@@ -242,7 +242,9 @@ func writeTelemetry(c config, m silofuse.Synthesizer, rec *silofuse.Recorder, fi
 			man.FinalMetrics[k] = v
 		}
 		man.FromRecorder(rec)
-		if cs, ok := m.(interface{ CommStats() silofuse.TransportStats }); ok {
+		if cs, ok := m.(interface {
+			CommStats() silofuse.TransportStats
+		}); ok {
 			man.FromStats(cs.CommStats())
 		}
 		dir := filepath.Join("results", c.runName)

@@ -148,7 +148,7 @@ func pearson(x, y []float64) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
-	if sxx == 0 || syy == 0 {
+	if sxx == 0 || syy == 0 { //silofuse:bitwise-ok zero-variance guard before division
 		return 0
 	}
 	return sxy / math.Sqrt(sxx*syy)

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFixtures runs the full analyzer suite over every testdata package and
+// checks its diagnostics against the `// want` expectations, in both
+// directions: each expectation must be matched by a diagnostic on its line,
+// and each diagnostic must be expected.
+func TestFixtures(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatalf("no fixture packages under %s", root)
+	}
+	byName := make(map[string]bool)
+	for _, a := range All() {
+		byName[a.Name] = true
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		delete(byName, e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			failures, err := CheckFixture(All(), filepath.Join(root, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range failures {
+				t.Error(f)
+			}
+		})
+	}
+	for name := range byName {
+		t.Errorf("analyzer %s has no fixture package under %s", name, root)
+	}
+}
+
+// TestFixtureHarnessRejectsBadWants pins the harness itself: a fixture whose
+// expectations don't line up must produce failures, not silently pass.
+func TestFixtureHarnessRejectsBadWants(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixture
+
+func cmp(x, y float64) bool {
+	return x == y
+}
+
+func fine(a, b int) bool {
+	return a == b // want "exact floating-point"
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	failures, err := CheckFixture(All(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One unexpected diagnostic (the unannotated comparison) and one unmet
+	// expectation (the want on an integer comparison).
+	if len(failures) != 2 {
+		t.Fatalf("got %d failures, want 2: %v", len(failures), failures)
+	}
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Fixture support: testdata packages assert analyzer behaviour with
+// expectation comments in the style of x/tools' analysistest, e.g.
+//
+//	t0 := time.Now() // want "time.Now in deterministic package"
+//
+// Each `// want` comment carries one or more double-quoted regexps; every
+// regexp must be matched by a distinct diagnostic reported on that line,
+// and every diagnostic must match an expectation. Mismatches in either
+// direction are returned as failure strings for the test to report.
+
+// wantRx extracts the quoted regexps of a want comment.
+var wantRx = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type wantExpect struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+// collectWants parses `// want` expectations from a package's comments.
+func collectWants(pkg *Package) ([]*wantExpect, error) {
+	var wants []*wantExpect
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantRx.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range ms {
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &wantExpect{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// CheckFixture runs the analyzers over the package rooted at dir and
+// compares diagnostics against its `// want` comments. It returns one
+// failure string per mismatch; an empty slice means the fixture passed.
+func CheckFixture(analyzers []*Analyzer, dir string) ([]string, error) {
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		return nil, err
+	}
+	diags := Run(analyzers, []*Package{pkg})
+	var failures []string
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			failures = append(failures, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			failures = append(failures, fmt.Sprintf("%s:%d: no diagnostic matching %q", w.file, w.line, w.rx))
+		}
+	}
+	return failures, nil
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. Almost every
+// such comparison in numeric code wants a tolerance; the deliberate
+// exceptions — the warm-vs-cold bitwise-parity tests that pin the
+// zero-allocation refactors, and exact sentinel tests like `x == 0` on
+// values that are set, not computed — carry a //silofuse:bitwise-ok
+// annotation (function-level on parity tests, line-level elsewhere).
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag exact floating-point ==/!= outside annotated parity code",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatExpr(p.Info, be.X) && !isFloatExpr(p.Info, be.Y) {
+				return true
+			}
+			if p.Annot.Covers(AnnotBitwiseOK, be.Pos()) {
+				return true
+			}
+			p.Report(be.OpPos, "exact floating-point %s comparison; use a tolerance or annotate //silofuse:bitwise-ok", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// noallocPinned is the complete expected //silofuse:noalloc annotation set of
+// the kernel packages, keyed "package.[Recv.]Func". It mirrors, entry for
+// entry, the functions the steady-state allocation tests exercise:
+//
+//   - tensor kernels: TestSteadyStateKernelAllocs and TestPooledDispatchAllocs
+//     (pool_test.go) pin the *Into matmul/elementwise/workspace family;
+//   - nn warm paths: TestLinearSteadyStateAllocs (gradcheck_test.go) pins
+//     Linear.Forward/Backward, and MSELossInto sits inside the diffusion
+//     train-step loop below;
+//   - diffusion: TestTrainStepSteadyStateAllocs and TestSamplePerStepAllocs
+//     (perf_test.go) pin TrainStep/SampleWithRng, the backbone
+//     Forward/Backward they drive, and the QSample/timestep kernels.
+//
+// Adding an annotation without extending this list (or vice versa) fails the
+// test, so the annotation set cannot drift from the perf suite it documents.
+var noallocPinned = []string{
+	"diffusion.Gaussian.QSampleInto",
+	"diffusion.Gaussian.SampleTimestepsInto",
+	"diffusion.Model.SampleWithRng",
+	"diffusion.Model.TrainStep",
+	"nn.DiffusionMLP.Backward",
+	"nn.DiffusionMLP.Forward",
+	"nn.Linear.Backward",
+	"nn.Linear.Forward",
+	"nn.MSELossInto",
+	"tensor.AddInto",
+	"tensor.CopyInto",
+	"tensor.Matrix.ColSumsInto",
+	"tensor.Matrix.GatherRowsInto",
+	"tensor.MatMulAddRowInto",
+	"tensor.MatMulInto",
+	"tensor.MatMulT1Into",
+	"tensor.MatMulT2Into",
+	"tensor.MulElemInto",
+	"tensor.SubInto",
+}
+
+// TestNoallocAnnotationCoverage scans the kernel packages' non-test sources
+// and requires the set of //silofuse:noalloc-annotated functions to equal
+// noallocPinned exactly.
+func TestNoallocAnnotationCoverage(t *testing.T) {
+	var got []string
+	fset := token.NewFileSet()
+	for _, pkg := range []string{"tensor", "nn", "diffusion"} {
+		dir := filepath.Join("..", pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !FuncAnnotated(AnnotNoAlloc, fd) {
+					continue
+				}
+				name := pkg + "."
+				if fd.Recv != nil && len(fd.Recv.List) == 1 {
+					typ := fd.Recv.List[0].Type
+					if star, ok := typ.(*ast.StarExpr); ok {
+						typ = star.X
+					}
+					if id, ok := typ.(*ast.Ident); ok {
+						name += id.Name + "."
+					}
+				}
+				name += fd.Name.Name
+				got = append(got, name)
+			}
+		}
+	}
+	sort.Strings(got)
+	want := append([]string{}, noallocPinned...)
+	sort.Strings(want)
+
+	gotSet := make(map[string]bool, len(got))
+	for _, g := range got {
+		gotSet[g] = true
+	}
+	for _, w := range want {
+		if !gotSet[w] {
+			t.Errorf("pinned hot-path function %s has lost its //silofuse:noalloc annotation", w)
+		}
+		delete(gotSet, w)
+	}
+	for g := range gotSet {
+		t.Errorf("function %s is annotated //silofuse:noalloc but not pinned; add it to noallocPinned and to an AllocsPerRun test", g)
+	}
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand forbids the process-global math/rand source: top-level draws
+// like rand.Float64() / rand.Intn(n) / rand.Shuffle(...) are rejected
+// everywhere, and source constructors seeded from the wall clock
+// (rand.NewSource(time.Now().UnixNano())) are rejected too. All randomness
+// must flow through an explicitly seeded *rand.Rand so every run is
+// reproducible from its recorded seed.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid global math/rand draws and wall-clock-seeded sources",
+	Run:  runSeededRand,
+}
+
+// randConstructors are the package-level math/rand functions that do not
+// draw from the global source; they are allowed, but their seed arguments
+// must not come from the wall clock.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runSeededRand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if path := fn.Pkg().Path(); path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on *rand.Rand carry their own seed
+			}
+			if randConstructors[fn.Name()] {
+				if arg := walltimeArg(p.Info, call); arg != nil {
+					p.Report(arg.Pos(), "rand source seeded from the wall clock; use an explicit experiment seed")
+				}
+				return true
+			}
+			p.Report(call.Pos(), "rand.%s draws from the process-global source; route randomness through an explicitly seeded *rand.Rand", fn.Name())
+			return true
+		})
+	}
+}
+
+// walltimeArg returns the first subexpression of call's arguments that reads
+// the wall clock (a call into package time resolving to Now), or nil.
+func walltimeArg(info *types.Info, call *ast.CallExpr) ast.Node {
+	var found ast.Node
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			if inner, ok := n.(*ast.CallExpr); ok {
+				if fn := calleeFunc(info, inner); isPkgFunc(fn, "time", "Now") {
+					found = inner
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}

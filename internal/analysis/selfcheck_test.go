@@ -1,0 +1,35 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoSelfCheck runs the full analyzer suite over this repository and
+// requires a clean tree — the same gate `make lint` applies. Every invariant
+// the analyzers encode (no global randomness, no wall-clock reads in
+// deterministic packages, annotated allocation-free kernels, sorted map
+// emission, nil-safe telemetry, tolerance-based float comparison) must hold
+// in the shipped source, so a change that breaks one fails here before it
+// reaches CI. Removing a //silofuse:noalloc annotation from any *Into kernel
+// also fails here, through the noalloc coverage rule.
+func TestRepoSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module at %s: %v", root, err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from %s; wrong root?", len(pkgs), root)
+	}
+	diags := Run(All(), pkgs)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

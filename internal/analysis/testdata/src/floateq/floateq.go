@@ -1,0 +1,33 @@
+// Package floateq exercises the floateq analyzer: exact float comparisons
+// are flagged unless annotated bitwise-ok (function-level for parity
+// checks, line-level for sentinel comparisons). Integer comparisons are
+// out of scope.
+package floateq
+
+func closeEnough(x, y float64) bool {
+	return x == y // want "exact floating-point == comparison"
+}
+
+func changed(x, y float32) bool {
+	return x != y // want "exact floating-point != comparison"
+}
+
+// bitwiseParity pins warm-vs-cold agreement; exact comparison is the point.
+//
+//silofuse:bitwise-ok warm and cold paths must agree bit for bit
+func bitwiseParity(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func zeroSentinel(x float64) bool {
+	return x == 0 //silofuse:bitwise-ok zero is assigned, never computed
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b
+}

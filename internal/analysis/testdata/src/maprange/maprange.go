@@ -1,0 +1,44 @@
+// Package maprange exercises the maprange analyzer: map iteration feeding
+// ordered output (appends, writers) is flagged unless the enclosing function
+// sorts; order-independent bodies are fine.
+package maprange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration appends to a slice in random order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func printUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "map iteration writes to an ordered sink"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// keysSorted follows the repo idiom — collect, sort, emit — so the append
+// inside the range is fine.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sum accumulates an order-independent reduction; no ordered sink.
+func sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

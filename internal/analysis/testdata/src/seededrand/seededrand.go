@@ -1,0 +1,29 @@
+// Package seededrand exercises the seededrand analyzer: draws from the
+// process-global math/rand source and wall-clock-seeded sources are flagged;
+// explicitly seeded *rand.Rand streams are not.
+package seededrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraws() float64 {
+	n := rand.Intn(10)                 // want "rand.Intn draws from the process-global source"
+	f := rand.Float64()                // want "rand.Float64 draws from the process-global source"
+	rand.Shuffle(n, func(i, j int) {}) // want "rand.Shuffle draws from the process-global source"
+	return f
+}
+
+func wallClockSeed() *rand.Rand {
+	src := rand.NewSource(time.Now().UnixNano()) // want "rand source seeded from the wall clock"
+	return rand.New(src)
+}
+
+// seededStream is the approved idiom: an explicit experiment seed, with all
+// draws going through methods on the seeded stream.
+func seededStream(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(4, func(i, j int) {})
+	return rng.Float64()
+}

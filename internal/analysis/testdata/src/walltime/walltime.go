@@ -1,0 +1,24 @@
+// Package tensor impersonates a deterministic package so the walltime
+// analyzer applies: bare wall-clock reads are flagged, annotated ones pass,
+// and an annotation without a justification is itself flagged.
+package tensor
+
+import "time"
+
+func timed() time.Duration {
+	t0 := time.Now()      // want "time.Now in deterministic package"
+	return time.Since(t0) // want "time.Since in deterministic package"
+}
+
+// startupBanner may read the clock: the function-level annotation below
+// covers its whole body.
+//
+//silofuse:walltime-ok one-shot startup banner, never on a training path
+func startupBanner() time.Time {
+	return time.Now()
+}
+
+func annotatedWithoutReason() time.Time {
+	//silofuse:walltime-ok
+	return time.Now() // want "annotation needs a one-line justification"
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Walltime forbids wall-clock reads (time.Now, time.Since, time.Until) in
+// the deterministic packages — the ones whose outputs must be a pure
+// function of their seeds. Timing belongs to the telemetry layer: route it
+// through obs.Recorder (Now/Since are nil-gated there), or annotate the site
+// //silofuse:walltime-ok with a one-line justification.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/time.Since in deterministic packages",
+	Run:  runWalltime,
+}
+
+// deterministicPkgs are the package names whose results the paper's
+// fixed-seed evaluation depends on being bit-reproducible.
+var deterministicPkgs = map[string]bool{
+	"tensor":      true,
+	"nn":          true,
+	"diffusion":   true,
+	"autoencoder": true,
+	"core":        true,
+	"silo":        true,
+}
+
+var walltimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWalltime(p *Pass) {
+	if !deterministicPkgs[p.Pkg.Name()] {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !walltimeFuncs[fn.Name()] {
+				return true
+			}
+			if arg, ok := p.Annot.Lookup(AnnotWalltimeOK, call.Pos()); ok {
+				if arg == "" {
+					p.Report(call.Pos(), "silofuse:walltime-ok annotation needs a one-line justification")
+				}
+				return true
+			}
+			p.Report(call.Pos(), "time.%s in deterministic package %q; route timing through obs.Recorder or annotate //silofuse:walltime-ok <why>", fn.Name(), p.Pkg.Name())
+			return true
+		})
+	}
+}

@@ -11,8 +11,6 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"time"
-
 	"silofuse/internal/nn"
 	"silofuse/internal/obs"
 	"silofuse/internal/tabular"
@@ -145,13 +143,10 @@ func (a *Autoencoder) Train(train *tabular.Table, iters, batch int) float64 {
 		for i := range idx {
 			idx[i] = a.rng.Intn(train.Rows())
 		}
-		var t0 time.Time
-		if a.Rec != nil {
-			t0 = time.Now()
-		}
+		t0 := a.Rec.Now()
 		loss := a.TrainStep(train.SelectRows(idx))
 		if a.Rec != nil {
-			a.Rec.TrainStep("ae", loss, batch, time.Since(t0))
+			a.Rec.TrainStep("ae", loss, batch, a.Rec.Since(t0))
 		}
 		if it >= tail {
 			tailLoss += loss

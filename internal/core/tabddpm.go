@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"time"
 
 	"silofuse/internal/diffusion"
 	"silofuse/internal/nn"
@@ -74,13 +73,10 @@ func (m *TabDDPM) Fit(train *tabular.Table) error {
 		for i := range idx {
 			idx[i] = m.rng.Intn(train.Rows())
 		}
-		var t0 time.Time
-		if rec != nil {
-			t0 = time.Now()
-		}
+		t0 := rec.Now()
 		loss := m.trainStep(train.SelectRows(idx))
 		if rec != nil {
-			rec.TrainStep("tabddpm", loss, batch, time.Since(t0))
+			rec.TrainStep("tabddpm", loss, batch, rec.Since(t0))
 		}
 	}
 	return nil

@@ -5,8 +5,6 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"time"
-
 	"silofuse/internal/nn"
 	"silofuse/internal/obs"
 	"silofuse/internal/tensor"
@@ -87,6 +85,8 @@ func NewModel(rng *rand.Rand, cfg ModelConfig) *Model {
 // TrainStep performs one optimisation step on a batch of clean data x0:
 // sample t and ε, noise to x_t, predict ε, minimise MSE (paper eq. 5).
 // It returns the batch loss.
+//
+//silofuse:noalloc
 func (m *Model) TrainStep(x0 *tensor.Matrix) float64 {
 	m.tsBuf = tensor.EnsureInts(m.tsBuf, x0.Rows)
 	ts := m.tsBuf
@@ -129,13 +129,10 @@ func (m *Model) Train(data *tensor.Matrix, iters, batch int) float64 {
 		for i := range idx {
 			idx[i] = m.rng.Intn(data.Rows)
 		}
-		var t0 time.Time
-		if m.Rec != nil {
-			t0 = time.Now()
-		}
+		t0 := m.Rec.Now()
 		loss := m.TrainStep(data.GatherRowsInto(m.batchBuf, idx))
 		if m.Rec != nil {
-			m.Rec.TrainStep("diffusion", loss, batch, time.Since(t0))
+			m.Rec.TrainStep("diffusion", loss, batch, m.Rec.Since(t0))
 		}
 		if it >= tail {
 			tailLoss += loss
@@ -187,6 +184,8 @@ func (m *Model) Sample(n, steps int) *tensor.Matrix {
 
 // SampleWithRng is Sample with an explicit randomness source, for callers
 // that need reproducible draws independent of training state.
+//
+//silofuse:noalloc
 func (m *Model) SampleWithRng(rng *rand.Rand, n, steps int) *tensor.Matrix {
 	if m.EMA != nil {
 		m.EMA.Apply()

@@ -54,7 +54,7 @@ func (c Config) Ablations() ([]AblationResult, error) {
 			var res, util []float64
 			for trial := 0; trial < cc.Trials; trial++ {
 				opts := cc.Opts
-				opts.Seed = cc.Seed + int64(trial)*7919
+				opts.Seed = cc.Seed + int64(trial)*TrialSeedStride
 				v.apply(&opts)
 				m := core.NewSiloFuse(opts)
 				if err := m.Fit(train); err != nil {

@@ -18,14 +18,14 @@ import (
 // trajectory across changes; ReadBenchSnapshot validates the schema so CI
 // can smoke-test that a fresh bench run produced a sane file.
 type BenchSnapshot struct {
-	CreatedAt       time.Time                     `json:"created_at"`
-	Exp             string                        `json:"exp"`
-	Scale           string                        `json:"scale"`
-	Runtime         RuntimeInfo                   `json:"runtime"`
-	WallSeconds     float64                       `json:"wall_seconds"`
-	Phases          []PhaseSummary                `json:"phases,omitempty"`
-	RowsPerSec      map[string]float64            `json:"rows_per_sec,omitempty"`
-	StepSeconds     map[string]obs.HistogramStats `json:"step_seconds,omitempty"`
+	CreatedAt   time.Time                     `json:"created_at"`
+	Exp         string                        `json:"exp"`
+	Scale       string                        `json:"scale"`
+	Runtime     RuntimeInfo                   `json:"runtime"`
+	WallSeconds float64                       `json:"wall_seconds"`
+	Phases      []PhaseSummary                `json:"phases,omitempty"`
+	RowsPerSec  map[string]float64            `json:"rows_per_sec,omitempty"`
+	StepSeconds map[string]obs.HistogramStats `json:"step_seconds,omitempty"`
 	// AllocsPerStep and AllocBytesPerStep are per-stage heap-allocation
 	// costs of one optimisation step (runtime.MemStats deltas averaged over
 	// the stage's most recent training loop). Steady-state stages should sit

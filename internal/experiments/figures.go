@@ -139,14 +139,14 @@ func (c Config) Figure11() ([]Figure11Point, error) {
 			for _, permuted := range []bool{false, true} {
 				var perm []int
 				if permuted {
-					perm = train.Schema.RandomPermutation(rand.New(rand.NewSource(12343)))
+					perm = train.Schema.RandomPermutation(rand.New(rand.NewSource(PermutationSeed)))
 				}
 				var res, util []float64
 				for trial := 0; trial < cc.Trials; trial++ {
 					opts := cc.Opts
 					opts.Clients = clients
 					opts.Permutation = perm
-					opts.Seed = cc.Seed + int64(trial)*7919
+					opts.Seed = cc.Seed + int64(trial)*TrialSeedStride
 					m := core.NewSiloFuse(opts)
 					if err := m.Fit(train); err != nil {
 						return nil, err

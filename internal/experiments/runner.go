@@ -15,7 +15,7 @@ func newSplitRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed * 
 // configured number of synthetic rows.
 func (c Config) fitAndSample(model string, train *tabular.Table, trial int) (core.Synthesizer, *tabular.Table, error) {
 	opts := c.Opts
-	opts.Seed = c.Seed + int64(trial)*7919
+	opts.Seed = c.Seed + int64(trial)*TrialSeedStride
 	m, err := core.New(model, opts)
 	if err != nil {
 		return nil, nil, err

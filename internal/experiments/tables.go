@@ -316,7 +316,7 @@ func (c Config) TableVII() ([]TableVIIRow, error) {
 			vals := make([]float64, 0, cc.Trials)
 			for trial := 0; trial < cc.Trials; trial++ {
 				opts := cc.Opts
-				opts.Seed = cc.Seed + int64(trial)*7919
+				opts.Seed = cc.Seed + int64(trial)*TrialSeedStride
 				m := core.NewLatentDiff(opts)
 				if err := m.Fit(train); err != nil {
 					return nil, err

@@ -35,7 +35,7 @@ func normaliseImportance(counts []float64) []float64 {
 	for _, c := range counts {
 		total += c
 	}
-	if total == 0 {
+	if total == 0 { //silofuse:bitwise-ok zero-total guard before normalisation
 		return counts
 	}
 	out := make([]float64, len(counts))

@@ -57,7 +57,7 @@ func newBinner(x *tensor.Matrix, bins int) *binner {
 		for k := 1; k < bins; k++ {
 			pos := k * (len(col) - 1) / bins
 			v := col[pos]
-			if v != prev {
+			if v != prev { //silofuse:bitwise-ok deduplicate identical candidate bin edges
 				edges = append(edges, v)
 				prev = v
 			}

@@ -1,3 +1,4 @@
+//silofuse:bitwise-ok determinism tests pin bit-reproducible outputs with exact comparisons
 package metrics
 
 import (

@@ -73,6 +73,8 @@ func (d *DiffusionMLP) WarmTimesteps(maxT int) {
 }
 
 // Forward predicts the noise for inputs x at per-row timesteps ts.
+//
+//silofuse:noalloc
 func (d *DiffusionMLP) Forward(x *tensor.Matrix, ts []int, train bool) *tensor.Matrix {
 	d.tfeat = tensor.Ensure(d.tfeat, len(ts), d.TimeDim)
 	for i, t := range ts {
@@ -88,6 +90,8 @@ func (d *DiffusionMLP) Forward(x *tensor.Matrix, ts []int, train bool) *tensor.M
 
 // Backward propagates the output gradient, accumulating parameter gradients,
 // and returns dL/dx.
+//
+//silofuse:noalloc
 func (d *DiffusionMLP) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	g := d.outProj.Backward(gradOut)
 	g = d.blocks.Backward(g)

@@ -87,7 +87,7 @@ func (c *Conv1D) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 			gwrow := c.W.Grad.Row(oc)
 			for op := 0; op < ol; op++ {
 				g := gr[oc*ol+op]
-				if g == 0 {
+				if g == 0 { //silofuse:bitwise-ok zero-skip sparsity fast path
 					continue
 				}
 				c.B.Grad.Data[oc] += g
@@ -163,7 +163,7 @@ func (c *ConvTranspose1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 			wrow := c.W.Value.Row(ic)
 			for ip := 0; ip < c.inLen; ip++ {
 				xv := xr[ic*c.inLen+ip]
-				if xv == 0 {
+				if xv == 0 { //silofuse:bitwise-ok zero-skip sparsity fast path
 					continue
 				}
 				for oc := 0; oc < c.OutC; oc++ {

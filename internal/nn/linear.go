@@ -27,6 +27,8 @@ func NewLinear(rng *rand.Rand, in, out int) *Linear {
 }
 
 // Forward computes xW + b.
+//
+//silofuse:noalloc
 func (l *Linear) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 	l.input = x
 	l.out = tensor.Ensure(l.out, x.Rows, l.W.Value.Cols)
@@ -34,6 +36,8 @@ func (l *Linear) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 }
 
 // Backward accumulates dW = xᵀg, db = Σ_rows g and returns g Wᵀ.
+//
+//silofuse:noalloc
 func (l *Linear) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	l.dW = tensor.Ensure(l.dW, l.W.Value.Rows, l.W.Value.Cols)
 	tensor.MatMulT1Into(l.dW, l.input, gradOut)

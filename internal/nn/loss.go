@@ -16,6 +16,8 @@ func MSELoss(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
 
 // MSELossInto is the destination-passing form of MSELoss: the gradient is
 // written into grad (which must match pred's shape) and the loss returned.
+//
+//silofuse:noalloc
 func MSELossInto(pred, target, grad *tensor.Matrix) float64 {
 	if grad.Rows != pred.Rows || grad.Cols != pred.Cols {
 		panic("nn: MSELossInto grad shape mismatch")
@@ -116,7 +118,7 @@ func GaussianNLLLoss(mean, logVar, target *tensor.Matrix) (float64, *tensor.Matr
 		d := mean.Data[i] - target.Data[i]
 		loss += 0.5 * (lv + d*d*inv)
 		gMean.Data[i] = d * inv / n
-		if logVar.Data[i] == lv { // inside clamp: gradient flows
+		if logVar.Data[i] == lv { //silofuse:bitwise-ok inside clamp: gradient flows
 			gLV.Data[i] = 0.5 * (1 - d*d*inv) / n
 		}
 	}

@@ -197,8 +197,18 @@ func StartTelemetry(addr string, cfg TelemetryConfig) (*TelemetryServer, error) 
 	return &TelemetryServer{ln: ln, srv: srv}, nil
 }
 
-// Addr returns the bound listen address.
-func (s *TelemetryServer) Addr() string { return s.ln.Addr().String() }
+// Addr returns the bound listen address ("" on a nil server).
+func (s *TelemetryServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
 
-// Close stops the server.
-func (s *TelemetryServer) Close() error { return s.srv.Close() }
+// Close stops the server. Closing a nil server is a no-op.
+func (s *TelemetryServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

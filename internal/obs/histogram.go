@@ -60,8 +60,12 @@ func bucketLo(idx int) float64 {
 	return histMin * math.Pow(histGrowth, float64(idx-1))
 }
 
-// Observe records one value.
+// Observe records one value. A nil histogram (from a nil registry) is a
+// no-op.
 func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
 	h.mu.Lock()
 	h.buckets[bucketIndex(v)]++
 	h.count++
@@ -90,6 +94,9 @@ type HistogramStats struct {
 // bucket and clamped to the observed [min, max], so a constant stream
 // reports the constant exactly.
 func (h *Histogram) Stats() HistogramStats {
+	if h == nil {
+		return HistogramStats{}
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.count == 0 {
@@ -106,8 +113,11 @@ func (h *Histogram) Stats() HistogramStats {
 	}
 }
 
-// Quantile estimates the q-th quantile (q in [0,1]).
+// Quantile estimates the q-th quantile (q in [0,1]); 0 on a nil histogram.
 func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.count == 0 {

@@ -24,25 +24,51 @@ type Counter struct {
 	v atomic.Int64
 }
 
-// Add increments the counter by n.
-func (c *Counter) Add(n int64) { c.v.Add(n) }
+// Add increments the counter by n. A nil counter (from a nil registry) is a
+// no-op.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.v.Add(1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
 
-// Value returns the current count.
-func (c *Counter) Value() int64 { return c.v.Load() }
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
 
 // Gauge is a float metric holding the most recent value.
 type Gauge struct {
 	bits atomic.Uint64
 }
 
-// Set stores v.
-func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+// Set stores v. A nil gauge (from a nil registry) is a no-op.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
 
-// Value returns the most recently stored value.
-func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+// Value returns the most recently stored value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
 
 // Registry is a concurrency-safe collection of named metrics. Metric
 // accessors create on first use, so call sites never pre-register.
@@ -62,8 +88,12 @@ func NewRegistry() *Registry {
 	}
 }
 
-// Counter returns the named counter, creating it on first use.
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
 func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
@@ -74,8 +104,12 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Gauge returns the named gauge, creating it on first use.
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil (no-op) gauge.
 func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
@@ -86,8 +120,12 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// Histogram returns the named histogram, creating it on first use.
+// Histogram returns the named histogram, creating it on first use. A nil
+// registry returns a nil (no-op) histogram.
 func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
@@ -106,8 +144,12 @@ type Snapshot struct {
 	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
 }
 
-// Snapshot copies every metric's current value.
+// Snapshot copies every metric's current value (zero value on a nil
+// registry).
 func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{
@@ -127,8 +169,12 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
-// WriteJSON writes the snapshot as indented JSON.
+// WriteJSON writes the snapshot as indented JSON. A nil registry writes an
+// empty snapshot.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		r = NewRegistry()
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r.Snapshot())
@@ -138,6 +184,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // sorted by metric name: counters and gauges as `name value`, histograms as
 // `name_count`, `name_sum` and `name{quantile="..."}` lines.
 func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
 	s := r.Snapshot()
 	var lines []string
 	for name, v := range s.Counters {

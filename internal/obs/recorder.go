@@ -10,16 +10,14 @@ import (
 // telemetry sink that instrumented code holds. A nil *Recorder is the
 // default and means "telemetry off": every method (and every span it hands
 // out) guards the nil receiver, so hot paths pay one pointer comparison and
-// nothing else. Instrumented loops should also skip their time.Now calls
-// when the recorder is nil:
+// nothing else. Instrumented loops read the clock through the recorder's
+// nil-gated Now/Since, which keeps the deterministic packages free of
+// direct time.Now calls (pinned by the walltime analyzer):
 //
-//	var t0 time.Time
-//	if m.Rec != nil {
-//		t0 = time.Now()
-//	}
+//	t0 := m.Rec.Now() // zero Time when telemetry is off
 //	loss := step()
 //	if m.Rec != nil {
-//		m.Rec.TrainStep("diffusion", loss, batch, time.Since(t0))
+//		m.Rec.TrainStep("diffusion", loss, batch, m.Rec.Since(t0))
 //	}
 type Recorder struct {
 	Reg   *Registry
@@ -99,6 +97,27 @@ func (r *Recorder) NextFlow() uint64 {
 
 // Enabled reports whether the recorder collects anything.
 func (r *Recorder) Enabled() bool { return r != nil }
+
+// Now reads the wall clock, or returns the zero Time on a nil recorder. The
+// deterministic packages (tensor, nn, diffusion, autoencoder, core, silo)
+// read time only through an enabled recorder, so a telemetry-off run never
+// observes the clock at all.
+func (r *Recorder) Now() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Since returns the time elapsed since a t0 captured by Now. A nil recorder
+// or a zero t0 (telemetry was off at the start of the measured region)
+// yields zero.
+func (r *Recorder) Since(t0 time.Time) time.Duration {
+	if r == nil || t0.IsZero() {
+		return 0
+	}
+	return time.Since(t0)
+}
 
 // TrainStep records one optimisation step of the named training stage
 // ("ae", "diffusion", "gan", "gbdt", "e2e"): it bumps

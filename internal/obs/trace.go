@@ -38,9 +38,9 @@ type traceEvent struct {
 	TS    float64        `json:"ts"` // microseconds since tracer start
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
-	ID    uint64         `json:"id,omitempty"`  // flow event binding id
-	BP    string         `json:"bp,omitempty"`  // flow binding point
-	Scope string         `json:"s,omitempty"`   // instant event scope
+	ID    uint64         `json:"id,omitempty"` // flow event binding id
+	BP    string         `json:"bp,omitempty"` // flow binding point
+	Scope string         `json:"s,omitempty"`  // instant event scope
 	Args  map[string]any `json:"args,omitempty"`
 }
 
@@ -127,12 +127,18 @@ func (t *Tracer) StartSpan(name string) *Span {
 // FlowRecv on the receiver's tracer closes the flow, so a merged trace draws
 // an arrow between the two process lanes. A nil tracer ignores the call.
 func (t *Tracer) FlowSend(name string, id uint64) {
+	if t == nil {
+		return
+	}
 	t.flowEvent(name, id, "s", "send")
 }
 
 // FlowRecv marks the arrival of the message whose FlowSend carried the same
 // id. A nil tracer ignores the call.
 func (t *Tracer) FlowRecv(name string, id uint64) {
+	if t == nil {
+		return
+	}
 	t.flowEvent(name, id, "f", "recv")
 }
 
@@ -242,6 +248,9 @@ type chromeTrace struct {
 // output always has matched B/E pairs. When SetProcess named the lane, a
 // process_name metadata record is prepended so viewers label it.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
 	t.mu.Lock()
 	var infos []SpanInfo
 	for len(t.open) > 0 {

@@ -77,7 +77,7 @@ func singlingOut(rng *rand.Rand, real, synth *tabular.Table, cfg Config) float64
 			ok := true
 			for _, j := range cols {
 				if real.Schema.Columns[j].Kind == tabular.Categorical {
-					if row[j] != source[j] {
+					if row[j] != source[j] { //silofuse:bitwise-ok categorical codes are exact integers
 						ok = false
 						break
 					}
@@ -203,10 +203,10 @@ func attributeInference(rng *rand.Rand, real, synth *tabular.Table, cfg Config) 
 		guess := synth.Data.At(ni, secret)
 		truth := row[secret]
 		if real.Schema.Columns[secret].Kind == tabular.Categorical {
-			if guess == truth {
+			if guess == truth { //silofuse:bitwise-ok categorical codes are exact integers
 				attackHits++
 			}
-			if majority[secret] == truth {
+			if majority[secret] == truth { //silofuse:bitwise-ok categorical codes are exact integers
 				baseHits++
 			}
 		} else {

@@ -44,7 +44,7 @@ func (m *mixedMetric) distanceCols(a, b []float64, cols []int) float64 {
 	total := 0.0
 	for _, j := range cols {
 		if m.schema.Columns[j].Kind == tabular.Categorical {
-			if a[j] != b[j] {
+			if a[j] != b[j] { //silofuse:bitwise-ok categorical codes are exact integers
 				total++
 			}
 		} else {

@@ -9,7 +9,6 @@ package silo
 import (
 	"fmt"
 	"sync"
-	"time"
 
 	"silofuse/internal/obs"
 	"silofuse/internal/tensor"
@@ -137,9 +136,8 @@ func (b *LocalBus) Send(e *Envelope) error {
 	if e.To == "" {
 		return fmt.Errorf("silo: envelope has no recipient")
 	}
-	var t0 time.Time
+	t0 := b.rec.Now()
 	if b.rec != nil {
-		t0 = time.Now()
 		if e.Flow == 0 {
 			e.Flow = b.rec.NextFlow()
 		}
@@ -154,7 +152,7 @@ func (b *LocalBus) Send(e *Envelope) error {
 	b.mu.Unlock()
 	b.box(e.To) <- e
 	if b.rec != nil {
-		b.rec.Message(string(e.Kind), size, time.Since(t0))
+		b.rec.Message(string(e.Kind), size, b.rec.Since(t0))
 	}
 	return nil
 }

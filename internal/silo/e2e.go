@@ -5,7 +5,6 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"time"
 
 	"silofuse/internal/diffusion"
 	"silofuse/internal/nn"
@@ -113,16 +112,13 @@ func (p *E2EPipeline) Train(iters int) (float64, error) {
 		for i := range idx {
 			idx[i] = batchRng.Intn(rows)
 		}
-		var t0 time.Time
-		if p.Rec != nil {
-			t0 = time.Now()
-		}
+		t0 := p.Rec.Now()
 		loss, err := p.trainStep(idx)
 		if err != nil {
 			return 0, err
 		}
 		if p.Rec != nil {
-			p.Rec.TrainStep("e2e", loss, batch, time.Since(t0))
+			p.Rec.TrainStep("e2e", loss, batch, p.Rec.Since(t0))
 		}
 		if it >= tail {
 			tailLoss += loss

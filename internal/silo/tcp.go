@@ -186,10 +186,7 @@ func (h *TCPHub) waitPeer(name string) *hubPeer {
 // message kind. The per-peer sendMu keeps delta attribution exact when
 // several goroutines send to the same peer.
 func (h *TCPHub) sendWire(pc *hubPeer, w wireEnvelope) error {
-	var t0 time.Time
-	if h.rec != nil {
-		t0 = time.Now()
-	}
+	t0 := h.rec.Now()
 	pc.sendMu.Lock()
 	h.mu.Lock()
 	before := pc.sent
@@ -202,7 +199,7 @@ func (h *TCPHub) sendWire(pc *hubPeer, w wireEnvelope) error {
 	h.mu.Unlock()
 	pc.sendMu.Unlock()
 	if h.rec != nil {
-		h.rec.Message(string(w.Kind), delta, time.Since(t0))
+		h.rec.Message(string(w.Kind), delta, h.rec.Since(t0))
 	}
 	return err
 }
@@ -300,9 +297,8 @@ func (p *TCPPeer) SetRecorder(rec *obs.Recorder) { p.rec = rec }
 
 // Send implements Bus (all traffic is routed via the hub).
 func (p *TCPPeer) Send(e *Envelope) error {
-	var t0 time.Time
+	t0 := p.rec.Now()
 	if p.rec != nil {
-		t0 = time.Now()
 		if e.Flow == 0 {
 			e.Flow = p.rec.NextFlow()
 		}
@@ -321,7 +317,7 @@ func (p *TCPPeer) Send(e *Envelope) error {
 	p.mu.Unlock()
 	p.sendMu.Unlock()
 	if p.rec != nil {
-		p.rec.Message(string(w.Kind), delta, time.Since(t0))
+		p.rec.Message(string(w.Kind), delta, p.rec.Since(t0))
 	}
 	return err
 }

@@ -87,7 +87,7 @@ func Pearson(x, y []float64) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
-	if sxx == 0 || syy == 0 {
+	if sxx == 0 || syy == 0 { //silofuse:bitwise-ok zero-variance guard before division
 		return 0
 	}
 	return sxy / math.Sqrt(sxx*syy)
@@ -95,7 +95,7 @@ func Pearson(x, y []float64) float64 {
 
 // entropy returns the Shannon entropy (nats) of a count vector.
 func entropy(counts []float64, total float64) float64 {
-	if total == 0 {
+	if total == 0 { //silofuse:bitwise-ok zero-total guard
 		return 0
 	}
 	h := 0.0
@@ -124,13 +124,13 @@ func TheilsU(x, y []int, kx, ky int) float64 {
 	}
 	n := float64(len(x))
 	hx := entropy(margX, n)
-	if hx == 0 {
+	if hx == 0 { //silofuse:bitwise-ok zero-entropy guard
 		return 1 // x is constant: fully "explained"
 	}
 	// H(X|Y) = Σ_y p(y) H(X | Y=y)
 	hxy := 0.0
 	for j := 0; j < ky; j++ {
-		if margY[j] == 0 {
+		if margY[j] == 0 { //silofuse:bitwise-ok skip empty marginal cell
 			continue
 		}
 		col := make([]float64, kx)
@@ -166,7 +166,7 @@ func CorrelationRatio(cats []int, values []float64, k int) float64 {
 		d := v - grand
 		total += d * d
 	}
-	if total == 0 {
+	if total == 0 { //silofuse:bitwise-ok zero-variance guard before division
 		return 0
 	}
 	return math.Sqrt(between / total)
@@ -231,10 +231,10 @@ func KSStatistic(x, y []float64) float64 {
 		default:
 			// Advance past the tied value in both samples.
 			v := xs[i]
-			for i < len(xs) && xs[i] == v {
+			for i < len(xs) && xs[i] == v { //silofuse:bitwise-ok tie detection on sorted samples
 				i++
 			}
-			for j < len(ys) && ys[j] == v {
+			for j < len(ys) && ys[j] == v { //silofuse:bitwise-ok tie detection on sorted samples
 				j++
 			}
 		}
@@ -336,7 +336,7 @@ func MacroF1(yTrue, yPred []int, k int) float64 {
 	var sum float64
 	var classes int
 	for c := 0; c < k; c++ {
-		if tp[c]+fp[c]+fn[c] == 0 {
+		if tp[c]+fp[c]+fn[c] == 0 { //silofuse:bitwise-ok skip class with no observations
 			continue
 		}
 		classes++
@@ -364,8 +364,8 @@ func D2AbsoluteError(yTrue, yPred []float64) float64 {
 		mae += math.Abs(yTrue[i] - yPred[i])
 		maeBase += math.Abs(yTrue[i] - med)
 	}
-	if maeBase == 0 {
-		if mae == 0 {
+	if maeBase == 0 { //silofuse:bitwise-ok zero-baseline guard
+		if mae == 0 { //silofuse:bitwise-ok zero-baseline guard
 			return 1
 		}
 		return 0

@@ -28,7 +28,7 @@ func NewTable(schema *Schema, data *tensor.Matrix) (*Table, error) {
 		for i := 0; i < data.Rows; i++ {
 			v := data.At(i, j)
 			code := int(v)
-			if float64(code) != v || code < 0 || code >= c.Cardinality {
+			if float64(code) != v || code < 0 || code >= c.Cardinality { //silofuse:bitwise-ok integrality check of category code
 				return nil, fmt.Errorf("tabular: row %d col %q: invalid category code %v (cardinality %d)", i, c.Name, v, c.Cardinality)
 			}
 		}

@@ -34,13 +34,19 @@ func elementwiseInto(kern kernelFn, dst, a, b *Matrix, op string) *Matrix {
 }
 
 // AddInto stores a+b into dst (dst may alias a or b) and returns dst.
+//
+//silofuse:noalloc
 func AddInto(dst, a, b *Matrix) *Matrix { return elementwiseInto(addElems, dst, a, b, "AddInto") }
 
 // SubInto stores a-b into dst (dst may alias a or b) and returns dst.
+//
+//silofuse:noalloc
 func SubInto(dst, a, b *Matrix) *Matrix { return elementwiseInto(subElems, dst, a, b, "SubInto") }
 
 // MulElemInto stores the Hadamard product a*b into dst (dst may alias a or
 // b) and returns dst.
+//
+//silofuse:noalloc
 func MulElemInto(dst, a, b *Matrix) *Matrix {
 	return elementwiseInto(mulElems, dst, a, b, "MulElemInto")
 }

@@ -42,6 +42,8 @@ func MatMul(a, b *Matrix) *Matrix {
 // MatMulInto stores a @ b into dst (which must not alias a or b) and
 // returns dst. It is the allocation-free form of MatMul: same kernel, same
 // reduction order, same bits.
+//
+//silofuse:noalloc
 func MatMulInto(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -55,6 +57,8 @@ func MatMulInto(dst, a, b *Matrix) *Matrix {
 // row added to every output row after that row's accumulation finishes —
 // exactly the arithmetic of MatMul followed by AddRowVector, fused into one
 // pass over the output. dst must not alias a or b.
+//
+//silofuse:noalloc
 func MatMulAddRowInto(dst, a, b, bias *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulAddRowInto shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -99,7 +103,7 @@ func axpyRow(arow []float64, b *Matrix, orow []float64) {
 	k := 0
 	for ; k+3 < len(arow); k += 4 {
 		av0, av1, av2, av3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
-		if av0 == 0 || av1 == 0 || av2 == 0 || av3 == 0 {
+		if av0 == 0 || av1 == 0 || av2 == 0 || av3 == 0 { //silofuse:bitwise-ok zero-skip sparsity fast path
 			axpyScalar(arow[k:k+4], b, orow, k)
 			continue
 		}
@@ -126,7 +130,7 @@ func axpyRow(arow []float64, b *Matrix, orow []float64) {
 func axpyScalar(avs []float64, b *Matrix, orow []float64, k0 int) {
 	n := b.Cols
 	for dk, av := range avs {
-		if av == 0 {
+		if av == 0 { //silofuse:bitwise-ok zero-skip sparsity fast path
 			continue
 		}
 		k := k0 + dk
@@ -150,6 +154,8 @@ func MatMulT1(a, b *Matrix) *Matrix {
 
 // MatMulT1Into stores aᵀ @ b into dst (which must not alias a or b) and
 // returns dst.
+//
+//silofuse:noalloc
 func MatMulT1Into(dst, a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulT1Into shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -176,7 +182,7 @@ func matmulT1Cols(a, b, _, out *Matrix, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			av0, av1, av2, av3 := a0[i], a1[i], a2[i], a3[i]
 			orow := out.Data[i*n : (i+1)*n]
-			if av0 == 0 || av1 == 0 || av2 == 0 || av3 == 0 {
+			if av0 == 0 || av1 == 0 || av2 == 0 || av3 == 0 { //silofuse:bitwise-ok zero-skip sparsity fast path
 				matmulT1Scalar(a, b, orow, i, r, r+4)
 				continue
 			}
@@ -201,7 +207,7 @@ func matmulT1Scalar(a, b *Matrix, orow []float64, i, r0, r1 int) {
 	n := b.Cols
 	for r := r0; r < r1; r++ {
 		av := a.Row(r)[i]
-		if av == 0 {
+		if av == 0 { //silofuse:bitwise-ok zero-skip sparsity fast path
 			continue
 		}
 		brow := b.Data[r*n : (r+1)*n]
@@ -224,6 +230,8 @@ func MatMulT2(a, b *Matrix) *Matrix {
 
 // MatMulT2Into stores a @ bᵀ into dst (which must not alias a or b) and
 // returns dst.
+//
+//silofuse:noalloc
 func MatMulT2Into(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulT2Into shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))

@@ -27,10 +27,10 @@ type kernelFn func(a, b, c, dst *Matrix, lo, hi int)
 // chunkTask describes one contiguous chunk of a kernel invocation. It is
 // sent by value so enqueueing does not allocate.
 type chunkTask struct {
-	kern   kernelFn
+	kern         kernelFn
 	a, b, c, dst *Matrix
-	lo, hi int
-	state  *callState
+	lo, hi       int
+	state        *callState
 }
 
 // callState tracks completion of one parallel kernel invocation. done is

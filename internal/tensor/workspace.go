@@ -38,6 +38,8 @@ func EnsureInts(v []int, n int) []int {
 }
 
 // CopyInto copies src into dst (shapes must match) and returns dst.
+//
+//silofuse:noalloc
 func CopyInto(dst, src *Matrix) *Matrix {
 	dst.assertSameShape(src, "CopyInto")
 	copy(dst.Data, src.Data)
@@ -46,6 +48,8 @@ func CopyInto(dst, src *Matrix) *Matrix {
 
 // GatherRowsInto copies the rows of m selected by idx into dst, in order.
 // dst must be len(idx) x m.Cols.
+//
+//silofuse:noalloc
 func (m *Matrix) GatherRowsInto(dst *Matrix, idx []int) *Matrix {
 	if dst.Rows != len(idx) || dst.Cols != m.Cols {
 		panic(fmt.Sprintf("tensor: GatherRowsInto dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, len(idx), m.Cols))
@@ -58,6 +62,8 @@ func (m *Matrix) GatherRowsInto(dst *Matrix, idx []int) *Matrix {
 
 // ColSumsInto accumulates the per-column sums of m into out, which must
 // have length Cols and is cleared first. Summation order matches ColSums.
+//
+//silofuse:noalloc
 func (m *Matrix) ColSumsInto(out []float64) []float64 {
 	if len(out) != m.Cols {
 		panic(fmt.Sprintf("tensor: ColSumsInto length %d != cols %d", len(out), m.Cols))
