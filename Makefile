@@ -1,7 +1,7 @@
 GO ?= go
 BENCHFLAGS ?= -benchmem
 
-.PHONY: build vet lint test race ci bench bench-smoke bench-kernels profile
+.PHONY: build vet lint test test-chaos race ci bench bench-smoke bench-kernels profile
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,13 @@ lint:
 
 test:
 	$(GO) test ./...
+
+# test-chaos runs the deterministic fault-injection suite under the race
+# detector: the chaos matrix (every fault class against stacked training,
+# VFL and synthesis), crash recovery over TCP, and the retransmit byte
+# accounting invariants.
+test-chaos:
+	$(GO) test -race -timeout 20m -run 'Chaos|Resilient|Recovery|Heartbeat' -count=1 ./internal/silo/
 
 # The transport and telemetry layers are exercised under the race detector;
 # the silo package trains real models, so give it a generous timeout. The
@@ -51,7 +58,7 @@ profile:
 	@echo "profiles: /tmp/silofuse_cpu.pprof /tmp/silofuse_mem.pprof"
 
 ci:
-	$(MAKE) lint && $(GO) build ./... && $(GO) test ./... && $(MAKE) race && $(MAKE) bench-smoke && $(MAKE) bench-kernels BENCHFLAGS='-benchtime=1x'
+	$(MAKE) lint && $(GO) build ./... && $(GO) test ./... && $(MAKE) race && $(MAKE) test-chaos && $(MAKE) bench-smoke && $(MAKE) bench-kernels BENCHFLAGS='-benchtime=1x'
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -45,6 +45,8 @@ func main() {
 	checkBench := flag.String("check-bench", "", "validate an existing bench snapshot and exit (CI smoke check)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile covering the whole run to this path")
 	memProfile := flag.String("memprofile", "", "write an allocation pprof profile at the end of the run to this path")
+	chaosProfile := flag.String("chaos-profile", "", "inject transport faults during distributed training: drop, dup, reorder, delay, corrupt, flaky, blackhole, crash (empty disables)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed of the deterministic fault schedule (with -chaos-profile)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -124,6 +126,14 @@ func main() {
 	}
 	if *utilCols > 0 {
 		cfg.UtilCfg.MaxColumns = *utilCols
+	}
+	if *chaosProfile != "" {
+		if _, err := silofuse.ChaosProfileByName(*chaosProfile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Opts.ChaosProfile = *chaosProfile
+		cfg.Opts.ChaosSeed = *chaosSeed
 	}
 	var rec *silofuse.Recorder
 	if *tracePath != "" || *metricsFlag || *runName != "" || *listen != "" || *benchJSON != "" {

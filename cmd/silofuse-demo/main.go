@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"silofuse"
 )
@@ -115,6 +116,8 @@ func run(c config) error {
 			p.SetRecorder(clientRecs[i])
 		}
 		peers[name] = p
+		stop := p.StartHeartbeat(200 * time.Millisecond)
+		defer stop()
 		fmt.Printf("client %s connected\n", name)
 	}
 
@@ -125,9 +128,11 @@ func run(c config) error {
 			Health: func() map[string]any {
 				st := hub.Stats()
 				peerInfo := make(map[string]any, c.clients)
-				for _, name := range hub.Peers() {
+				for name, ph := range hub.PeerHealth() {
 					peerInfo[name] = map[string]any{
-						"connected":     true,
+						"connected":     ph.Connected,
+						"heartbeats":    ph.Heartbeats,
+						"reconnects":    ph.Reconnects,
 						"bytes_to_peer": st.BytesByDir["coord->"+name],
 					}
 				}

@@ -34,6 +34,8 @@ type config struct {
 	metrics            bool
 	runName            string
 	listen             string
+	chaosProfile       string
+	chaosSeed          int64
 }
 
 func main() {
@@ -54,6 +56,8 @@ func main() {
 	flag.BoolVar(&c.metrics, "metrics", false, "print the metrics text exposition to stderr after the run")
 	flag.StringVar(&c.runName, "run", "", "write results/<run>/manifest.json with config, phases and wire stats, and stream results/<run>/events.jsonl")
 	flag.StringVar(&c.listen, "listen", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof) on this address during the run")
+	flag.StringVar(&c.chaosProfile, "chaos-profile", "", "inject transport faults during distributed training: drop, dup, reorder, delay, corrupt, flaky, blackhole, crash (empty disables)")
+	flag.Int64Var(&c.chaosSeed, "chaos-seed", 1, "seed of the deterministic fault schedule (with -chaos-profile)")
 	flag.Parse()
 
 	if err := run(c); err != nil {
@@ -92,6 +96,13 @@ func run(c config) error {
 		opts.AEIters = c.iters
 		opts.DiffIters = c.iters
 		opts.GANIters = c.iters
+	}
+	if c.chaosProfile != "" {
+		if _, err := silofuse.ChaosProfileByName(c.chaosProfile); err != nil {
+			return err
+		}
+		opts.ChaosProfile = c.chaosProfile
+		opts.ChaosSeed = c.chaosSeed
 	}
 	var rec *silofuse.Recorder
 	if c.tracePath != "" || c.metrics || c.runName != "" || c.listen != "" {

@@ -1,0 +1,31 @@
+// Package silo impersonates the transport package so both determinism
+// analyzers apply to retry logic: a wall-clock retry backoff and
+// global-rand jitter — the classic non-deterministic retry loop — are
+// flagged, while the resilient-bus idiom (backoff as a pure function of the
+// attempt number, jitter from a seeded stream) passes.
+package silo
+
+import (
+	"math/rand"
+	"time"
+)
+
+// wallClockBackoff is the banned idiom: retry timing read from the clock
+// makes fault schedules — and therefore recovered runs — irreproducible.
+func wallClockBackoff(deadline time.Time) time.Duration {
+	start := time.Now()                  // want "time.Now in deterministic package"
+	if time.Since(start) > time.Second { // want "time.Since in deterministic package"
+		return 0
+	}
+	jitter := time.Duration(rand.Intn(1000)) * time.Millisecond // want "rand.Intn draws from the process-global source"
+	return deadline.Sub(start) + jitter
+}
+
+// deterministicBackoff is the approved idiom: the wait is a pure function
+// of the attempt number, and any jitter comes from a stream seeded by the
+// message identity — retry timing never perturbs the replayed schedule.
+func deterministicBackoff(base time.Duration, attempt int, seed int64) time.Duration {
+	d := base << uint(attempt)
+	rng := rand.New(rand.NewSource(seed + int64(attempt)))
+	return d + time.Duration(rng.Intn(3))*time.Millisecond
+}

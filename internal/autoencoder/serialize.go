@@ -23,3 +23,24 @@ func (a *Autoencoder) Load(r io.Reader) error {
 func (a *Autoencoder) allParams() []*nn.Param {
 	return append(append([]*nn.Param{}, a.encoder.Params()...), a.decoder.Params()...)
 }
+
+// SaveTraining writes the full mid-training state — weights plus the Adam
+// moment estimates and step counter — so joint training (E2EDistr) can
+// resume from a checkpoint bit-identically. Save alone is enough for a
+// finished model; a *resumed optimiser* also needs its momenta.
+func (a *Autoencoder) SaveTraining(w io.Writer) error {
+	if err := nn.SaveParams(w, a.allParams()); err != nil {
+		return err
+	}
+	return a.opt.Save(w)
+}
+
+// LoadTraining restores state written by SaveTraining and zeroes any
+// accumulated gradients, discarding whatever a half-finished iteration left
+// behind.
+func (a *Autoencoder) LoadTraining(r io.Reader) error {
+	if err := nn.LoadParams(r, a.allParams()); err != nil {
+		return err
+	}
+	return a.opt.Load(r)
+}

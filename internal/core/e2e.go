@@ -14,7 +14,7 @@ type E2E struct {
 	Opts Options
 	name string
 
-	bus  *silo.LocalBus
+	bus  silo.Bus
 	pipe *silo.E2EPipeline
 }
 
@@ -41,7 +41,11 @@ func (e *E2E) Name() string { return e.name }
 // decoders. The iteration budget is AEIters+DiffIters to match the stacked
 // models' total optimisation work.
 func (e *E2E) Fit(train *tabular.Table) error {
-	e.bus = silo.NewLocalBus()
+	bus, cb, err := chaosBus(e.Opts)
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.name, err)
+	}
+	e.bus = bus
 	sf := SiloFuse{Opts: e.Opts}
 	cfg := sf.pipelineConfig()
 	pipe, err := silo.NewE2EPipeline(e.bus, train, cfg)
@@ -50,7 +54,18 @@ func (e *E2E) Fit(train *tabular.Table) error {
 	}
 	pipe.SetRecorder(e.Opts.Recorder)
 	e.pipe = pipe
-	if _, err := pipe.Train(e.Opts.AEIters + e.Opts.DiffIters); err != nil {
+	iters := e.Opts.AEIters + e.Opts.DiffIters
+	if cb != nil {
+		rc := silo.RecoveryConfig{OnPeerDead: func(peer string) error {
+			cb.Revive(peer)
+			return nil
+		}}
+		if _, err := pipe.TrainResilient(iters, 0, rc); err != nil {
+			return fmt.Errorf("%s: train: %w", e.name, err)
+		}
+		return nil
+	}
+	if _, err := pipe.Train(iters); err != nil {
 		return fmt.Errorf("%s: train: %w", e.name, err)
 	}
 	return nil

@@ -18,8 +18,26 @@ type SiloFuse struct {
 	Opts Options
 	name string
 
-	bus  *silo.LocalBus
+	bus  silo.Bus
 	pipe *silo.Pipeline
+}
+
+// chaosBus builds the training transport for opts: a plain LocalBus, or —
+// when a chaos profile is configured — a LocalBus wrapped in a seeded
+// ChaosBus (fault injection) and a ResilientBus (retries, dedup,
+// checksums). The returned ChaosBus is non-nil only in the latter case; it
+// is needed for crash recovery (Revive).
+func chaosBus(opts Options) (silo.Bus, *silo.ChaosBus, error) {
+	base := silo.NewLocalBus()
+	if opts.ChaosProfile == "" || opts.ChaosProfile == "none" {
+		return base, nil, nil
+	}
+	prof, err := silo.ChaosProfileByName(opts.ChaosProfile)
+	if err != nil {
+		return nil, nil, err
+	}
+	cb := silo.NewChaosBus(base, opts.ChaosSeed, prof)
+	return silo.NewResilientBus(cb, silo.DefaultResilientConfig()), cb, nil
 }
 
 // NewSiloFuse builds the distributed model over Opts.Clients silos.
@@ -67,14 +85,30 @@ func (s *SiloFuse) pipelineConfig() silo.PipelineConfig {
 }
 
 // Fit implements Synthesizer: it runs Algorithm 1 over an in-process bus.
+// With a chaos profile configured the bus injects faults and training runs
+// with phase-level recovery (reviving crashed peers between attempts).
 func (s *SiloFuse) Fit(train *tabular.Table) error {
-	s.bus = silo.NewLocalBus()
+	bus, cb, err := chaosBus(s.Opts)
+	if err != nil {
+		return fmt.Errorf("%s: %w", s.name, err)
+	}
+	s.bus = bus
 	pipe, err := silo.NewPipeline(s.bus, train, s.pipelineConfig())
 	if err != nil {
 		return fmt.Errorf("%s: %w", s.name, err)
 	}
 	pipe.SetRecorder(s.Opts.Recorder)
 	s.pipe = pipe
+	if cb != nil {
+		rc := silo.RecoveryConfig{OnPeerDead: func(peer string) error {
+			cb.Revive(peer)
+			return nil
+		}}
+		if _, _, _, err := pipe.TrainStackedResilient(rc); err != nil {
+			return fmt.Errorf("%s: train: %w", s.name, err)
+		}
+		return nil
+	}
 	if _, _, err := pipe.TrainStacked(); err != nil {
 		return fmt.Errorf("%s: train: %w", s.name, err)
 	}
@@ -128,7 +162,7 @@ func (s *SiloFuse) Save(w io.Writer) error {
 // table (which supplies the schema and the featuriser statistics the
 // architectures were built with) and the same Options.
 func (s *SiloFuse) Load(train *tabular.Table, r io.Reader) error {
-	s.bus = silo.NewLocalBus()
+	s.bus = silo.NewLocalBus() // restored models synthesize fault-free
 	pipe, err := silo.NewPipeline(s.bus, train, s.pipelineConfig())
 	if err != nil {
 		return fmt.Errorf("%s: %w", s.name, err)

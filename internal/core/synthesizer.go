@@ -76,6 +76,16 @@ type Options struct {
 	// spans and transport message telemetry from the fitted model (see
 	// internal/obs). nil disables telemetry at near-zero cost.
 	Recorder *obs.Recorder
+
+	// ChaosProfile, when set to a profile name (see
+	// silo.ChaosProfileByName; "" or "none" disables), makes the distributed
+	// models train over a fault-injecting transport: the in-process bus is
+	// wrapped in a seeded ChaosBus plus a ResilientBus, and stacked training
+	// runs with phase-level recovery. Used to demonstrate the
+	// recovery-equals-baseline guarantee under benchmark conditions.
+	ChaosProfile string
+	// ChaosSeed seeds the deterministic fault schedule.
+	ChaosSeed int64
 }
 
 // DefaultOptions returns CPU-scaled settings that preserve the paper's

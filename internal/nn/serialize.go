@@ -54,6 +54,50 @@ func LoadParams(r io.Reader, ps []*Param) error {
 	return nil
 }
 
+// adamBlob is the gob wire format for Adam optimiser state.
+type adamBlob struct {
+	T    int
+	M, V [][]float64
+}
+
+// Save writes the optimiser's moment estimates and step counter to w, so a
+// training run restored from a checkpoint replays bit-identically: Adam's
+// bias correction depends on t, and the updates depend on m and v.
+func (a *Adam) Save(w io.Writer) error {
+	blob := adamBlob{T: a.t, M: make([][]float64, len(a.m)), V: make([][]float64, len(a.v))}
+	for i := range a.m {
+		blob.M[i] = a.m[i].Data
+		blob.V[i] = a.v[i].Data
+	}
+	if err := gob.NewEncoder(w).Encode(blob); err != nil {
+		return fmt.Errorf("nn: save adam: %w", err)
+	}
+	return nil
+}
+
+// Load restores state written by Save into an optimiser built over the same
+// parameter set, and zeroes the parameter gradients so a half-finished
+// iteration cannot leak accumulated gradient into the resumed run.
+func (a *Adam) Load(r io.Reader) error {
+	var blob adamBlob
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return fmt.Errorf("nn: load adam: %w", err)
+	}
+	if len(blob.M) != len(a.m) || len(blob.V) != len(a.v) {
+		return fmt.Errorf("nn: adam snapshot has %d/%d moments, optimiser has %d", len(blob.M), len(blob.V), len(a.m))
+	}
+	for i := range a.m {
+		if len(blob.M[i]) != len(a.m[i].Data) || len(blob.V[i]) != len(a.v[i].Data) {
+			return fmt.Errorf("nn: adam moment %d size %d/%d, optimiser %d", i, len(blob.M[i]), len(blob.V[i]), len(a.m[i].Data))
+		}
+		copy(a.m[i].Data, blob.M[i])
+		copy(a.v[i].Data, blob.V[i])
+	}
+	a.t = blob.T
+	a.ZeroGrads()
+	return nil
+}
+
 // EMA maintains an exponential moving average of a parameter set — the
 // standard stabiliser for diffusion model weights. Apply swaps the averaged
 // values into the live parameters (keeping a restore copy), Restore undoes

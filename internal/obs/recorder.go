@@ -182,6 +182,55 @@ func (r *Recorder) Message(kind string, bytes int64, d time.Duration) {
 	r.Reg.Histogram("bus_send_seconds_" + kind).Observe(d.Seconds())
 }
 
+// Retry records one transport retransmission of the given message kind
+// after a backoff of d: it bumps bus_retries_total_<kind> and observes the
+// backoff in bus_backoff_seconds_<kind>. Retransmitted bytes themselves are
+// accounted by Message under the "retransmit" kind, keeping goodput
+// counters invariant under faults.
+func (r *Recorder) Retry(kind string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.Reg.Counter("bus_retries_total_" + kind).Inc()
+	r.Reg.Histogram("bus_backoff_seconds_" + kind).Observe(d.Seconds())
+}
+
+// Redelivery records a receiver-side duplicate discard (an envelope whose
+// sequence number was already delivered): bus_redeliveries_total_<kind>.
+func (r *Recorder) Redelivery(kind string) {
+	if r == nil {
+		return
+	}
+	r.Reg.Counter("bus_redeliveries_total_" + kind).Inc()
+}
+
+// CorruptPayload records a checksum-failed envelope:
+// bus_corrupt_total_<kind>.
+func (r *Recorder) CorruptPayload(kind string) {
+	if r == nil {
+		return
+	}
+	r.Reg.Counter("bus_corrupt_total_" + kind).Inc()
+}
+
+// Reconnect records a transport reconnect for the named peer:
+// bus_reconnects_total_<peer>.
+func (r *Recorder) Reconnect(peer string) {
+	if r == nil {
+		return
+	}
+	r.Reg.Counter("bus_reconnects_total_" + peer).Inc()
+}
+
+// PeerDown records a peer-death detection for the named peer:
+// bus_peer_down_total_<peer>.
+func (r *Recorder) PeerDown(peer string) {
+	if r == nil {
+		return
+	}
+	r.Reg.Counter("bus_peer_down_total_" + peer).Inc()
+}
+
 // StartSpan opens a trace span (nil span when disabled).
 func (r *Recorder) StartSpan(name string) *Span {
 	if r == nil {

@@ -28,6 +28,16 @@ const (
 	KindGradDown    Kind = "grad-down"    // coordinator -> client, E2E encoder gradients
 )
 
+// Control and accounting kinds of the fault-tolerance layer. KindRetransmit
+// never appears on an envelope: it is the Stats.ByKind bucket that collects
+// the bytes of every re-sent attempt, so ByKind[app kind] stays pure goodput
+// (first transmissions only) and Table VIII numbers survive a lossy network.
+const (
+	KindRetransmit Kind = "retransmit" // accounting bucket for re-sent bytes
+	KindHeartbeat  Kind = "heartbeat"  // peer -> hub liveness beacon
+	KindPeerDown   Kind = "peer-down"  // transport-injected death notice; From = dead peer
+)
+
 // Envelope is one protocol message. Payload may be nil for control
 // messages.
 //
@@ -37,11 +47,30 @@ const (
 // and both endpoints record matching flow events, so traces from separate
 // processes merge into one timeline with send→recv arrows between lanes.
 // Zero means "no trace context".
+// Seq, Sum and Rexmit belong to the resilient delivery layer and are zero
+// on a bare bus (gob omits zero fields, so unwrapped runs pay no wire
+// bytes for them): Seq numbers each From->To link's messages from 1 for
+// receiver-side dedup and reordering, Sum is an FNV-1a checksum over the
+// routing fields and payload bits, and Rexmit marks a retry attempt so
+// transports account its bytes under KindRetransmit instead of the
+// message's own kind.
 type Envelope struct {
 	From, To string
 	Kind     Kind
 	Payload  *tensor.Matrix
 	Flow     uint64
+	Seq      uint64
+	Sum      uint64
+	Rexmit   bool
+}
+
+// statKind returns the Stats.ByKind bucket for this envelope: retransmitted
+// attempts land under KindRetransmit so per-kind counters stay goodput.
+func (e *Envelope) statKind() Kind {
+	if e.Rexmit {
+		return KindRetransmit
+	}
+	return e.Kind
 }
 
 // WireSize returns the message's size in bytes under the deterministic cost
@@ -98,6 +127,22 @@ type Bus interface {
 	Stats() Stats
 }
 
+// TryReceiver is implemented by transports whose inboxes can be polled
+// without blocking. It powers the chaos layer's receive-side faults and the
+// resilient layer's inter-attempt drain.
+type TryReceiver interface {
+	// TryRecv pops a pending message for the recipient, or returns false
+	// immediately when the inbox is empty (or unreachable).
+	TryRecv(to string) (*Envelope, bool)
+}
+
+// Resetter is implemented by transports that can discard in-flight state
+// between recovery attempts: undelivered messages for the given parties and
+// any per-link sequencing.
+type Resetter interface {
+	Reset(parties []string)
+}
+
 // LocalBus is an in-process Bus using buffered channels. It is
 // deterministic for single-producer/single-consumer pairs and counts wire
 // sizes exactly as the TCP transport would.
@@ -144,15 +189,16 @@ func (b *LocalBus) Send(e *Envelope) error {
 		b.rec.Trace.FlowSend(string(e.Kind), e.Flow)
 	}
 	size := e.WireSize()
+	kind := e.statKind()
 	b.mu.Lock()
 	b.stats.Messages++
 	b.stats.Bytes += size
 	b.stats.BytesByDir[e.From+"->"+e.To] += size
-	b.stats.ByKind[e.Kind] += size
+	b.stats.ByKind[kind] += size
 	b.mu.Unlock()
 	b.box(e.To) <- e
 	if b.rec != nil {
-		b.rec.Message(string(e.Kind), size, b.rec.Since(t0))
+		b.rec.Message(string(kind), size, b.rec.Since(t0))
 	}
 	return nil
 }
@@ -167,6 +213,25 @@ func (b *LocalBus) Recv(to string) (*Envelope, error) {
 		b.rec.Trace.FlowRecv(string(e.Kind), e.Flow)
 	}
 	return e, nil
+}
+
+// TryRecv implements TryReceiver: it pops a pending message for the
+// recipient without blocking. The chaos layer uses it to look ahead in an
+// inbox (reorder/delay faults) and the resilient layer uses it to drain
+// stale in-flight messages between recovery attempts.
+func (b *LocalBus) TryRecv(to string) (*Envelope, bool) {
+	select {
+	case e, ok := <-b.box(to):
+		if !ok {
+			return nil, false
+		}
+		if b.rec != nil {
+			b.rec.Trace.FlowRecv(string(e.Kind), e.Flow)
+		}
+		return e, true
+	default:
+		return nil, false
+	}
 }
 
 // Stats implements Bus.

@@ -1,7 +1,11 @@
 package silo
 
 import (
+	"bytes"
+	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"runtime"
@@ -90,17 +94,41 @@ func NewE2EPipeline(bus Bus, data *tabular.Table, cfg PipelineConfig) (*E2EPipel
 // Train runs iters joint iterations and returns the mean combined loss
 // (L_G + mean L_AE) over the final 10% of steps.
 func (p *E2EPipeline) Train(iters int) (float64, error) {
+	return p.TrainFrom(0, iters)
+}
+
+// TrainFrom runs iterations [start, iters) — the resume form of Train.
+// Batch indices and diffusion noise are drawn from a generator derived from
+// (seed, iteration) — still shared between the parties, so no index
+// messages are needed — which makes a resumed run replay exactly the
+// stream an uninterrupted one would have drawn.
+func (p *E2EPipeline) TrainFrom(start, iters int) (float64, error) {
+	sum, count, err := p.trainRange(start, iters, iters)
+	if err != nil {
+		return 0, err
+	}
+	if count == 0 {
+		return 0, nil
+	}
+	return sum / float64(count), nil
+}
+
+// trainRange runs iterations [start, end) of a total-iteration run and
+// returns the summed loss over the iterations that fall in the final 10%
+// of the *total* run (so chunked resilient training recombines to the same
+// tail mean as an uninterrupted run). On error the partial tail
+// accumulation is discarded — the caller replays the chunk.
+func (p *E2EPipeline) trainRange(start, end, total int) (float64, int, error) {
 	batch := p.Cfg.Batch
 	rows := p.Clients[0].Data.Rows()
 	if batch > rows {
 		batch = rows
 	}
-	batchRng := rand.New(rand.NewSource(p.Cfg.Seed + 555)) // shared batch seed
 	span := p.Rec.StartSpan("e2e-train")
 	span.SetAttr("clients", len(p.Clients))
-	span.SetAttr("iters", iters)
+	span.SetAttr("iters", end-start)
 	defer span.End()
-	tail := iters - iters/10
+	tail := total - total/10
 	var tailLoss float64
 	var tailCount int
 	idx := make([]int, batch)
@@ -108,14 +136,15 @@ func (p *E2EPipeline) Train(iters int) (float64, error) {
 	if p.Rec != nil {
 		runtime.ReadMemStats(&ms0)
 	}
-	for it := 0; it < iters; it++ {
+	for it := start; it < end; it++ {
+		rng := derivedRng(p.Cfg.Seed, e2eIterSalt, it)
 		for i := range idx {
-			idx[i] = batchRng.Intn(rows)
+			idx[i] = rng.Intn(rows)
 		}
 		t0 := p.Rec.Now()
-		loss, err := p.trainStep(idx)
+		loss, err := p.trainStep(rng, idx)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if p.Rec != nil {
 			p.Rec.TrainStep("e2e", loss, batch, p.Rec.Since(t0))
@@ -128,17 +157,17 @@ func (p *E2EPipeline) Train(iters int) (float64, error) {
 	if p.Rec != nil {
 		var ms1 runtime.MemStats
 		runtime.ReadMemStats(&ms1)
-		p.Rec.TrainAllocs("e2e", iters, ms1.Mallocs-ms0.Mallocs, ms1.TotalAlloc-ms0.TotalAlloc)
+		p.Rec.TrainAllocs("e2e", end-start, ms1.Mallocs-ms0.Mallocs, ms1.TotalAlloc-ms0.TotalAlloc)
 	}
-	if tailCount == 0 {
-		return 0, nil
+	if tailCount > 0 {
+		span.SetAttr("loss", tailLoss/float64(tailCount))
 	}
-	span.SetAttr("loss", tailLoss/float64(tailCount))
-	return tailLoss / float64(tailCount), nil
+	return tailLoss, tailCount, nil
 }
 
-// trainStep executes one end-to-end iteration over the bus.
-func (p *E2EPipeline) trainStep(idx []int) (float64, error) {
+// trainStep executes one end-to-end iteration over the bus, drawing all
+// iteration randomness (timesteps, noise) from the supplied generator.
+func (p *E2EPipeline) trainStep(rng *rand.Rand, idx []int) (float64, error) {
 	// 1. Clients: encode the shared batch and upload activations.
 	batches := make([]*tabular.Table, len(p.Clients))
 	for i, c := range p.Clients {
@@ -162,8 +191,8 @@ func (p *E2EPipeline) trainStep(idx []int) (float64, error) {
 	}
 	z := tensor.HStack(zParts...)
 	n := z.Rows
-	ts := p.gauss.SampleTimesteps(p.rng, n)
-	eps := tensor.New(n, z.Cols).Randn(p.rng, 1)
+	ts := p.gauss.SampleTimesteps(rng, n)
+	eps := tensor.New(n, z.Cols).Randn(rng, 1)
 	zt := p.gauss.QSample(z, ts, eps)
 	pred := p.net.Forward(zt, ts, true)
 	lossG, gradPred := nn.MSELoss(pred, eps)
@@ -266,6 +295,133 @@ func (p *E2EPipeline) trainStep(idx []int) (float64, error) {
 		c.AE.Step()
 	}
 	return lossG + lossAE, nil
+}
+
+// e2eCheckpoint is the gob wire format of a mid-training E2E checkpoint.
+// Sections are nested []byte blobs so each inner gob stream decodes from
+// its own bytes.Reader without over-reading the next one.
+type e2eCheckpoint struct {
+	Iter int
+	Net  []byte   // backbone weights
+	Opt  []byte   // backbone Adam state
+	AEs  [][]byte // per-client autoencoder training state, in order
+}
+
+// SaveCheckpoint writes the full joint-training state — backbone weights
+// plus Adam momenta, and every client autoencoder's weights plus momenta —
+// so TrainFrom(iter, …) resumes bit-identically (for Dropout = 0 models,
+// whose forward passes draw no randomness beyond the per-iteration stream).
+func (p *E2EPipeline) SaveCheckpoint(w io.Writer, iter int) error {
+	ck := e2eCheckpoint{Iter: iter}
+	var buf bytes.Buffer
+	if err := nn.SaveParams(&buf, p.net.Params()); err != nil {
+		return err
+	}
+	ck.Net = buf.Bytes()
+	var obuf bytes.Buffer
+	if err := p.opt.Save(&obuf); err != nil {
+		return err
+	}
+	ck.Opt = obuf.Bytes()
+	for _, c := range p.Clients {
+		var ab bytes.Buffer
+		if err := c.AE.SaveTraining(&ab); err != nil {
+			return fmt.Errorf("silo: e2e checkpoint client %s: %w", c.ID, err)
+		}
+		ck.AEs = append(ck.AEs, ab.Bytes())
+	}
+	return gob.NewEncoder(w).Encode(ck)
+}
+
+// LoadCheckpoint restores state written by SaveCheckpoint and returns the
+// iteration to resume from. Accumulated gradients from a half-finished
+// iteration are zeroed.
+func (p *E2EPipeline) LoadCheckpoint(r io.Reader) (int, error) {
+	var ck e2eCheckpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return 0, fmt.Errorf("silo: decode e2e checkpoint: %w", err)
+	}
+	if len(ck.AEs) != len(p.Clients) {
+		return 0, fmt.Errorf("silo: e2e checkpoint has %d clients, pipeline has %d", len(ck.AEs), len(p.Clients))
+	}
+	if err := nn.LoadParams(bytes.NewReader(ck.Net), p.net.Params()); err != nil {
+		return 0, err
+	}
+	if err := p.opt.Load(bytes.NewReader(ck.Opt)); err != nil {
+		return 0, err
+	}
+	for i, c := range p.Clients {
+		if err := c.AE.LoadTraining(bytes.NewReader(ck.AEs[i])); err != nil {
+			return 0, fmt.Errorf("silo: e2e checkpoint client %s: %w", c.ID, err)
+		}
+	}
+	return ck.Iter, nil
+}
+
+func (p *E2EPipeline) parties() []string {
+	ps := make([]string, 0, len(p.Clients)+1)
+	for _, c := range p.Clients {
+		ps = append(ps, c.ID)
+	}
+	return append(ps, p.Coord.ID)
+}
+
+// TrainResilient runs joint training with an in-memory checkpoint every
+// `every` iterations. A chunk that dies with ErrPeerDead triggers the
+// recovery hook, a bus reset and a replay from the last checkpoint;
+// per-iteration rng derivation makes the recovered run bit-identical to a
+// fault-free one. The returned loss is the same final-10% tail mean Train
+// reports.
+func (p *E2EPipeline) TrainResilient(iters, every int, rc RecoveryConfig) (float64, error) {
+	if every <= 0 {
+		every = 50
+	}
+	if rc.MaxPhaseRetries <= 0 {
+		rc.MaxPhaseRetries = 2
+	}
+	var ckBuf bytes.Buffer
+	if err := p.SaveCheckpoint(&ckBuf, 0); err != nil {
+		return 0, err
+	}
+	var tailSum float64
+	var tailCount int
+	start, retries := 0, 0
+	for start < iters {
+		end := start + every
+		if end > iters {
+			end = iters
+		}
+		sum, count, err := p.trainRange(start, end, iters)
+		if err != nil {
+			if !errors.Is(err, ErrPeerDead) || retries >= rc.MaxPhaseRetries {
+				return 0, err
+			}
+			retries++
+			if rc.OnPeerDead != nil {
+				if herr := rc.OnPeerDead(DeadPeerName(err)); herr != nil {
+					return 0, fmt.Errorf("silo: e2e recovery aborted: %w", herr)
+				}
+			}
+			if rs, ok := p.Bus.(Resetter); ok {
+				rs.Reset(p.parties())
+			}
+			if _, lerr := p.LoadCheckpoint(bytes.NewReader(ckBuf.Bytes())); lerr != nil {
+				return 0, lerr
+			}
+			continue // replay the interrupted chunk
+		}
+		tailSum += sum
+		tailCount += count
+		start = end
+		ckBuf.Reset()
+		if err := p.SaveCheckpoint(&ckBuf, start); err != nil {
+			return 0, err
+		}
+	}
+	if tailCount == 0 {
+		return 0, nil
+	}
+	return tailSum / float64(tailCount), nil
 }
 
 // clientIndex parses the numeric suffix of a client ID ("c3" -> 3).

@@ -1,7 +1,7 @@
 package silo
 
 import (
-	"fmt"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -10,47 +10,36 @@ import (
 	"silofuse/internal/tensor"
 )
 
-// faultyBus wraps a LocalBus and injects protocol faults.
-type faultyBus struct {
-	*LocalBus
-	corruptKind bool // rewrite every payload message kind to "garbage"
-	failSend    bool // error out on every Send
-}
-
-func (f *faultyBus) Send(e *Envelope) error {
-	if f.failSend {
-		return fmt.Errorf("injected transport failure")
-	}
-	if f.corruptKind && e.Payload != nil {
-		e = &Envelope{From: e.From, To: e.To, Kind: "garbage", Payload: e.Payload}
-	}
-	return f.LocalBus.Send(e)
-}
-
+// TestStackedTrainingSurfacesTransportFailure: a bare (unwrapped) ChaosBus
+// blackhole fails every delivery, and without the resilient layer the raw
+// transport error must surface from training rather than be swallowed. The
+// typed-error path through the resilient stack is pinned separately by
+// TestChaosBlackholeFailsTyped.
 func TestStackedTrainingSurfacesTransportFailure(t *testing.T) {
 	tb := loanTable(t, 100)
 	cfg := smallConfig(2)
 	cfg.AEIters, cfg.DiffIters = 10, 10
-	bus := &faultyBus{LocalBus: NewLocalBus(), failSend: true}
+	prof, err := ChaosProfileByName("blackhole")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := NewChaosBus(NewLocalBus(), 1, prof)
 	p, err := NewPipeline(bus, tb, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := p.TrainStacked(); err == nil {
-		t.Fatal("expected transport failure to surface")
+	if _, _, err := p.TrainStacked(); !errors.Is(err, ErrDropped) {
+		t.Fatalf("expected dropped-delivery error to surface, got %v", err)
 	}
 }
 
+// TestCoordinatorRejectsWrongMessageKind: an envelope with an unknown kind
+// in the latent-collection slot must be rejected by protocol validation.
 func TestCoordinatorRejectsWrongMessageKind(t *testing.T) {
-	tb := loanTable(t, 100)
-	cfg := smallConfig(2)
-	cfg.AEIters, cfg.DiffIters = 10, 10
-	bus := &faultyBus{LocalBus: NewLocalBus(), corruptKind: true}
-	p, err := NewPipeline(bus, tb, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, _, err := p.TrainStacked(); err == nil {
+	bus := NewLocalBus()
+	c := NewCoordinator("coord", []string{"c0", "c1"}, 1)
+	bus.Send(&Envelope{From: "c0", To: "coord", Kind: "garbage", Payload: tensor.New(3, 2)})
+	if _, err := c.CollectLatents(bus); err == nil {
 		t.Fatal("expected kind-validation error")
 	}
 }

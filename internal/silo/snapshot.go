@@ -8,6 +8,7 @@ import (
 
 	"silofuse/internal/diffusion"
 	"silofuse/internal/nn"
+	"silofuse/internal/tensor"
 )
 
 // snapshot is the gob wire format of a trained pipeline's state. Model
@@ -20,6 +21,14 @@ type snapshot struct {
 	LatStd       []float64
 	ClientBlobs  [][]byte // autoencoder weights per client, in order
 	BackboneBlob []byte   // coordinator diffusion weights
+
+	// Checkpoint extensions (zero for a plain SaveState snapshot): the
+	// training phase reached, phase losses, and the collected latents so a
+	// resumed run can train the diffusion backbone without re-shipping.
+	Phase            int
+	AELoss, DiffLoss float64
+	LatRows, LatCols int
+	Latents          []float64
 }
 
 // SaveState writes the trained pipeline state (client autoencoders,
@@ -81,6 +90,84 @@ func (p *Pipeline) LoadState(r io.Reader) error {
 	p.Coord.latMean = snap.LatMean
 	p.Coord.latStd = snap.LatStd
 	return nil
+}
+
+// SaveCheckpoint writes a mid-training checkpoint to w: the client
+// autoencoder weights from PhaseAE on, plus the collected latents from
+// PhaseLatents on, plus the backbone and latent scaler once training
+// completed. A checkpoint written after any phase lets a restarted process
+// resume with LoadCheckpoint and TrainStackedFrom without redoing the
+// completed phases.
+func (p *Pipeline) SaveCheckpoint(w io.Writer, ck *Checkpoint) error {
+	if ck == nil {
+		return fmt.Errorf("silo: nil checkpoint")
+	}
+	snap := snapshot{Phase: int(ck.Phase), AELoss: ck.AELoss, DiffLoss: ck.DiffLoss}
+	if ck.Phase >= PhaseAE {
+		for _, c := range p.Clients {
+			var buf bytes.Buffer
+			if err := c.AE.Save(&buf); err != nil {
+				return fmt.Errorf("silo: checkpoint client %s: %w", c.ID, err)
+			}
+			snap.ClientBlobs = append(snap.ClientBlobs, buf.Bytes())
+		}
+	}
+	if ck.Phase >= PhaseLatents && ck.latents != nil {
+		snap.LatRows, snap.LatCols = ck.latents.Rows, ck.latents.Cols
+		snap.Latents = ck.latents.Data
+		snap.LatentDims = append([]int(nil), p.Coord.latentDims...)
+	}
+	if ck.Phase >= PhaseDiffusion && p.Coord.Model != nil {
+		var buf bytes.Buffer
+		if err := p.Coord.Model.Save(&buf); err != nil {
+			return fmt.Errorf("silo: checkpoint backbone: %w", err)
+		}
+		snap.BackboneBlob = buf.Bytes()
+		snap.LatMean = append([]float64(nil), p.Coord.latMean...)
+		snap.LatStd = append([]float64(nil), p.Coord.latStd...)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// LoadCheckpoint restores a checkpoint written by SaveCheckpoint into a
+// pipeline built with the same configuration and training table, returning
+// the Checkpoint to hand to TrainStackedFrom.
+func (p *Pipeline) LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("silo: decode checkpoint: %w", err)
+	}
+	ck := &Checkpoint{Phase: TrainPhase(snap.Phase), AELoss: snap.AELoss, DiffLoss: snap.DiffLoss}
+	if ck.Phase >= PhaseAE {
+		if len(snap.ClientBlobs) != len(p.Clients) {
+			return nil, fmt.Errorf("silo: checkpoint has %d clients, pipeline has %d", len(snap.ClientBlobs), len(p.Clients))
+		}
+		for i, c := range p.Clients {
+			if err := c.AE.Load(bytes.NewReader(snap.ClientBlobs[i])); err != nil {
+				return nil, fmt.Errorf("silo: checkpoint client %s: %w", c.ID, err)
+			}
+		}
+	}
+	if ck.Phase >= PhaseLatents && snap.Latents != nil {
+		ck.latents = tensor.FromSlice(snap.LatRows, snap.LatCols, snap.Latents)
+		p.Coord.latentDims = snap.LatentDims
+	}
+	if ck.Phase >= PhaseDiffusion && snap.BackboneBlob != nil {
+		total := 0
+		for _, d := range snap.LatentDims {
+			total += d
+		}
+		cfg := p.Cfg.Diff
+		cfg.Dim = total
+		model := diffusion.NewModel(p.Coord.rng, cfg)
+		if err := model.Load(bytes.NewReader(snap.BackboneBlob)); err != nil {
+			return nil, fmt.Errorf("silo: checkpoint backbone: %w", err)
+		}
+		p.Coord.Model = model
+		p.Coord.latMean = snap.LatMean
+		p.Coord.latStd = snap.LatStd
+	}
+	return ck, nil
 }
 
 // ParamCount reports the total trainable scalars across all actors (clients

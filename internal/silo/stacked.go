@@ -1,6 +1,7 @@
 package silo
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -8,6 +9,7 @@ import (
 	"silofuse/internal/diffusion"
 	"silofuse/internal/obs"
 	"silofuse/internal/tabular"
+	"silofuse/internal/tensor"
 )
 
 // PipelineConfig configures a cross-silo training pipeline.
@@ -127,64 +129,172 @@ func maxInt(a, b int) int {
 	return b
 }
 
+// TrainPhase marks how far stacked training has progressed; a Checkpoint
+// records the last completed phase so recovery re-runs only what a failure
+// interrupted.
+type TrainPhase int
+
+// Stacked training phases, in protocol order. Phase boundaries are the
+// checkpoint/resume granularity: the AE and diffusion phases are entirely
+// local to their parties, so only the latent-ship phase can be interrupted
+// by a transport fault.
+const (
+	PhaseNone      TrainPhase = iota // nothing completed
+	PhaseAE                          // local autoencoder training done
+	PhaseLatents                     // latents shipped and collected
+	PhaseDiffusion                   // diffusion trained — run complete
+)
+
+// Checkpoint is the resumable state of one stacked training run: the last
+// completed phase, the phase losses, and (once shipped) the collected
+// latents. In-process recovery passes the same Checkpoint back to
+// TrainStackedFrom; cross-process recovery serialises it with
+// SaveCheckpoint and restores with LoadCheckpoint.
+type Checkpoint struct {
+	Phase    TrainPhase
+	AELoss   float64
+	DiffLoss float64
+
+	latents *tensor.Matrix // collected Z, present from PhaseLatents on
+}
+
 // TrainStacked executes Algorithm 1: parallel local autoencoder training,
 // a single latent upload per client, then coordinator-local diffusion
 // training. It returns the mean tail losses of both phases.
 func (p *Pipeline) TrainStacked() (aeLoss, diffLoss float64, err error) {
-	// Step 1: local autoencoder training, clients in parallel.
-	span := p.Rec.StartSpan("ae-train")
-	span.SetAttr("clients", len(p.Clients))
-	span.SetAttr("iters", p.Cfg.AEIters)
-	losses := make([]float64, len(p.Clients))
-	var wg sync.WaitGroup
-	for i, c := range p.Clients {
-		wg.Add(1)
-		go func(i int, c *Client) {
-			defer wg.Done()
-			losses[i] = c.TrainLocal(p.Cfg.AEIters, p.Cfg.Batch)
-		}(i, c)
-	}
-	wg.Wait()
-	for _, l := range losses {
-		aeLoss += l
-	}
-	aeLoss /= float64(len(losses))
-	span.SetAttr("loss", aeLoss)
-	span.End()
+	return p.TrainStackedFrom(nil)
+}
 
-	// Step 2: single latent upload per client (the one communication round).
-	ship := p.Rec.StartSpan("latent-ship")
-	errs := make([]error, len(p.Clients))
-	for i, c := range p.Clients {
-		wg.Add(1)
-		go func(i int, c *Client) {
-			defer wg.Done()
-			errs[i] = c.UploadLatents(p.Bus, p.Coord.ID, p.Cfg.LatentNoiseStd)
-		}(i, c)
+// TrainStackedFrom runs Algorithm 1 starting after the last phase recorded
+// in ck (nil means from scratch), updating ck as each phase completes. On a
+// transport failure the returned Checkpoint state tells the caller exactly
+// where to resume: completed phases are never re-run, and re-running the
+// latent-ship phase is idempotent (encoding is deterministic and draws no
+// randomness when LatentNoiseStd is zero, so a recovered run is
+// bit-identical to a fault-free one).
+func (p *Pipeline) TrainStackedFrom(ck *Checkpoint) (aeLoss, diffLoss float64, err error) {
+	if ck == nil {
+		ck = &Checkpoint{}
 	}
-	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
+	// Phase 1: local autoencoder training, clients in parallel.
+	if ck.Phase < PhaseAE {
+		span := p.Rec.StartSpan("ae-train")
+		span.SetAttr("clients", len(p.Clients))
+		span.SetAttr("iters", p.Cfg.AEIters)
+		losses := make([]float64, len(p.Clients))
+		var wg sync.WaitGroup
+		for i, c := range p.Clients {
+			wg.Add(1)
+			go func(i int, c *Client) {
+				defer wg.Done()
+				losses[i] = c.TrainLocal(p.Cfg.AEIters, p.Cfg.Batch)
+			}(i, c)
+		}
+		wg.Wait()
+		for _, l := range losses {
+			aeLoss += l
+		}
+		aeLoss /= float64(len(losses))
+		span.SetAttr("loss", aeLoss)
+		span.End()
+		ck.Phase, ck.AELoss = PhaseAE, aeLoss
+	} else {
+		aeLoss = ck.AELoss
+	}
+
+	// Phase 2: single latent upload per client (the one communication round).
+	if ck.Phase < PhaseLatents {
+		ship := p.Rec.StartSpan("latent-ship")
+		errs := make([]error, len(p.Clients))
+		var wg sync.WaitGroup
+		for i, c := range p.Clients {
+			wg.Add(1)
+			go func(i int, c *Client) {
+				defer wg.Done()
+				errs[i] = c.UploadLatents(p.Bus, p.Coord.ID, p.Cfg.LatentNoiseStd)
+			}(i, c)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				ship.End()
+				return aeLoss, 0, e
+			}
+		}
+		z, err := p.Coord.CollectLatents(p.Bus)
+		if err != nil {
 			ship.End()
-			return 0, 0, e
+			return aeLoss, 0, err
+		}
+		ship.SetAttr("rows", z.Rows)
+		ship.SetAttr("width", z.Cols)
+		ship.End()
+		ck.Phase, ck.latents = PhaseLatents, z
+	}
+
+	// Phase 3: coordinator-local diffusion training.
+	if ck.Phase < PhaseDiffusion {
+		dspan := p.Rec.StartSpan("diffusion-train")
+		dspan.SetAttr("iters", p.Cfg.DiffIters)
+		diffLoss = p.Coord.TrainDiffusion(ck.latents, p.Cfg.Diff, p.Cfg.DiffIters, p.Cfg.Batch)
+		dspan.SetAttr("loss", diffLoss)
+		dspan.End()
+		ck.Phase, ck.DiffLoss = PhaseDiffusion, diffLoss
+	} else {
+		diffLoss = ck.DiffLoss
+	}
+	return aeLoss, diffLoss, nil
+}
+
+// RecoveryConfig governs phase-level retry after a peer death.
+type RecoveryConfig struct {
+	// MaxPhaseRetries bounds recovery attempts (default 2). Non-peer-death
+	// errors are never retried.
+	MaxPhaseRetries int
+	// OnPeerDead, when non-nil, is called with the dead peer's name (possibly
+	// empty if unknown) before each retry; callers restart the failed party
+	// here — re-dial its TCPPeer, revive a chaos crash. Returning an error
+	// aborts recovery.
+	OnPeerDead func(peer string) error
+}
+
+// parties lists every actor name on the bus, clients first.
+func (p *Pipeline) parties() []string {
+	out := make([]string, 0, len(p.Clients)+1)
+	for _, c := range p.Clients {
+		out = append(out, c.ID)
+	}
+	return append(out, p.Coord.ID)
+}
+
+// TrainStackedResilient runs stacked training with phase-level crash
+// recovery: when a peer dies mid-phase, the OnPeerDead hook lets the
+// caller restart it, the transport's in-flight state is reset, and
+// training resumes from the last completed phase in the checkpoint. The
+// returned Checkpoint reflects the final state even on error, so a caller
+// with an out-of-process recovery path can persist it via SaveCheckpoint.
+func (p *Pipeline) TrainStackedResilient(rc RecoveryConfig) (aeLoss, diffLoss float64, ck *Checkpoint, err error) {
+	if rc.MaxPhaseRetries <= 0 {
+		rc.MaxPhaseRetries = 2
+	}
+	ck = &Checkpoint{}
+	for attempt := 0; ; attempt++ {
+		aeLoss, diffLoss, err = p.TrainStackedFrom(ck)
+		if err == nil || !errors.Is(err, ErrPeerDead) || attempt >= rc.MaxPhaseRetries {
+			return aeLoss, diffLoss, ck, err
+		}
+		if p.Rec != nil {
+			p.Rec.PeerDown(DeadPeerName(err))
+		}
+		if rc.OnPeerDead != nil {
+			if herr := rc.OnPeerDead(DeadPeerName(err)); herr != nil {
+				return aeLoss, diffLoss, ck, fmt.Errorf("silo: recovery hook: %w", herr)
+			}
+		}
+		if rs, ok := p.Bus.(Resetter); ok {
+			rs.Reset(p.parties())
 		}
 	}
-	z, err := p.Coord.CollectLatents(p.Bus)
-	if err != nil {
-		ship.End()
-		return 0, 0, err
-	}
-	ship.SetAttr("rows", z.Rows)
-	ship.SetAttr("width", z.Cols)
-	ship.End()
-
-	// Step 3: coordinator-local diffusion training.
-	dspan := p.Rec.StartSpan("diffusion-train")
-	dspan.SetAttr("iters", p.Cfg.DiffIters)
-	diffLoss = p.Coord.TrainDiffusion(z, p.Cfg.Diff, p.Cfg.DiffIters, p.Cfg.Batch)
-	dspan.SetAttr("loss", diffLoss)
-	dspan.End()
-	return aeLoss, diffLoss, nil
 }
 
 // SynthesizePartitioned executes Algorithm 2: a requesting client triggers

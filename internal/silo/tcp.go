@@ -22,10 +22,15 @@ type wireEnvelope struct {
 	Cols     int
 	Data     []float64
 	Flow     uint64
+	// Resilient-delivery fields; gob omits them when zero, so unwrapped
+	// transports pay no wire bytes (see Envelope).
+	Seq    uint64
+	Sum    uint64
+	Rexmit bool
 }
 
 func toWire(e *Envelope) wireEnvelope {
-	w := wireEnvelope{From: e.From, To: e.To, Kind: e.Kind, Flow: e.Flow}
+	w := wireEnvelope{From: e.From, To: e.To, Kind: e.Kind, Flow: e.Flow, Seq: e.Seq, Sum: e.Sum, Rexmit: e.Rexmit}
 	if e.Payload != nil {
 		w.Rows, w.Cols, w.Data = e.Payload.Rows, e.Payload.Cols, e.Payload.Data
 	}
@@ -33,11 +38,19 @@ func toWire(e *Envelope) wireEnvelope {
 }
 
 func fromWire(w wireEnvelope) *Envelope {
-	e := &Envelope{From: w.From, To: w.To, Kind: w.Kind, Flow: w.Flow}
+	e := &Envelope{From: w.From, To: w.To, Kind: w.Kind, Flow: w.Flow, Seq: w.Seq, Sum: w.Sum, Rexmit: w.Rexmit}
 	if w.Data != nil {
 		e.Payload = tensor.FromSlice(w.Rows, w.Cols, w.Data)
 	}
 	return e
+}
+
+// statKind mirrors Envelope.statKind for the wire format.
+func (w *wireEnvelope) statKind() Kind {
+	if w.Rexmit {
+		return KindRetransmit
+	}
+	return w.Kind
 }
 
 // countingWriter counts bytes flowing to the underlying connection.
@@ -76,13 +89,28 @@ type hubPeer struct {
 type TCPHub struct {
 	Name string
 
-	ln    net.Listener
-	mu    sync.Mutex
-	peers map[string]*hubPeer
-	inbox chan *Envelope
-	stats Stats
-	rec   *obs.Recorder
-	wg    sync.WaitGroup
+	ln         net.Listener
+	mu         sync.Mutex
+	peers      map[string]*hubPeer
+	inbox      chan *Envelope
+	stats      Stats
+	rec        *obs.Recorder
+	wg         sync.WaitGroup
+	closing    bool
+	beats      map[string]int64 // heartbeats received per peer
+	reconnects map[string]int64 // re-registrations per peer
+	ioTimeout  time.Duration    // per-message write deadline; 0 = none
+}
+
+// PeerHealth is the hub-side liveness view of one peer, surfaced through
+// the /healthz endpoint: whether a connection is registered, how many
+// heartbeats it has delivered, and how many times it has re-registered
+// after a disconnect.
+type PeerHealth struct {
+	Connected  bool  `json:"connected"`
+	Heartbeats int64 `json:"heartbeats"`
+	Reconnects int64 `json:"reconnects"`
+	SentBytes  int64 `json:"sent_bytes"`
 }
 
 // NewTCPHub starts a hub listening on addr (e.g. "127.0.0.1:0").
@@ -92,11 +120,13 @@ func NewTCPHub(name, addr string) (*TCPHub, error) {
 		return nil, fmt.Errorf("silo: hub listen: %w", err)
 	}
 	h := &TCPHub{
-		Name:  name,
-		ln:    ln,
-		peers: make(map[string]*hubPeer),
-		inbox: make(chan *Envelope, 1024),
-		stats: Stats{BytesByDir: make(map[string]int64), ByKind: make(map[Kind]int64)},
+		Name:       name,
+		ln:         ln,
+		peers:      make(map[string]*hubPeer),
+		inbox:      make(chan *Envelope, 1024),
+		stats:      Stats{BytesByDir: make(map[string]int64), ByKind: make(map[Kind]int64)},
+		beats:      make(map[string]int64),
+		reconnects: make(map[string]int64),
 	}
 	h.wg.Add(1)
 	go h.acceptLoop()
@@ -146,12 +176,53 @@ func (h *TCPHub) serveConn(conn net.Conn) {
 	pc := &hubPeer{conn: conn}
 	pc.enc = gob.NewEncoder(countingWriter{c: conn, n: &pc.sent, mu: &h.mu, total: &h.stats, dir: h.Name + "->" + name})
 	h.mu.Lock()
+	// A re-dial is visible two ways: a fresh connection superseding a live
+	// registration, or a hello that announces itself as a reconnect (Seq > 0)
+	// after the dead conn already deregistered. Count both.
+	redial := hello.Seq > 0
+	if old := h.peers[name]; old != nil && old.conn != conn {
+		redial = true
+		old.conn.Close() // superseded; its serveConn exits without deregistering us
+	}
+	if redial {
+		h.reconnects[name]++
+	}
 	h.peers[name] = pc
 	h.mu.Unlock()
+	if h.rec != nil && hello.Seq > 0 {
+		h.rec.Reconnect(name) // peer announced a re-dial in its hello
+	}
+	defer func() {
+		// Deregister and announce the death unless a reconnect has already
+		// replaced this conn or the hub itself is shutting down.
+		h.mu.Lock()
+		stale := h.peers[name] != pc
+		closing := h.closing
+		if !stale {
+			delete(h.peers, name)
+		}
+		h.mu.Unlock()
+		if stale || closing {
+			return
+		}
+		if h.rec != nil {
+			h.rec.PeerDown(name)
+		}
+		select { // non-blocking: a full inbox must not wedge the accept path
+		case h.inbox <- &Envelope{From: name, To: h.Name, Kind: KindPeerDown}:
+		default:
+		}
+	}()
 	for {
 		var w wireEnvelope
 		if err := dec.Decode(&w); err != nil {
 			return
+		}
+		if w.Kind == KindHeartbeat {
+			h.mu.Lock()
+			h.beats[name]++
+			h.mu.Unlock()
+			continue
 		}
 		e := fromWire(w)
 		// Received bytes are counted by the sender side (the peer's
@@ -187,21 +258,38 @@ func (h *TCPHub) waitPeer(name string) *hubPeer {
 // several goroutines send to the same peer.
 func (h *TCPHub) sendWire(pc *hubPeer, w wireEnvelope) error {
 	t0 := h.rec.Now()
+	kind := w.statKind()
 	pc.sendMu.Lock()
 	h.mu.Lock()
 	before := pc.sent
+	timeout := h.ioTimeout
 	h.mu.Unlock()
+	if timeout > 0 {
+		// Per-message write deadline so a dead socket fails the send instead
+		// of blocking forever. The deadline is IO plumbing, never observed by
+		// the deterministic protocol logic.
+		//silofuse:walltime-ok socket write deadline, not on the deterministic data path
+		pc.conn.SetWriteDeadline(time.Now().Add(timeout))
+	}
 	err := pc.enc.Encode(w)
 	h.mu.Lock()
 	delta := pc.sent - before
 	h.stats.Messages++
-	h.stats.ByKind[w.Kind] += delta
+	h.stats.ByKind[kind] += delta
 	h.mu.Unlock()
 	pc.sendMu.Unlock()
 	if h.rec != nil {
-		h.rec.Message(string(w.Kind), delta, h.rec.Since(t0))
+		h.rec.Message(string(kind), delta, h.rec.Since(t0))
 	}
 	return err
+}
+
+// SetIOTimeout installs a per-message write deadline on hub sends; the
+// resilient layer forwards its SendDeadline here. Zero disables deadlines.
+func (h *TCPHub) SetIOTimeout(d time.Duration) {
+	h.mu.Lock()
+	h.ioTimeout = d
+	h.mu.Unlock()
 }
 
 // Send implements Bus for the hub side.
@@ -229,19 +317,73 @@ func (h *TCPHub) Send(e *Envelope) error {
 	return h.sendWire(dst, toWire(e))
 }
 
-// Recv implements Bus for the hub side.
+// Recv implements Bus for the hub side. A peer-down notice (injected when
+// a peer's connection dies) surfaces as a PeerDeadError — unless the peer
+// has already re-registered, in which case the stale notice is dropped.
 func (h *TCPHub) Recv(to string) (*Envelope, error) {
 	if to != h.Name {
 		return nil, fmt.Errorf("silo: hub Recv is only for %q", h.Name)
 	}
-	e, ok := <-h.inbox
-	if !ok {
-		return nil, fmt.Errorf("silo: hub inbox closed")
+	for {
+		e, ok := <-h.inbox
+		if !ok {
+			return nil, fmt.Errorf("silo: hub inbox closed")
+		}
+		if e.Kind == KindPeerDown {
+			h.mu.Lock()
+			revived := h.peers[e.From] != nil
+			h.mu.Unlock()
+			if revived {
+				continue
+			}
+			return nil, &PeerDeadError{Peer: e.From}
+		}
+		if h.rec != nil {
+			h.rec.Trace.FlowRecv(string(e.Kind), e.Flow)
+		}
+		return e, nil
 	}
-	if h.rec != nil {
-		h.rec.Trace.FlowRecv(string(e.Kind), e.Flow)
+}
+
+// TryRecv implements TryReceiver for the hub's own inbox; other recipients
+// live behind peer sockets and cannot be polled, so the drain between
+// recovery attempts only touches hub-bound traffic (a restarted peer gets
+// a fresh stream anyway).
+func (h *TCPHub) TryRecv(to string) (*Envelope, bool) {
+	if to != h.Name {
+		return nil, false
 	}
-	return e, nil
+	select {
+	case e, ok := <-h.inbox:
+		if !ok {
+			return nil, false
+		}
+		return e, true
+	default:
+		return nil, false
+	}
+}
+
+// PeerHealth reports the hub-side liveness view of every peer it has ever
+// seen — the payload behind /healthz.
+func (h *TCPHub) PeerHealth() map[string]PeerHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]PeerHealth)
+	for name, pc := range h.peers {
+		out[name] = PeerHealth{Connected: true, SentBytes: pc.sent}
+	}
+	for name, n := range h.beats {
+		ph := out[name]
+		ph.Heartbeats = n
+		out[name] = ph
+	}
+	for name, n := range h.reconnects {
+		ph := out[name]
+		ph.Reconnects = n
+		out[name] = ph
+	}
+	return out
 }
 
 // Stats implements Bus.
@@ -253,6 +395,9 @@ func (h *TCPHub) Stats() Stats {
 
 // Close shuts the hub down.
 func (h *TCPHub) Close() error {
+	h.mu.Lock()
+	h.closing = true
+	h.mu.Unlock()
 	err := h.ln.Close()
 	h.mu.Lock()
 	for _, pc := range h.peers {
@@ -266,14 +411,16 @@ func (h *TCPHub) Close() error {
 type TCPPeer struct {
 	Name string
 
-	conn   net.Conn
-	enc    *gob.Encoder
-	dec    *gob.Decoder
-	mu     sync.Mutex
-	sendMu sync.Mutex
-	stats  Stats
-	rec    *obs.Recorder
-	sent   int64
+	conn      net.Conn
+	enc       *gob.Encoder
+	dec       *gob.Decoder
+	mu        sync.Mutex
+	sendMu    sync.Mutex
+	recvMu    sync.Mutex // guards dec, so Reconnect can swap streams safely
+	stats     Stats
+	rec       *obs.Recorder
+	sent      int64
+	ioTimeout time.Duration
 }
 
 // DialHub connects to a hub and announces the peer's name.
@@ -295,29 +442,45 @@ func DialHub(name, addr string) (*TCPPeer, error) {
 // SetRecorder implements RecorderSetter.
 func (p *TCPPeer) SetRecorder(rec *obs.Recorder) { p.rec = rec }
 
+// SetIOTimeout installs a per-message write deadline on peer sends; the
+// resilient layer forwards its SendDeadline here. Zero disables deadlines.
+func (p *TCPPeer) SetIOTimeout(d time.Duration) {
+	p.mu.Lock()
+	p.ioTimeout = d
+	p.mu.Unlock()
+}
+
 // Send implements Bus (all traffic is routed via the hub).
 func (p *TCPPeer) Send(e *Envelope) error {
 	t0 := p.rec.Now()
-	if p.rec != nil {
+	if p.rec != nil && e.Kind != KindHeartbeat {
 		if e.Flow == 0 {
 			e.Flow = p.rec.NextFlow()
 		}
 		p.rec.Trace.FlowSend(string(e.Kind), e.Flow)
 	}
 	w := toWire(e)
+	kind := w.statKind()
 	p.sendMu.Lock()
 	p.mu.Lock()
 	before := p.sent
+	conn, timeout := p.conn, p.ioTimeout
 	p.mu.Unlock()
+	if timeout > 0 {
+		// Write deadline so a send into a dead hub fails instead of blocking;
+		// IO plumbing only, never observed by the protocol logic.
+		//silofuse:walltime-ok socket write deadline, not on the deterministic data path
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+	}
 	err := p.enc.Encode(w)
 	p.mu.Lock()
 	delta := p.sent - before
 	p.stats.Messages++
-	p.stats.ByKind[w.Kind] += delta
+	p.stats.ByKind[kind] += delta
 	p.mu.Unlock()
 	p.sendMu.Unlock()
 	if p.rec != nil {
-		p.rec.Message(string(w.Kind), delta, p.rec.Since(t0))
+		p.rec.Message(string(kind), delta, p.rec.Since(t0))
 	}
 	return err
 }
@@ -327,14 +490,82 @@ func (p *TCPPeer) Recv(to string) (*Envelope, error) {
 	if to != p.Name {
 		return nil, fmt.Errorf("silo: peer %q cannot receive for %q", p.Name, to)
 	}
+	p.recvMu.Lock()
 	var w wireEnvelope
-	if err := p.dec.Decode(&w); err != nil {
+	err := p.dec.Decode(&w)
+	p.recvMu.Unlock()
+	if err != nil {
 		return nil, err
 	}
 	if p.rec != nil {
 		p.rec.Trace.FlowRecv(string(w.Kind), w.Flow)
 	}
 	return fromWire(w), nil
+}
+
+// Reconnect re-dials the hub after a connection loss and announces the
+// peer under its existing name, superseding the dead registration at the
+// hub. Any Recv blocked on the old stream is unblocked with an error
+// first. The peer's traffic counters carry over — a restarted transport
+// keeps its byte accounting.
+func (p *TCPPeer) Reconnect(addr string) error {
+	p.mu.Lock()
+	old := p.conn
+	p.mu.Unlock()
+	old.Close()
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	p.recvMu.Lock()
+	defer p.recvMu.Unlock()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("silo: reconnect %s: %w", p.Name, err)
+	}
+	p.mu.Lock()
+	p.conn = conn
+	p.mu.Unlock()
+	p.enc = gob.NewEncoder(countingWriter{c: conn, n: &p.sent, mu: &p.mu, total: &p.stats, dir: p.Name + "->hub"})
+	p.dec = gob.NewDecoder(conn)
+	// Seq 1 in the hello marks this as a re-dial for the hub's telemetry.
+	if err := p.enc.Encode(wireEnvelope{From: p.Name, Kind: "hello", Seq: 1}); err != nil {
+		conn.Close()
+		return fmt.Errorf("silo: reconnect hello: %w", err)
+	}
+	if p.rec != nil {
+		p.rec.Reconnect(p.Name)
+	}
+	return nil
+}
+
+// StartHeartbeat launches a background goroutine that sends a KindHeartbeat
+// envelope to the hub every interval, feeding the hub's per-peer liveness
+// counters (PeerHealth). Send failures are ignored — a dead connection is
+// precisely what the missing beats will reveal. The returned stop function
+// is idempotent and waits for the goroutine to exit.
+func (p *TCPPeer) StartHeartbeat(every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				_ = p.Send(&Envelope{From: p.Name, Kind: KindHeartbeat})
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
 }
 
 // Stats implements Bus.
@@ -345,4 +576,9 @@ func (p *TCPPeer) Stats() Stats {
 }
 
 // Close closes the connection.
-func (p *TCPPeer) Close() error { return p.conn.Close() }
+func (p *TCPPeer) Close() error {
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	return conn.Close()
+}

@@ -1,13 +1,33 @@
 package silo
 
 import (
+	"bytes"
+	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 
 	"silofuse/internal/nn"
 	"silofuse/internal/tabular"
 	"silofuse/internal/tensor"
 )
+
+// Per-iteration rng derivation: resumable training loops (VFL, E2E) draw
+// each iteration's randomness from a generator seeded by (run seed, salt,
+// iteration), so resuming from an iteration-boundary checkpoint replays
+// exactly the stream an uninterrupted run would have drawn — the basis of
+// the recovery-equals-baseline guarantee.
+const (
+	iterSeedStride = 1_000_003
+	vflIterSalt    = 424_243
+	e2eIterSalt    = 600_011
+)
+
+// derivedRng returns the deterministic generator for one training iteration.
+func derivedRng(seed, salt int64, it int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + salt + int64(it)*iterSeedStride))
+}
 
 // VFLClassifier is the paper's future-work path made concrete: a vertical
 // federated learning model for downstream tasks on data that *stays*
@@ -27,6 +47,7 @@ type VFLClassifier struct {
 	optBot  []*nn.Adam
 	optHead *nn.Adam
 	rng     *rand.Rand
+	seed    int64
 }
 
 // VFLConfig configures the federated classifier.
@@ -54,7 +75,7 @@ func NewVFLClassifier(parts []*tabular.Table, cfg VFLConfig) (*VFLClassifier, er
 		cfg.LR = 1e-3
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	v := &VFLClassifier{Classes: cfg.Classes, EmbedDim: cfg.EmbedDim, rng: rng}
+	v := &VFLClassifier{Classes: cfg.Classes, EmbedDim: cfg.EmbedDim, rng: rng, seed: cfg.Seed}
 	for _, p := range parts {
 		enc := tabular.NewEncoder(p)
 		bottom := nn.NewSequential(
@@ -78,6 +99,15 @@ func NewVFLClassifier(parts []*tabular.Table, cfg VFLConfig) (*VFLClassifier, er
 // Every iteration sends one embedding per client up and one gradient per
 // client down (all byte-accounted).
 func (v *VFLClassifier) Train(bus Bus, parts []*tabular.Table, labels []int, iters, batch int) (float64, error) {
+	return v.TrainFrom(bus, parts, labels, 0, iters, batch)
+}
+
+// TrainFrom runs iterations [start, iters) — the resume form of Train.
+// Each iteration draws its batch from a generator derived from (seed,
+// iteration), so TrainFrom(…, k, iters, …) after restoring an iteration-k
+// checkpoint replays exactly the stream an uninterrupted Train would have
+// produced.
+func (v *VFLClassifier) TrainFrom(bus Bus, parts []*tabular.Table, labels []int, start, iters, batch int) (float64, error) {
 	if len(parts) != len(v.bottoms) {
 		return 0, fmt.Errorf("silo: vfl built for %d clients, got %d parts", len(v.bottoms), len(parts))
 	}
@@ -90,9 +120,10 @@ func (v *VFLClassifier) Train(bus Bus, parts []*tabular.Table, labels []int, ite
 	}
 	var loss float64
 	idx := make([]int, batch)
-	for it := 0; it < iters; it++ {
+	for it := start; it < iters; it++ {
+		rng := derivedRng(v.seed, vflIterSalt, it)
 		for i := range idx {
-			idx[i] = v.rng.Intn(rows)
+			idx[i] = rng.Intn(rows)
 		}
 		// Clients: embed and upload.
 		for ci, p := range parts {
@@ -164,4 +195,127 @@ func (v *VFLClassifier) Predict(parts []*tabular.Table) ([]int, error) {
 		pred[i] = best
 	}
 	return pred, nil
+}
+
+// vflCheckpoint is the gob wire format of a mid-training VFL checkpoint.
+// Nested []byte sections keep each gob stream self-contained (a decoder
+// reading from a bytes.Reader never over-reads into the next section).
+type vflCheckpoint struct {
+	Iter   int
+	Params []byte   // all bottoms' params followed by the head's
+	Opts   [][]byte // Adam state per bottom optimiser, then the head's
+}
+
+func (v *VFLClassifier) allParams() []*nn.Param {
+	var ps []*nn.Param
+	for _, b := range v.bottoms {
+		ps = append(ps, b.Params()...)
+	}
+	return append(ps, v.head.Params()...)
+}
+
+func (v *VFLClassifier) opts() []*nn.Adam {
+	return append(append([]*nn.Adam{}, v.optBot...), v.optHead)
+}
+
+// SaveCheckpoint writes the full mid-training state — weights, Adam momenta
+// and the iteration reached — so TrainFrom can resume bit-identically.
+func (v *VFLClassifier) SaveCheckpoint(w io.Writer, iter int) error {
+	ck := vflCheckpoint{Iter: iter}
+	var pbuf bytes.Buffer
+	if err := nn.SaveParams(&pbuf, v.allParams()); err != nil {
+		return err
+	}
+	ck.Params = pbuf.Bytes()
+	for _, o := range v.opts() {
+		var b bytes.Buffer
+		if err := o.Save(&b); err != nil {
+			return err
+		}
+		ck.Opts = append(ck.Opts, b.Bytes())
+	}
+	return gob.NewEncoder(w).Encode(ck)
+}
+
+// LoadCheckpoint restores state written by SaveCheckpoint and returns the
+// iteration to resume from.
+func (v *VFLClassifier) LoadCheckpoint(r io.Reader) (int, error) {
+	var ck vflCheckpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return 0, fmt.Errorf("silo: decode vfl checkpoint: %w", err)
+	}
+	if err := nn.LoadParams(bytes.NewReader(ck.Params), v.allParams()); err != nil {
+		return 0, err
+	}
+	opts := v.opts()
+	if len(ck.Opts) != len(opts) {
+		return 0, fmt.Errorf("silo: vfl checkpoint has %d optimisers, model has %d", len(ck.Opts), len(opts))
+	}
+	for i, o := range opts {
+		if err := o.Load(bytes.NewReader(ck.Opts[i])); err != nil {
+			return 0, err
+		}
+	}
+	return ck.Iter, nil
+}
+
+func vflParties(clients int) []string {
+	ps := make([]string, 0, clients+1)
+	for i := 0; i < clients; i++ {
+		ps = append(ps, fmt.Sprintf("c%d", i))
+	}
+	return append(ps, "coord")
+}
+
+// TrainResilient runs split training with an in-memory checkpoint every
+// `every` iterations. When a chunk dies with ErrPeerDead it invokes the
+// recovery hook, resets the bus sequencing, restores the last checkpoint
+// and replays the chunk; because each iteration's randomness is derived
+// from (seed, iteration), the recovered run is bit-identical to a
+// fault-free one. Non-peer-death errors (and retry exhaustion) abort.
+func (v *VFLClassifier) TrainResilient(bus Bus, parts []*tabular.Table, labels []int, iters, batch, every int, rc RecoveryConfig) (float64, error) {
+	if every <= 0 {
+		every = 50
+	}
+	if rc.MaxPhaseRetries <= 0 {
+		rc.MaxPhaseRetries = 2
+	}
+	var ckBuf bytes.Buffer
+	if err := v.SaveCheckpoint(&ckBuf, 0); err != nil {
+		return 0, err
+	}
+	var loss float64
+	start, retries := 0, 0
+	for start < iters {
+		end := start + every
+		if end > iters {
+			end = iters
+		}
+		l, err := v.TrainFrom(bus, parts, labels, start, end, batch)
+		if err != nil {
+			if !errors.Is(err, ErrPeerDead) || retries >= rc.MaxPhaseRetries {
+				return 0, err
+			}
+			retries++
+			if rc.OnPeerDead != nil {
+				if herr := rc.OnPeerDead(DeadPeerName(err)); herr != nil {
+					return 0, fmt.Errorf("silo: vfl recovery aborted: %w", herr)
+				}
+			}
+			if rs, ok := bus.(Resetter); ok {
+				rs.Reset(vflParties(len(parts)))
+			}
+			if _, lerr := v.LoadCheckpoint(bytes.NewReader(ckBuf.Bytes())); lerr != nil {
+				return 0, lerr
+			}
+			continue // replay the interrupted chunk
+		}
+		loss = l
+		start = end
+		ckBuf.Reset()
+		if err := v.SaveCheckpoint(&ckBuf, start); err != nil {
+			return 0, err
+		}
+	}
+	return loss, nil
 }

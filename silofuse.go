@@ -220,6 +220,32 @@ type (
 	VFLClassifier = silo.VFLClassifier
 	// VFLConfig configures a VFLClassifier.
 	VFLConfig = silo.VFLConfig
+	// ChaosBus injects deterministic seeded transport faults for testing.
+	ChaosBus = silo.ChaosBus
+	// ChaosProfile selects which fault classes a ChaosBus injects.
+	ChaosProfile = silo.ChaosProfile
+	// ChaosStats counts the faults a ChaosBus actually injected.
+	ChaosStats = silo.ChaosStats
+	// ResilientBus wraps a Bus with retries, dedup and payload checksums.
+	ResilientBus = silo.ResilientBus
+	// ResilientConfig tunes the ResilientBus retry policy.
+	ResilientConfig = silo.ResilientConfig
+	// Checkpoint captures stacked-training progress for resume.
+	Checkpoint = silo.Checkpoint
+	// RecoveryConfig tunes phase-level recovery from peer death.
+	RecoveryConfig = silo.RecoveryConfig
+	// PeerHealth is the hub-side liveness view of one TCP peer.
+	PeerHealth = silo.PeerHealth
+	// PeerDeadError reports which peer died; it unwraps to ErrPeerDead.
+	PeerDeadError = silo.PeerDeadError
+)
+
+// Typed transport failures surfaced by the fault-tolerant bus stack.
+var (
+	// ErrPeerDead marks a party as unreachable after the retry budget.
+	ErrPeerDead = silo.ErrPeerDead
+	// ErrCorruptPayload marks a payload that failed its checksum.
+	ErrCorruptPayload = silo.ErrCorruptPayload
 )
 
 // NewLocalBus builds the in-process transport.
@@ -240,6 +266,19 @@ var DialHub = silo.DialHub
 // NewVFLClassifier builds a split-learning classifier over feature
 // partitions.
 var NewVFLClassifier = silo.NewVFLClassifier
+
+// NewChaosBus wraps a Bus with a deterministic seeded fault injector.
+var NewChaosBus = silo.NewChaosBus
+
+// ChaosProfileByName resolves a named fault profile (drop, dup, reorder,
+// delay, corrupt, flaky, blackhole, crash; "none" or "" disables).
+var ChaosProfileByName = silo.ChaosProfileByName
+
+// NewResilientBus wraps a Bus with reliable, idempotent delivery.
+var NewResilientBus = silo.NewResilientBus
+
+// DefaultResilientConfig returns the production retry policy.
+var DefaultResilientConfig = silo.DefaultResilientConfig
 
 // Observability: pure-stdlib metrics, trace spans, and run manifests. Attach
 // a Recorder via Options.Recorder (or Pipeline.SetRecorder) to collect
