@@ -1,7 +1,7 @@
 GO ?= go
 BENCHFLAGS ?= -benchmem
 
-.PHONY: build vet lint test test-chaos race ci bench bench-smoke bench-kernels profile
+.PHONY: build vet lint test test-chaos race ci bench bench-smoke bench-baseline bench-kernels obs-smoke profile
 
 build:
 	$(GO) build ./...
@@ -37,12 +37,49 @@ test-chaos:
 race:
 	$(GO) test -race -timeout 30m ./internal/silo/... ./internal/obs/... ./internal/tensor/...
 
-# bench-smoke runs a tiny end-to-end bench invocation and validates the perf
-# snapshot it writes, so CI catches a broken bench pipeline without paying for
-# a full benchmark run.
+# bench-smoke runs a tiny end-to-end bench invocation, validates the perf
+# snapshot it writes, and gates the fresh snapshot against the committed
+# baseline (per-metric tolerances, per-phase delta table), so CI catches both
+# a broken bench pipeline and a perf/loss regression without paying for a
+# full benchmark run. Regenerate the baseline with `make bench-baseline`.
 bench-smoke:
-	$(GO) run ./cmd/silofuse-bench -exp fig10 -datasets abalone -rows 300 -scale fast -bench-json /tmp/BENCH_silofuse_smoke.json
+	$(GO) run ./cmd/silofuse-bench -exp fig10 -datasets abalone -rows 300 -scale fast -bench-json /tmp/BENCH_silofuse_smoke.json -bench-baseline BENCH_silofuse.json
 	$(GO) run ./cmd/silofuse-bench -check-bench /tmp/BENCH_silofuse_smoke.json
+
+# bench-baseline refreshes the committed regression baseline with the exact
+# bench-smoke invocation, so the gate always compares identical configs.
+bench-baseline:
+	$(GO) run ./cmd/silofuse-bench -exp fig10 -datasets abalone -rows 300 -scale fast -bench-json BENCH_silofuse.json
+
+# obs-smoke exercises the fleet observability stack end to end:
+#   1. a healthy federated demo run over the TCP hub must write a fleet-wide
+#      Prometheus exposition with per-party labels;
+#   2. a crash-profile run with peer revival disabled must exhaust the retry
+#      budget, exit non-zero, and leave parseable flight-recorder postmortems
+#      for every party;
+#   3. silofuse-obs must summarize the (possibly truncated) event stream,
+#      flag an injected throughput regression with a non-zero exit, and pass
+#      the committed bench baseline cleanly.
+OBS_SMOKE_DIR ?= /tmp/silofuse_obs_smoke
+obs-smoke:
+	rm -rf $(OBS_SMOKE_DIR) && mkdir -p $(OBS_SMOKE_DIR)
+	$(GO) build -o $(OBS_SMOKE_DIR)/silofuse-demo ./cmd/silofuse-demo
+	$(GO) build -o $(OBS_SMOKE_DIR)/silofuse-obs ./cmd/silofuse-obs
+	cd $(OBS_SMOKE_DIR) && ./silofuse-demo -clients 2 -rows 200 -iters 40 -synth 40 -run fleet -fleet-metrics fleet.prom
+	grep -q 'party="c0"' $(OBS_SMOKE_DIR)/fleet.prom
+	grep -q 'party="c1"' $(OBS_SMOKE_DIR)/fleet.prom
+	grep -q 'party="coord"' $(OBS_SMOKE_DIR)/fleet.prom
+	cd $(OBS_SMOKE_DIR) && if ./silofuse-demo -clients 2 -rows 200 -iters 40 -synth 40 -run crash -chaos-profile crash -chaos-revive=false; then \
+		echo "obs-smoke: crash run unexpectedly succeeded"; exit 1; fi
+	test -s $(OBS_SMOKE_DIR)/results/crash/postmortem/c1.json
+	grep -q '"cause"' $(OBS_SMOKE_DIR)/results/crash/postmortem/c1.json
+	grep -q '"cause"' $(OBS_SMOKE_DIR)/results/crash/postmortem/coord.json
+	$(OBS_SMOKE_DIR)/silofuse-obs summary $(OBS_SMOKE_DIR)/results/fleet
+	sed -E 's/"rows_per_sec":[0-9.eE+-]+/"rows_per_sec":0.001/g' $(OBS_SMOKE_DIR)/results/fleet/events.jsonl > $(OBS_SMOKE_DIR)/regressed.jsonl
+	@if $(OBS_SMOKE_DIR)/silofuse-obs diff $(OBS_SMOKE_DIR)/results/fleet/events.jsonl $(OBS_SMOKE_DIR)/regressed.jsonl >/dev/null 2>&1; then \
+		echo "obs-smoke: injected throughput regression not caught"; exit 1; \
+	else echo "obs-smoke: injected regression caught"; fi
+	$(OBS_SMOKE_DIR)/silofuse-obs diff BENCH_silofuse.json BENCH_silofuse.json
 
 # bench-kernels runs the hot-path microbenchmarks (tensor kernels, Linear
 # forward/backward, diffusion train/sample steps) with allocation reporting.
@@ -58,7 +95,7 @@ profile:
 	@echo "profiles: /tmp/silofuse_cpu.pprof /tmp/silofuse_mem.pprof"
 
 ci:
-	$(MAKE) lint && $(GO) build ./... && $(GO) test ./... && $(MAKE) race && $(MAKE) test-chaos && $(MAKE) bench-smoke && $(MAKE) bench-kernels BENCHFLAGS='-benchtime=1x'
+	$(MAKE) lint && $(GO) build ./... && $(GO) test ./... && $(MAKE) race && $(MAKE) test-chaos && $(MAKE) bench-smoke && $(MAKE) obs-smoke && $(MAKE) bench-kernels BENCHFLAGS='-benchtime=1x'
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -43,6 +43,7 @@ func main() {
 	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof) on this address during the run")
 	benchJSON := flag.String("bench-json", "BENCH_silofuse.json", "write a perf snapshot (phases, rows/sec, bytes by kind) to this path; empty disables")
 	checkBench := flag.String("check-bench", "", "validate an existing bench snapshot and exit (CI smoke check)")
+	benchBaseline := flag.String("bench-baseline", "", "after the run, diff the fresh -bench-json snapshot against this committed baseline and exit non-zero on regression (per-metric tolerances, per-phase delta table)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile covering the whole run to this path")
 	memProfile := flag.String("memprofile", "", "write an allocation pprof profile at the end of the run to this path")
 	chaosProfile := flag.String("chaos-profile", "", "inject transport faults during distributed training: drop, dup, reorder, delay, corrupt, flaky, blackhole, crash (empty disables)")
@@ -192,6 +193,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote bench snapshot %s\n", *benchJSON)
+		if *benchBaseline != "" {
+			base, err := experiments.ReadBenchSnapshot(*benchBaseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rep := experiments.DiffMetrics(experiments.BenchMetrics(base), experiments.BenchMetrics(snap), experiments.DefaultDiffThresholds())
+			fmt.Printf("\nbench regression gate vs %s:\n", *benchBaseline)
+			if err := rep.WriteTable(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if rep.Regressions > 0 {
+				fmt.Fprintf(os.Stderr, "bench gate: %d regression(s) vs %s\n", rep.Regressions, *benchBaseline)
+				os.Exit(1)
+			}
+		}
 	}
 	if err := writeTelemetry(rec, *tracePath, *metricsFlag, *runName, *exp, cfg.Seed); err != nil {
 		fmt.Fprintln(os.Stderr, err)

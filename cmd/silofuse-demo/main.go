@@ -11,19 +11,35 @@
 // -trace merges everything into one Chrome-trace JSON whose process lanes
 // share a single timeline with send→recv flow arrows between them.
 //
+// Telemetry federates over the same sockets: each client ships registry
+// deltas to the coordinator as `telemetry` envelopes at phase boundaries, so
+// -listen's /metrics serves the whole fleet with per-party labels and
+// -fleet-metrics writes that exposition to a file after the run. Every party
+// also keeps a flight recorder (a fixed-size ring of recent operations,
+// served live at /debug/flightrecorder); when -chaos-profile injects faults
+// and a typed transport error escapes recovery (e.g. -chaos-revive=false
+// exhausts the retry budget on a crashed peer), the rings are dumped to
+// results/<run>/postmortem/<party>.json for offline analysis with
+// silofuse-obs.
+//
 // Usage:
 //
 //	silofuse-demo -dataset loan -clients 3 -rows 600
 //	silofuse-demo -clients 3 -trace demo.json -run demo -listen 127.0.0.1:8080
+//	silofuse-demo -clients 2 -run fleet -fleet-metrics fleet.prom
+//	silofuse-demo -clients 2 -run crash -chaos-profile crash -chaos-revive=false
 package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"silofuse"
@@ -38,6 +54,10 @@ type config struct {
 	metrics            bool
 	runName            string
 	listen             string
+	chaosProfile       string
+	chaosSeed          int64
+	chaosRevive        bool
+	fleetMetrics       string
 }
 
 func main() {
@@ -51,6 +71,10 @@ func main() {
 	flag.BoolVar(&c.metrics, "metrics", false, "print the Prometheus text exposition to stderr after the run")
 	flag.StringVar(&c.runName, "run", "", "write results/<run>/manifest.json and stream results/<run>/events.jsonl")
 	flag.StringVar(&c.listen, "listen", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof) on this address during the run")
+	flag.StringVar(&c.chaosProfile, "chaos-profile", "", "inject transport faults on top of the TCP links: drop, dup, reorder, delay, corrupt, flaky, blackhole, crash (empty disables)")
+	flag.Int64Var(&c.chaosSeed, "chaos-seed", 1, "seed of the deterministic fault schedule (with -chaos-profile)")
+	flag.BoolVar(&c.chaosRevive, "chaos-revive", true, "revive crashed peers during phase recovery; =false lets a crash exhaust the retry budget and dump postmortems")
+	flag.StringVar(&c.fleetMetrics, "fleet-metrics", "", "write the fleet-wide Prometheus exposition (per-party labels) to this file after the run")
 	flag.Parse()
 
 	if err := run(c); err != nil {
@@ -70,13 +94,21 @@ func run(c config) error {
 	// their canonical names while each party keeps a private trace lane.
 	var coordRec *silofuse.Recorder
 	var clientRecs []*silofuse.Recorder
-	telemetry := c.tracePath != "" || c.metrics || c.runName != "" || c.listen != ""
+	var agg *silofuse.FleetAggregator
+	flights := map[string]*silofuse.FlightRecorder{}
+	telemetry := c.tracePath != "" || c.metrics || c.runName != "" || c.listen != "" || c.fleetMetrics != ""
 	if telemetry {
 		reg := silofuse.NewMetricsRegistry()
+		agg = silofuse.NewFleetAggregator()
 		coordRec = silofuse.NewPartyRecorder(reg, 1, "coord")
+		flights["coord"] = silofuse.NewFlightRecorder(0)
+		coordRec.SetFlight(flights["coord"])
 		clientRecs = make([]*silofuse.Recorder, c.clients)
 		for i := range clientRecs {
-			clientRecs[i] = silofuse.NewPartyRecorder(reg, 2+i, fmt.Sprintf("c%d", i))
+			name := fmt.Sprintf("c%d", i)
+			clientRecs[i] = silofuse.NewPartyRecorder(reg, 2+i, name)
+			flights[name] = silofuse.NewFlightRecorder(0)
+			clientRecs[i].SetFlight(flights[name])
 		}
 	}
 	if c.runName != "" {
@@ -123,8 +155,11 @@ func run(c config) error {
 
 	if c.listen != "" {
 		srv, err := silofuse.StartTelemetry(c.listen, silofuse.TelemetryConfig{
-			Rec:     coordRec,
-			RunsDir: "results",
+			Rec:        coordRec,
+			RunsDir:    "results",
+			Fleet:      agg,
+			FleetLocal: "coord",
+			Flight:     flights["coord"],
 			Health: func() map[string]any {
 				st := hub.Stats()
 				peerInfo := make(map[string]any, c.clients)
@@ -146,7 +181,20 @@ func run(c config) error {
 		fmt.Printf("telemetry listening on http://%s (/metrics /healthz /runs /debug/pprof)\n", srv.Addr())
 	}
 
-	bus := &routedBus{hub: hub, peers: peers}
+	// With a chaos profile the routed TCP bus gains the same fault-injection
+	// and reliable-delivery stack the in-process runs use: a seeded ChaosBus
+	// under a ResilientBus (retries, dedup, checksums).
+	var bus silofuse.Bus = &routedBus{hub: hub, peers: peers}
+	var cb *silofuse.ChaosBus
+	if c.chaosProfile != "" && c.chaosProfile != "none" {
+		prof, err := silofuse.ChaosProfileByName(c.chaosProfile)
+		if err != nil {
+			return err
+		}
+		cb = silofuse.NewChaosBus(bus, c.chaosSeed, prof)
+		bus = silofuse.NewResilientBus(cb, silofuse.DefaultResilientConfig())
+		fmt.Printf("chaos profile %q active (seed %d, revive=%v)\n", c.chaosProfile, c.chaosSeed, c.chaosRevive)
+	}
 	opts := silofuse.FastOptions()
 	opts.AEIters = c.iters
 	opts.DiffIters = c.iters
@@ -171,12 +219,29 @@ func run(c config) error {
 		if err := pipe.SetPartyRecorders(coordRec, clientRecs); err != nil {
 			return err
 		}
+		// Every party federates its telemetry to the coordinator over the
+		// same TCP links the protocol uses; agg serves the fleet-wide
+		// /metrics and merged /trace.
+		pipe.EnableFederation(agg)
 	}
 
 	fmt.Printf("\n== Algorithm 1: stacked training (%d AE iters, %d DDPM iters) ==\n", cfg.AEIters, cfg.DiffIters)
-	aeLoss, diffLoss, err := pipe.TrainStacked()
+	var aeLoss, diffLoss float64
+	if cb != nil {
+		rc := silofuse.RecoveryConfig{}
+		if c.chaosRevive {
+			rc.OnPeerDead = func(peer string) error {
+				fmt.Printf("reviving crashed peer %s\n", peer)
+				cb.Revive(peer)
+				return nil
+			}
+		}
+		aeLoss, diffLoss, _, err = pipe.TrainStackedResilient(rc)
+	} else {
+		aeLoss, diffLoss, err = pipe.TrainStacked()
+	}
 	if err != nil {
-		return err
+		return dumpCrash(c, flights, err)
 	}
 	fmt.Printf("autoencoder NLL %.4f, diffusion MSE %.4f\n", aeLoss, diffLoss)
 	fmt.Printf("wire bytes after training: %d (one latent upload per client)\n", totalBytes(hub, peers))
@@ -184,7 +249,7 @@ func run(c config) error {
 	fmt.Printf("\n== Algorithm 2: distributed synthesis (%d rows) ==\n", c.synth)
 	parts, err := pipe.SynthesizePartitioned(0, c.synth, true)
 	if err != nil {
-		return err
+		return dumpCrash(c, flights, err)
 	}
 	for i, p := range parts {
 		fmt.Printf("client c%d holds synthetic partition: %d rows x %d features\n", i, p.Rows(), p.Schema.NumColumns())
@@ -200,15 +265,56 @@ func run(c config) error {
 		return err
 	}
 	fmt.Printf("\njoined synthetic resemblance: %.1f/100\n", rep.Score)
-	return writeTelemetry(c, hub, peers, coordRec, clientRecs, rep.Score)
+	return writeTelemetry(c, hub, peers, coordRec, clientRecs, agg, rep.Score)
+}
+
+// dumpCrash writes every party's flight-recorder ring to
+// results/<run>/postmortem/<party>.json when a typed transport failure
+// (peer death past the retry budget, a corrupt payload) escapes recovery,
+// then returns the original error. Untyped errors and runs without -run
+// pass through untouched.
+func dumpCrash(c config, flights map[string]*silofuse.FlightRecorder, err error) error {
+	if c.runName == "" || len(flights) == 0 ||
+		!(errors.Is(err, silofuse.ErrPeerDead) || errors.Is(err, silofuse.ErrCorruptPayload)) {
+		return err
+	}
+	parties := make([]string, 0, len(flights))
+	for p := range flights {
+		parties = append(parties, p)
+	}
+	sort.Strings(parties)
+	dir := filepath.Join("results", c.runName)
+	for _, party := range parties {
+		path, derr := silofuse.DumpPostmortem(dir, party, flights[party], err)
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, derr)
+			continue
+		}
+		fmt.Printf("wrote postmortem %s\n", path)
+	}
+	return err
 }
 
 // writeTelemetry emits the merged trace, metrics exposition and run manifest
 // once the protocol has finished.
 func writeTelemetry(c config, hub *silofuse.TCPHub, peers map[string]*silofuse.TCPPeer,
-	coordRec *silofuse.Recorder, clientRecs []*silofuse.Recorder, resemblance float64) error {
+	coordRec *silofuse.Recorder, clientRecs []*silofuse.Recorder, agg *silofuse.FleetAggregator, resemblance float64) error {
 	if coordRec == nil {
 		return nil
+	}
+	if c.fleetMetrics != "" && agg != nil {
+		f, err := os.Create(c.fleetMetrics)
+		if err != nil {
+			return err
+		}
+		if err := agg.WritePrometheus(f, "coord", coordRec.Snapshot()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote fleet metrics %s (federated parties: %s)\n", c.fleetMetrics, strings.Join(agg.Parties(), " "))
 	}
 	if c.tracePath != "" {
 		// Each party exports its own Chrome trace (as separate processes

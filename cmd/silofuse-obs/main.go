@@ -1,0 +1,218 @@
+// Command silofuse-obs analyzes run telemetry offline: it summarizes a run
+// directory's event stream into a per-phase table, and diffs two runs or two
+// bench snapshots under configurable regression thresholds, exiting non-zero
+// on regression so it can gate CI.
+//
+// Usage:
+//
+//	silofuse-obs summary <run-dir|events.jsonl>
+//	silofuse-obs diff [flags] <base> <current>
+//
+// diff accepts run directories (their events.jsonl is read), .jsonl event
+// logs, or BENCH_silofuse.json snapshots, in any combination — both sides
+// are flattened to the same metric keys before comparison. Event logs may be
+// crash-truncated: a partial trailing line is skipped, all prior lines
+// parse.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"silofuse/internal/experiments"
+	"silofuse/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "summary":
+		err = runSummary(os.Args[2:])
+	case "diff":
+		err = runDiff(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "silofuse-obs: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silofuse-obs:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  silofuse-obs summary <run-dir|events.jsonl>
+  silofuse-obs diff [flags] <base> <current>
+
+diff flags:
+  -throughput-drop  allowed fractional rows/sec drop        (default 0.60)
+  -alloc-growth     allowed absolute allocs/step growth     (default 2)
+  -alloc-bytes-growth allowed fractional alloc bytes growth (default 0.25)
+  -wire-growth      allowed fractional wire-byte growth     (default 0.10)
+  -loss-growth      allowed fractional loss growth          (default 0.25)
+  -phase-growth     allowed fractional phase-time growth    (default 0 = off)
+`)
+}
+
+// eventsPath resolves a run-dir-or-file argument to its events file.
+func eventsPath(arg string) (string, bool) {
+	st, err := os.Stat(arg)
+	if err == nil && st.IsDir() {
+		return filepath.Join(arg, "events.jsonl"), true
+	}
+	return arg, strings.HasSuffix(arg, ".jsonl")
+}
+
+// loadMetrics flattens one diff operand — run dir, events log, or bench
+// snapshot — into the shared metric key space.
+func loadMetrics(arg string) (map[string]float64, error) {
+	if path, isEvents := eventsPath(arg); isEvents {
+		events, err := obs.ReadEventsFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.EventMetrics(events), nil
+	}
+	snap, err := experiments.ReadBenchSnapshot(arg)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.BenchMetrics(snap), nil
+}
+
+func runSummary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("summary wants one run directory or events.jsonl")
+	}
+	path, _ := eventsPath(fs.Arg(0))
+	events, err := obs.ReadEventsFile(path)
+	if err != nil {
+		return err
+	}
+	type phase struct {
+		name        string
+		start, dur  float64
+		loss        float64
+		hasLoss     bool
+		bytesByKind map[string]float64
+	}
+	var phases []phase
+	trainSteps := make(map[string]int)
+	counts := make(map[string]int)
+	for _, ev := range events {
+		typ, _ := ev["type"].(string)
+		counts[typ]++
+		switch typ {
+		case "phase":
+			p := phase{}
+			p.name, _ = ev["name"].(string)
+			p.start, _ = ev["start_sec"].(float64)
+			p.dur, _ = ev["dur_sec"].(float64)
+			if attrs, ok := ev["attrs"].(map[string]any); ok {
+				if l, ok := attrs["loss"].(float64); ok {
+					p.loss, p.hasLoss = l, true
+				}
+			}
+			if byKind, ok := ev["bus_bytes_by_kind"].(map[string]any); ok {
+				p.bytesByKind = make(map[string]float64, len(byKind))
+				for k, v := range byKind {
+					if f, ok := v.(float64); ok {
+						p.bytesByKind[k] = f
+					}
+				}
+			}
+			phases = append(phases, p)
+		case "train":
+			if stage, ok := ev["stage"].(string); ok {
+				trainSteps[stage]++
+			}
+		}
+	}
+	fmt.Printf("%s: %d events\n", path, len(events))
+	types := make([]string, 0, len(counts))
+	for t := range counts {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		fmt.Printf("  %-8s %d\n", t, counts[t])
+	}
+	if len(phases) == 0 {
+		fmt.Println("no phase events")
+		return nil
+	}
+	fmt.Printf("\n%-16s  %9s  %9s  %12s  %s\n", "PHASE", "START(s)", "DUR(s)", "LOSS", "WIRE BYTES (cumulative)")
+	for _, p := range phases {
+		loss := "--"
+		if p.hasLoss {
+			loss = fmt.Sprintf("%.6g", p.loss)
+		}
+		var wire string
+		if len(p.bytesByKind) > 0 {
+			kinds := make([]string, 0, len(p.bytesByKind))
+			total := 0.0
+			for k, v := range p.bytesByKind {
+				kinds = append(kinds, k)
+				total += v
+			}
+			sort.Strings(kinds)
+			parts := make([]string, 0, len(kinds))
+			for _, k := range kinds {
+				parts = append(parts, fmt.Sprintf("%s=%.0f", k, p.bytesByKind[k]))
+			}
+			wire = fmt.Sprintf("%.0f (%s)", total, strings.Join(parts, " "))
+		}
+		fmt.Printf("%-16s  %9.3f  %9.3f  %12s  %s\n", p.name, p.start, p.dur, loss, wire)
+	}
+	return nil
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	th := experiments.DefaultDiffThresholds()
+	fs.Float64Var(&th.ThroughputDrop, "throughput-drop", th.ThroughputDrop, "allowed fractional rows/sec drop")
+	fs.Float64Var(&th.AllocGrowth, "alloc-growth", th.AllocGrowth, "allowed absolute allocs/step growth")
+	fs.Float64Var(&th.AllocBytesGrowth, "alloc-bytes-growth", th.AllocBytesGrowth, "allowed fractional alloc bytes/step growth")
+	fs.Float64Var(&th.WireGrowth, "wire-growth", th.WireGrowth, "allowed fractional wire-byte growth")
+	fs.Float64Var(&th.LossGrowth, "loss-growth", th.LossGrowth, "allowed fractional loss growth")
+	fs.Float64Var(&th.PhaseGrowth, "phase-growth", th.PhaseGrowth, "allowed fractional phase-time growth (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff wants <base> and <current>")
+	}
+	base, err := loadMetrics(fs.Arg(0))
+	if err != nil {
+		return fmt.Errorf("base: %w", err)
+	}
+	cur, err := loadMetrics(fs.Arg(1))
+	if err != nil {
+		return fmt.Errorf("current: %w", err)
+	}
+	rep := experiments.DiffMetrics(base, cur, th)
+	if err := rep.WriteTable(os.Stdout); err != nil {
+		return err
+	}
+	if rep.Regressions > 0 {
+		return fmt.Errorf("%d regression(s) against %s", rep.Regressions, fs.Arg(0))
+	}
+	return nil
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -107,6 +108,9 @@ func run(c config) error {
 	var rec *silofuse.Recorder
 	if c.tracePath != "" || c.metrics || c.runName != "" || c.listen != "" {
 		rec = silofuse.NewRecorder()
+		// The flight recorder keeps the last operations in a fixed ring; on a
+		// typed transport failure the tail is dumped as a postmortem.
+		rec.SetFlight(silofuse.NewFlightRecorder(0))
 		opts.Recorder = rec
 	}
 	if c.runName != "" {
@@ -128,6 +132,7 @@ func run(c config) error {
 			Health: func() map[string]any {
 				return map[string]any{"binary": "silofuse-train", "dataset": c.dataset, "model": c.model}
 			},
+			Flight: rec.Flight,
 		})
 		if err != nil {
 			return err
@@ -156,7 +161,7 @@ func run(c config) error {
 	} else {
 		fmt.Printf("training %s on %s (%d rows, %d columns)...\n", m.Name(), c.dataset, train.Rows(), train.Schema.NumColumns())
 		if err := m.Fit(train); err != nil {
-			return err
+			return dumpCrash(c, rec, err)
 		}
 	}
 	if c.saveModel != "" {
@@ -186,7 +191,7 @@ func run(c config) error {
 		}
 		parts, err := sf.SamplePartitioned(c.rows)
 		if err != nil {
-			return err
+			return dumpCrash(c, rec, err)
 		}
 		for i, p := range parts {
 			path := fmt.Sprintf("%s.c%d.csv", c.out, i)
@@ -200,7 +205,7 @@ func run(c config) error {
 
 	synth, err := m.Sample(c.rows)
 	if err != nil {
-		return err
+		return dumpCrash(c, rec, err)
 	}
 	if err := writeCSV(c.out, synth); err != nil {
 		return err
@@ -212,6 +217,24 @@ func run(c config) error {
 	fmt.Printf("wrote %s (%d rows); resemblance %.1f/100\n", c.out, synth.Rows(), rep.Score)
 	final["resemblance"] = rep.Score
 	return writeTelemetry(c, m, rec, final)
+}
+
+// dumpCrash writes the flight-recorder tail to
+// results/<run>/postmortem/local.json when a typed transport failure (peer
+// death past the retry budget, a corrupt payload) escapes recovery, then
+// returns the original error.
+func dumpCrash(c config, rec *silofuse.Recorder, err error) error {
+	if rec == nil || c.runName == "" ||
+		!(errors.Is(err, silofuse.ErrPeerDead) || errors.Is(err, silofuse.ErrCorruptPayload)) {
+		return err
+	}
+	path, derr := silofuse.DumpPostmortem(filepath.Join("results", c.runName), "local", rec.Flight, err)
+	if derr != nil {
+		fmt.Fprintln(os.Stderr, derr)
+	} else {
+		fmt.Printf("wrote postmortem %s\n", path)
+	}
+	return err
 }
 
 // writeTelemetry emits the optional trace file, metrics exposition and run

@@ -50,6 +50,13 @@ type Autoencoder struct {
 	// Rec, when non-nil, receives per-step loss/throughput telemetry from
 	// Train (stage "ae"). Shared safely across clients training in parallel.
 	Rec *obs.Recorder
+	// SkipAllocStats suppresses Train's per-loop allocation measurement.
+	// The measurement reads global runtime.MemStats deltas, which count
+	// every goroutine's allocations: when sibling autoencoders train
+	// concurrently (the pipeline's AE phase), per-loop windows overlap
+	// arbitrarily and the numbers are scheduling-dependent garbage. The
+	// pipeline sets this and measures the whole parallel phase instead.
+	SkipAllocStats bool
 
 	encoder *nn.Sequential
 	decoder *nn.Sequential // trunk + final head linear
@@ -135,8 +142,9 @@ func (a *Autoencoder) Train(train *tabular.Table, iters, batch int) float64 {
 	var tailLoss float64
 	var tailCount int
 	idx := make([]int, batch)
+	measureAllocs := a.Rec != nil && !a.SkipAllocStats
 	var ms0 runtime.MemStats
-	if a.Rec != nil {
+	if measureAllocs {
 		runtime.ReadMemStats(&ms0)
 	}
 	for it := 0; it < iters; it++ {
@@ -153,7 +161,7 @@ func (a *Autoencoder) Train(train *tabular.Table, iters, batch int) float64 {
 			tailCount++
 		}
 	}
-	if a.Rec != nil {
+	if measureAllocs {
 		var ms1 runtime.MemStats
 		runtime.ReadMemStats(&ms1)
 		a.Rec.TrainAllocs("ae", iters, ms1.Mallocs-ms0.Mallocs, ms1.TotalAlloc-ms0.TotalAlloc)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -74,6 +75,29 @@ func (ew *EventWriter) Emit(typ string, fields map[string]any) {
 	}
 	ew.seq++
 	_, _ = ew.w.Write(append(line, '\n'))
+	if typ == "run-end" {
+		ew.syncLocked()
+	}
+}
+
+// Sync forces buffered data to stable storage when the sink supports it
+// (os.File does). Emit calls it automatically on the "run-end" event, so a
+// clean shutdown never loses the final line even if the process is killed
+// before Close.
+func (ew *EventWriter) Sync() error {
+	if ew == nil {
+		return nil
+	}
+	ew.mu.Lock()
+	defer ew.mu.Unlock()
+	return ew.syncLocked()
+}
+
+func (ew *EventWriter) syncLocked() error {
+	if s, ok := ew.w.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
 }
 
 // Close closes the underlying sink when it supports closing.
@@ -82,4 +106,49 @@ func (ew *EventWriter) Close() error {
 		return nil
 	}
 	return ew.c.Close()
+}
+
+// ReadEvents parses a JSON-lines event stream with crash tolerance: every
+// newline-terminated line must parse (a malformed interior line is a real
+// error), while a trailing fragment without a newline — the signature of a
+// crash mid-write — is silently dropped unless it happens to be complete
+// JSON. This is the one reader contract shared by the obs package and the
+// silofuse-obs analyzer, pinned by TestReadEventsTruncated.
+func ReadEvents(r io.Reader) ([]map[string]any, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("obs: read events: %w", err)
+	}
+	var out []map[string]any
+	for lineNo := 1; len(data) > 0; lineNo++ {
+		line := data
+		terminated := false
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data, terminated = data[:i], data[i+1:], true
+		} else {
+			data = nil
+		}
+		if len(line) == 0 {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if !terminated {
+				break // crash-truncated final fragment
+			}
+			return nil, fmt.Errorf("obs: events line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// ReadEventsFile is ReadEvents over a file path.
+func ReadEventsFile(path string) ([]map[string]any, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEvents(f)
 }

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReadEventsTruncated pins the crash-truncation contract: every
+// newline-terminated line must parse, a partial trailing line (the write a
+// crash interrupted) is dropped silently, and a complete trailing line that
+// merely lost its newline is still recovered.
+func TestReadEventsTruncated(t *testing.T) {
+	full := `{"type":"run-start","run":"x"}` + "\n" + `{"type":"train","loss":1.5}` + "\n"
+
+	events, err := ReadEvents(strings.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("clean log: %d events, want 2", len(events))
+	}
+
+	// Crash mid-write: the trailing fragment is not valid JSON.
+	events, err = ReadEvents(strings.NewReader(full + `{"type":"tra`))
+	if err != nil {
+		t.Fatalf("truncated trailing line must not error: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("truncated log: %d events, want 2 (fragment dropped)", len(events))
+	}
+
+	// Crash between the write and the newline: the trailing line is complete
+	// JSON and must be kept.
+	events, err = ReadEvents(strings.NewReader(full + `{"type":"phase","name":"synthesis"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 || events[2]["name"] != "synthesis" {
+		t.Fatalf("complete unterminated line dropped: %d events %v", len(events), events)
+	}
+
+	// A malformed interior line is corruption, not truncation: error out.
+	if _, err := ReadEvents(strings.NewReader(`{"type":"a"}` + "\n" + `garbage` + "\n" + `{"type":"b"}` + "\n")); err == nil {
+		t.Fatal("malformed interior line must error")
+	}
+
+	if events, err := ReadEvents(strings.NewReader("")); err != nil || len(events) != 0 {
+		t.Fatalf("empty log: events=%v err=%v", events, err)
+	}
+}
+
+// TestReadEventsFile checks the file wrapper against a real truncated log.
+func TestReadEventsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	data := `{"type":"run-start"}` + "\n" + `{"type":"train","stage":"ae"}` + "\n" + `{"type":"pha`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEventsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1]["stage"] != "ae" {
+		t.Fatalf("events = %v, want the 2 complete lines", events)
+	}
+}
+
+// TestEventWriterSyncOnRunEnd checks that a run-end emit forces the log to
+// durable storage: the file contents are complete immediately after Emit,
+// before Close.
+func TestEventWriterSyncOnRunEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	ew, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ew.Close()
+	ew.Emit("run-start", map[string]any{"run": "x"})
+	ew.Emit("run-end", map[string]any{"run": "x"})
+
+	events, err := ReadEventsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1]["type"] != "run-end" {
+		t.Fatalf("events after run-end sync = %v, want both lines on disk", events)
+	}
+}

@@ -39,26 +39,54 @@ func promName(name string) string {
 
 func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// helpHints maps metric-name prefixes to exposition help text. Registry
+// metrics are created ad hoc by name, so help is keyed on the naming
+// conventions the recorder uses rather than a central declaration table.
+var helpHints = []struct{ prefix, help string }{
+	{"bus_bytes", "modeled wire bytes through the silo bus"},
+	{"bus_messages", "messages through the silo bus"},
+	{"bus_retries", "resilient-bus retransmissions"},
+	{"bus_redeliveries", "duplicate deliveries suppressed by the resilient bus"},
+	{"bus_corrupt", "payload checksum failures detected on receive"},
+	{"bus_reconnects", "transport reconnect attempts"},
+	{"peer_down", "peer-down transitions observed"},
+	{"train_step", "training step latency in seconds"},
+	{"train_loss", "training loss by phase"},
+	{"rows_synth", "synthetic rows produced"},
+	{"alloc_", "allocation telemetry from the benchmark harness"},
+	{"telemetry_", "telemetry federation bookkeeping"},
+}
+
+// helpFor returns the # HELP text for a (sanitised) metric family name.
+func helpFor(name string) string {
+	for _, h := range helpHints {
+		if strings.HasPrefix(name, h.prefix) {
+			return h.help
+		}
+	}
+	return "silofuse metric " + name
+}
+
 // WritePrometheus writes the snapshot in Prometheus text exposition format
-// (version 0.0.4): counters and gauges as single samples with a # TYPE
-// header, histograms as summaries with p50/p95/p99 quantile samples plus the
-// conventional _sum and _count series. Families are sorted by name, so the
-// output is deterministic for a given snapshot.
+// (version 0.0.4): counters and gauges as single samples with # HELP and
+// # TYPE headers, histograms as summaries with p50/p95/p99 quantile samples
+// plus the conventional _sum and _count series. Families are sorted by name,
+// so the output is deterministic for a given snapshot.
 func WritePrometheus(w io.Writer, s Snapshot) error {
 	type family struct{ name, text string }
 	fams := make([]family, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
 	for name, v := range s.Counters {
 		n := promName(name)
-		fams = append(fams, family{n, fmt.Sprintf("# TYPE %s counter\n%s %d\n", n, n, v)})
+		fams = append(fams, family{n, fmt.Sprintf("# HELP %s %s\n# TYPE %s counter\n%s %d\n", n, helpFor(n), n, n, v)})
 	}
 	for name, v := range s.Gauges {
 		n := promName(name)
-		fams = append(fams, family{n, fmt.Sprintf("# TYPE %s gauge\n%s %s\n", n, n, promFloat(v))})
+		fams = append(fams, family{n, fmt.Sprintf("# HELP %s %s\n# TYPE %s gauge\n%s %s\n", n, helpFor(n), n, n, promFloat(v))})
 	}
 	for name, h := range s.Histograms {
 		n := promName(name)
 		var b strings.Builder
-		fmt.Fprintf(&b, "# TYPE %s summary\n", n)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s summary\n", n, helpFor(n), n)
 		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %s\n", n, promFloat(h.P50))
 		fmt.Fprintf(&b, "%s{quantile=\"0.95\"} %s\n", n, promFloat(h.P95))
 		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %s\n", n, promFloat(h.P99))
@@ -85,6 +113,17 @@ type TelemetryConfig struct {
 	// RunsDir is the directory holding per-run subdirectories
 	// (results/<run>/manifest.json); empty disables /runs.
 	RunsDir string
+	// Fleet, when non-nil, turns /metrics into the fleet-wide exposition
+	// (every series labelled with its party), makes /trace serve the live
+	// merged Chrome trace, and adds federation liveness to /healthz.
+	Fleet *FleetAggregator
+	// FleetLocal names the party whose series come from Rec's own registry in
+	// the fleet exposition (usually the coordinator); empty means federated
+	// parties only.
+	FleetLocal string
+	// Flight, when non-nil, enables /debug/flightrecorder: an on-demand dump
+	// of the recent-operations ring.
+	Flight *FlightRecorder
 }
 
 // NewTelemetryMux builds the live telemetry handler set:
@@ -104,7 +143,35 @@ func NewTelemetryMux(cfg TelemetryConfig) *http.ServeMux {
 		if cfg.Rec != nil {
 			snap = cfg.Rec.Snapshot()
 		}
+		if cfg.Fleet != nil {
+			_ = cfg.Fleet.WritePrometheus(w, cfg.FleetLocal, snap)
+			return
+		}
 		_ = WritePrometheus(w, snap)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var tr *Tracer
+		if cfg.Rec != nil {
+			tr = cfg.Rec.Trace
+		}
+		if cfg.Fleet != nil {
+			_ = cfg.Fleet.WriteChromeTrace(w, tr)
+			return
+		}
+		_ = tr.WriteChromeTraceLive(w)
+	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Flight == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		party := cfg.FleetLocal
+		if party == "" {
+			party = "local"
+		}
+		_ = cfg.Flight.WriteDump(w, party, "")
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		h := map[string]any{
@@ -116,6 +183,12 @@ func NewTelemetryMux(cfg TelemetryConfig) *http.ServeMux {
 		if cfg.Health != nil {
 			for k, v := range cfg.Health() {
 				h[k] = v
+			}
+		}
+		if cfg.Fleet != nil {
+			h["fleet"] = cfg.Fleet.FleetHealth()
+			if faults := cfg.Fleet.Faults(); len(faults) > 0 {
+				h["fleet_faults"] = faults
 			}
 		}
 		writeJSON(w, h)

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPrometheusConformance validates WritePrometheus against the text
+// exposition format (version 0.0.4): every family has exactly one # HELP
+// followed by exactly one # TYPE with a legal type, families appear in
+// sorted order, every sample line parses as name{labels} value with the name
+// in the legal charset, and every sample belongs to the family announced
+// above it.
+func TestPrometheusConformance(t *testing.T) {
+	rec := NewRecorder()
+	rec.Message("latents", 4096, time.Millisecond)
+	rec.Message("synth-req", 64, time.Millisecond)
+	rec.TrainStep("ae", 2.5, 32, time.Millisecond)
+	rec.TrainStep("diffusion", 0.9, 32, 2*time.Millisecond)
+	rec.Reg.Gauge("alloc_bytes_per_step_ae").Set(128)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, rec.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+
+	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+	legalTypes := map[string]bool{"counter": true, "gauge": true, "summary": true, "histogram": true, "untyped": true}
+
+	var families []string
+	currentFamily := ""
+	sawHelp := map[string]bool{}
+	sawType := map[string]bool{}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	for i, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 || parts[3] == "" {
+				t.Fatalf("line %d: HELP without text: %q", i+1, line)
+			}
+			name := parts[2]
+			if sawHelp[name] {
+				t.Fatalf("family %s: # HELP emitted twice", name)
+			}
+			sawHelp[name] = true
+			families = append(families, name)
+			if i+1 >= len(lines) || !strings.HasPrefix(lines[i+1], "# TYPE "+name+" ") {
+				t.Fatalf("family %s: # HELP not immediately followed by its # TYPE", name)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(line)
+			if len(parts) != 4 || !legalTypes[parts[3]] {
+				t.Fatalf("line %d: bad TYPE line: %q", i+1, line)
+			}
+			name := parts[2]
+			if sawType[name] {
+				t.Fatalf("family %s: # TYPE emitted twice", name)
+			}
+			sawType[name] = true
+			currentFamily = name
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: not a valid sample: %q", i+1, line)
+			}
+			if !nameRe.MatchString(m[1]) {
+				t.Fatalf("line %d: illegal metric name %q", i+1, m[1])
+			}
+			if _, err := strconv.ParseFloat(m[3], 64); err != nil {
+				t.Fatalf("line %d: unparseable value %q", i+1, m[3])
+			}
+			// _sum and _count samples belong to the summary family.
+			base := strings.TrimSuffix(strings.TrimSuffix(m[1], "_sum"), "_count")
+			if base != currentFamily && m[1] != currentFamily {
+				t.Fatalf("line %d: sample %s outside its family %s", i+1, m[1], currentFamily)
+			}
+		}
+	}
+	if len(families) == 0 {
+		t.Fatal("no families emitted")
+	}
+	for i := 1; i < len(families); i++ {
+		if families[i-1] > families[i] {
+			t.Fatalf("families out of order: %s after %s", families[i], families[i-1])
+		}
+	}
+	for name := range sawHelp {
+		if !sawType[name] {
+			t.Fatalf("family %s has HELP but no TYPE", name)
+		}
+	}
+}

@@ -1,0 +1,490 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Telemetry federation: parties of a distributed run periodically serialize
+// their local telemetry — metric deltas, completed trace spans, transport
+// fault counters — into TelemetryUpdate records shipped to the coordinator,
+// which folds them into a FleetAggregator. The coordinator's /metrics then
+// exposes one pane of glass for the whole fleet (every series labelled with
+// its party), and /trace serves a live merged Chrome trace across party
+// lanes.
+//
+// Updates are flushed at deterministic protocol points (phase boundaries,
+// iteration counts) — never from timers — so a federated run stays
+// bit-identical to a non-federated one on the application message stream,
+// and federation traffic occupies its own accounting bucket.
+
+// TelemetryUpdate is one party's telemetry increment since its previous
+// flush. Counters and Hists are deltas (they add across updates); Gauges
+// carry current values (last write wins); Spans lists trace spans completed
+// since the previous flush. Seq numbers a party's updates from 1 so the
+// aggregator can spot gaps after a recovery.
+type TelemetryUpdate struct {
+	Party       string                    `json:"party"`
+	Seq         uint64                    `json:"seq"`
+	PID         int                       `json:"pid,omitempty"`
+	EpochMicros int64                     `json:"epoch_micros,omitempty"`
+	Counters    map[string]int64          `json:"counters,omitempty"`
+	Gauges      map[string]float64        `json:"gauges,omitempty"`
+	Hists       map[string]HistogramStats `json:"hists,omitempty"`
+	Spans       []SpanInfo                `json:"spans,omitempty"`
+	// Faults carries transport fault counters (injected chaos faults, retry
+	// totals) when the party has a fault source attached.
+	Faults map[string]int64 `json:"faults,omitempty"`
+}
+
+// EncodeTelemetryUpdate serialises an update for transport (JSON: stable,
+// debuggable, and schema'd in EXPERIMENTS.md).
+func EncodeTelemetryUpdate(u *TelemetryUpdate) ([]byte, error) {
+	return json.Marshal(u)
+}
+
+// DecodeTelemetryUpdate parses bytes produced by EncodeTelemetryUpdate.
+func DecodeTelemetryUpdate(b []byte) (*TelemetryUpdate, error) {
+	var u TelemetryUpdate
+	if err := json.Unmarshal(b, &u); err != nil {
+		return nil, fmt.Errorf("obs: telemetry update decode: %w", err)
+	}
+	if u.Party == "" {
+		return nil, fmt.Errorf("obs: telemetry update without party")
+	}
+	return &u, nil
+}
+
+// Federator computes one party's telemetry deltas between flushes. It holds
+// the party's recorder, remembers the snapshot it last shipped, and collects
+// span ends via a tracer hook. A nil Federator is a no-op (federation off).
+type Federator struct {
+	mu    sync.Mutex
+	rec   *Recorder
+	party string
+	seq   uint64
+
+	lastCounters map[string]int64
+	lastHists    map[string]HistogramStats
+	spans        []SpanInfo
+
+	// faults, when non-nil, supplies transport fault counters per flush
+	// (cumulative; the aggregator keeps the latest).
+	faults func() map[string]int64
+}
+
+// NewFederator builds the federation source for one party over its
+// recorder. It registers a span-end hook on the recorder's tracer, so spans
+// that finish between flushes ride the next update.
+func NewFederator(party string, rec *Recorder) *Federator {
+	f := &Federator{
+		rec:          rec,
+		party:        party,
+		lastCounters: make(map[string]int64),
+		lastHists:    make(map[string]HistogramStats),
+	}
+	if rec != nil {
+		rec.Trace.AddOnSpanEnd(func(sp SpanInfo) {
+			f.mu.Lock()
+			f.spans = append(f.spans, sp)
+			f.mu.Unlock()
+		})
+	}
+	return f
+}
+
+// SetFaultSource attaches fn as the update's fault-counter supplier
+// (e.g. a ChaosBus's FaultStats plus a ResilientBus's retry totals).
+func (f *Federator) SetFaultSource(fn func() map[string]int64) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.faults = fn
+	f.mu.Unlock()
+}
+
+// Party returns the federator's party name ("" on nil).
+func (f *Federator) Party() string {
+	if f == nil {
+		return ""
+	}
+	return f.party
+}
+
+// Flush produces the update covering everything since the previous flush
+// and advances the baseline. It never returns nil on an enabled federator —
+// an empty update still carries the party identity and sequence number, so
+// the aggregator's liveness view ticks even when nothing changed. A nil
+// federator returns nil.
+func (f *Federator) Flush() *TelemetryUpdate {
+	if f == nil {
+		return nil
+	}
+	snap := f.rec.Snapshot()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	u := &TelemetryUpdate{
+		Party:       f.party,
+		Seq:         f.seq,
+		PID:         f.rec.Trace.PID(),
+		EpochMicros: f.rec.Trace.Epoch(),
+	}
+	for name, v := range snap.Counters {
+		if d := v - f.lastCounters[name]; d != 0 {
+			if u.Counters == nil {
+				u.Counters = make(map[string]int64)
+			}
+			u.Counters[name] = d
+		}
+		f.lastCounters[name] = v
+	}
+	if len(snap.Gauges) > 0 {
+		u.Gauges = make(map[string]float64, len(snap.Gauges))
+		for name, v := range snap.Gauges {
+			u.Gauges[name] = v
+		}
+	}
+	for name, h := range snap.Histograms {
+		if d := DeltaHistogramStats(f.lastHists[name], h); d.Count > 0 {
+			if u.Hists == nil {
+				u.Hists = make(map[string]HistogramStats)
+			}
+			u.Hists[name] = d
+		}
+		f.lastHists[name] = h
+	}
+	u.Spans = f.spans
+	f.spans = nil
+	if f.faults != nil {
+		u.Faults = f.faults()
+	}
+	return u
+}
+
+// partyState is the aggregator's view of one party.
+type partyState struct {
+	pid         int
+	epochMicros int64
+	lastSeq     uint64
+	updates     int64
+	gaps        int64 // sequence discontinuities observed
+	counters    map[string]int64
+	gauges      map[string]float64
+	hists       map[string]HistogramStats
+	faults      map[string]int64
+	spans       []SpanInfo
+}
+
+// FleetAggregator is the coordinator-side sink of telemetry federation: it
+// folds per-party updates into cumulative per-party metric views and span
+// collections, and renders fleet-wide Prometheus exposition and merged
+// Chrome traces. All methods are safe for concurrent use, and a nil
+// aggregator is a no-op everywhere, matching the package's recorder
+// contract.
+type FleetAggregator struct {
+	mu      sync.Mutex
+	parties map[string]*partyState
+	// maxSpans bounds the per-party span collection (oldest dropped).
+	maxSpans int
+}
+
+// fleetMaxSpansDefault bounds each party's retained span list; a multi-day
+// run must not grow the coordinator's memory without bound.
+const fleetMaxSpansDefault = 4096
+
+// NewFleetAggregator builds an empty fleet view.
+func NewFleetAggregator() *FleetAggregator {
+	return &FleetAggregator{parties: make(map[string]*partyState), maxSpans: fleetMaxSpansDefault}
+}
+
+// Ingest folds one update into the fleet view: counter and histogram deltas
+// accumulate, gauges overwrite, spans append (bounded), fault counters
+// overwrite (they arrive cumulative). Nil aggregators and nil updates are
+// ignored.
+func (a *FleetAggregator) Ingest(u *TelemetryUpdate) {
+	if a == nil || u == nil || u.Party == "" {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ps := a.parties[u.Party]
+	if ps == nil {
+		ps = &partyState{
+			counters: make(map[string]int64),
+			gauges:   make(map[string]float64),
+			hists:    make(map[string]HistogramStats),
+			faults:   make(map[string]int64),
+		}
+		a.parties[u.Party] = ps
+	}
+	if u.PID != 0 {
+		ps.pid = u.PID
+	}
+	if u.EpochMicros != 0 {
+		ps.epochMicros = u.EpochMicros
+	}
+	if u.Seq != 0 && ps.lastSeq != 0 && u.Seq != ps.lastSeq+1 {
+		ps.gaps++
+	}
+	if u.Seq != 0 {
+		ps.lastSeq = u.Seq
+	}
+	ps.updates++
+	for name, d := range u.Counters {
+		ps.counters[name] += d
+	}
+	for name, v := range u.Gauges {
+		ps.gauges[name] = v
+	}
+	for name, d := range u.Hists {
+		ps.hists[name] = MergeHistogramStats(ps.hists[name], d)
+	}
+	for name, v := range u.Faults {
+		ps.faults[name] = v
+	}
+	ps.spans = append(ps.spans, u.Spans...)
+	if over := len(ps.spans) - a.maxSpans; over > 0 {
+		ps.spans = append(ps.spans[:0:0], ps.spans[over:]...)
+	}
+}
+
+// IngestLocal is the coordinator's own federation path: it flushes fed and
+// folds the update in directly, no transport involved.
+func (a *FleetAggregator) IngestLocal(fed *Federator) {
+	if a == nil || fed == nil {
+		return
+	}
+	a.Ingest(fed.Flush())
+}
+
+// Parties lists the parties seen so far, sorted.
+func (a *FleetAggregator) Parties() []string {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	names := make([]string, 0, len(a.parties))
+	for name := range a.parties {
+		names = append(names, name)
+	}
+	a.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// PartySnapshot returns the cumulative metric view of one party (zero value
+// when unknown).
+func (a *FleetAggregator) PartySnapshot(party string) Snapshot {
+	if a == nil {
+		return Snapshot{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ps := a.parties[party]
+	if ps == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(ps.counters)),
+		Gauges:     make(map[string]float64, len(ps.gauges)),
+		Histograms: make(map[string]HistogramStats, len(ps.hists)),
+	}
+	for k, v := range ps.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range ps.gauges {
+		s.Gauges[k] = v
+	}
+	for k, v := range ps.hists {
+		s.Histograms[k] = v
+	}
+	return s
+}
+
+// FleetHealth summarises federation liveness per party: updates ingested,
+// last sequence number, and observed sequence gaps — the payload a /healthz
+// endpoint embeds.
+func (a *FleetAggregator) FleetHealth() map[string]any {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]any, len(a.parties))
+	for name, ps := range a.parties {
+		out[name] = map[string]any{
+			"updates":  ps.updates,
+			"last_seq": ps.lastSeq,
+			"seq_gaps": ps.gaps,
+			"spans":    len(ps.spans),
+		}
+	}
+	return out
+}
+
+// Faults returns the latest fault counters per party (party -> counter ->
+// value).
+func (a *FleetAggregator) Faults() map[string]map[string]int64 {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]map[string]int64)
+	for name, ps := range a.parties {
+		if len(ps.faults) == 0 {
+			continue
+		}
+		m := make(map[string]int64, len(ps.faults))
+		for k, v := range ps.faults {
+			m[k] = v
+		}
+		out[name] = m
+	}
+	return out
+}
+
+// WritePrometheus renders the fleet view in Prometheus text exposition:
+// every series carries a party label, families are grouped (one # HELP and
+// # TYPE header each) and sorted, parties sorted within a family. local,
+// when non-empty, names a party whose series come from localSnap rather
+// than from federation — the coordinator passes its own registry snapshot
+// here so the fleet exposition covers every party including itself.
+func (a *FleetAggregator) WritePrometheus(w io.Writer, local string, localSnap Snapshot) error {
+	if a == nil {
+		return nil
+	}
+	type series struct {
+		party string
+		text  string // lines for this party within the family, sans name prefix
+	}
+	type family struct {
+		typ    string
+		series []series
+	}
+	fams := make(map[string]*family)
+	addSnap := func(party string, s Snapshot) {
+		for name, v := range s.Counters {
+			n := promName(name)
+			f := fams[n]
+			if f == nil {
+				f = &family{typ: "counter"}
+				fams[n] = f
+			}
+			f.series = append(f.series, series{party, fmt.Sprintf("%s{party=%q} %d\n", n, party, v)})
+		}
+		for name, v := range s.Gauges {
+			n := promName(name)
+			f := fams[n]
+			if f == nil {
+				f = &family{typ: "gauge"}
+				fams[n] = f
+			}
+			f.series = append(f.series, series{party, fmt.Sprintf("%s{party=%q} %s\n", n, party, promFloat(v))})
+		}
+		for name, h := range s.Histograms {
+			n := promName(name)
+			f := fams[n]
+			if f == nil {
+				f = &family{typ: "summary"}
+				fams[n] = f
+			}
+			var b []byte
+			b = fmt.Appendf(b, "%s{party=%q,quantile=\"0.5\"} %s\n", n, party, promFloat(h.P50))
+			b = fmt.Appendf(b, "%s{party=%q,quantile=\"0.95\"} %s\n", n, party, promFloat(h.P95))
+			b = fmt.Appendf(b, "%s{party=%q,quantile=\"0.99\"} %s\n", n, party, promFloat(h.P99))
+			b = fmt.Appendf(b, "%s_sum{party=%q} %s\n", n, party, promFloat(h.Sum))
+			b = fmt.Appendf(b, "%s_count{party=%q} %d\n", n, party, h.Count)
+			f.series = append(f.series, series{party, string(b)})
+		}
+	}
+	if local != "" {
+		addSnap(local, localSnap)
+	}
+	for _, party := range a.Parties() {
+		if party == local {
+			continue // the coordinator's own registry wins over stale federated copies
+		}
+		addSnap(party, a.PartySnapshot(party))
+	}
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].party < f.series[j].party })
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", n, helpFor(n), n, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if _, err := io.WriteString(w, s.text); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteChromeTrace renders the live merged fleet trace: the coordinator's
+// own tracer document plus one synthesized document per federated party
+// (complete "X" events built from its shipped spans, on its own process
+// lane), aligned on one timeline via each party's tracer epoch. local may
+// be nil (fleet lanes only).
+func (a *FleetAggregator) WriteChromeTrace(w io.Writer, local *Tracer) error {
+	if a == nil {
+		return local.WriteChromeTraceLive(w)
+	}
+	var readers []io.Reader
+	if local != nil {
+		var buf bytes.Buffer
+		if err := local.WriteChromeTraceLive(&buf); err != nil {
+			return err
+		}
+		readers = append(readers, &buf)
+	}
+	a.mu.Lock()
+	names := make([]string, 0, len(a.parties))
+	for name := range a.parties {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ps := a.parties[name]
+		doc := chromeTrace{DisplayTimeUnit: "ms", EpochMicros: ps.epochMicros}
+		pid := ps.pid
+		if pid == 0 {
+			pid = 1
+		}
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: "process_name", Phase: "M", PID: pid, TID: 1,
+			Args: map[string]any{"name": name},
+		})
+		for _, sp := range ps.spans {
+			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+				Name: sp.Name, Cat: "silofuse", Phase: "X",
+				TS: sp.StartSec * 1e6, Dur: sp.DurSec * 1e6,
+				PID: pid, TID: 1, Args: sp.Attrs,
+			})
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(doc); err != nil {
+			a.mu.Unlock()
+			return err
+		}
+		readers = append(readers, &buf)
+	}
+	a.mu.Unlock()
+	if len(readers) == 0 {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	return MergeChromeTraces(w, readers...)
+}

@@ -1,0 +1,237 @@
+//silofuse:bitwise-ok federation determinism tests pin exact delta arithmetic
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFederatorFlushDeltas checks the core federation contract: counters and
+// histogram stats ship as deltas between flushes, gauges as current values,
+// and the sequence number advances per flush.
+func TestFederatorFlushDeltas(t *testing.T) {
+	rec := NewRecorder()
+	fed := NewFederator("c0", rec)
+
+	rec.Reg.Counter("bus_bytes_total").Add(100)
+	rec.Reg.Gauge("ae_loss").Set(2.5)
+	rec.Reg.Histogram("ae_step_seconds").Observe(0.1)
+	rec.Reg.Histogram("ae_step_seconds").Observe(0.3)
+
+	u1 := fed.Flush()
+	if u1 == nil {
+		t.Fatal("flush returned nil on enabled federator")
+	}
+	if u1.Party != "c0" || u1.Seq != 1 {
+		t.Fatalf("update identity = %q seq %d, want c0 seq 1", u1.Party, u1.Seq)
+	}
+	if u1.Counters["bus_bytes_total"] != 100 {
+		t.Fatalf("counter delta = %d, want 100", u1.Counters["bus_bytes_total"])
+	}
+	if u1.Gauges["ae_loss"] != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", u1.Gauges["ae_loss"])
+	}
+	if h := u1.Hists["ae_step_seconds"]; h.Count != 2 {
+		t.Fatalf("hist delta count = %d, want 2", h.Count)
+	}
+
+	rec.Reg.Counter("bus_bytes_total").Add(40)
+	rec.Reg.Gauge("ae_loss").Set(1.25)
+	u2 := fed.Flush()
+	if u2.Seq != 2 {
+		t.Fatalf("second flush seq = %d, want 2", u2.Seq)
+	}
+	if u2.Counters["bus_bytes_total"] != 40 {
+		t.Fatalf("second counter delta = %d, want 40 (only the increment)", u2.Counters["bus_bytes_total"])
+	}
+	if u2.Gauges["ae_loss"] != 1.25 {
+		t.Fatalf("second gauge = %v, want the current value 1.25", u2.Gauges["ae_loss"])
+	}
+	if _, ok := u2.Hists["ae_step_seconds"]; ok {
+		t.Fatal("unchanged histogram must not ship a delta")
+	}
+
+	// An idle flush still carries identity and sequence (liveness tick).
+	u3 := fed.Flush()
+	if u3 == nil || u3.Party != "c0" || u3.Seq != 3 {
+		t.Fatalf("idle flush = %+v, want identity-only update seq 3", u3)
+	}
+	if len(u3.Counters) != 0 {
+		t.Fatalf("idle flush shipped counters: %v", u3.Counters)
+	}
+}
+
+// TestFederatorCollectsSpans checks the tracer hook: spans ending between
+// flushes ride the next update and are then cleared.
+func TestFederatorCollectsSpans(t *testing.T) {
+	rec := NewRecorder()
+	fed := NewFederator("c1", rec)
+	rec.StartSpan("ae-train").End()
+	u := fed.Flush()
+	if len(u.Spans) != 1 || u.Spans[0].Name != "ae-train" {
+		t.Fatalf("spans = %+v, want one ae-train span", u.Spans)
+	}
+	if u2 := fed.Flush(); len(u2.Spans) != 0 {
+		t.Fatalf("spans not cleared after flush: %+v", u2.Spans)
+	}
+}
+
+// TestTelemetryUpdateRoundTrip checks encode/decode plus the aggregator's
+// accumulation semantics: counters add, gauges overwrite, hist deltas merge,
+// sequence gaps are counted.
+func TestTelemetryUpdateRoundTrip(t *testing.T) {
+	rec := NewRecorder()
+	fed := NewFederator("c0", rec)
+	fed.SetFaultSource(func() map[string]int64 { return map[string]int64{"drops": 3} })
+	rec.Reg.Counter("rows_synth_total").Add(10)
+	rec.Reg.Histogram("ae_step_seconds").Observe(0.2)
+
+	agg := NewFleetAggregator()
+	for i := 0; i < 2; i++ {
+		blob, err := EncodeTelemetryUpdate(fed.Flush())
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := DecodeTelemetryUpdate(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg.Ingest(u)
+		rec.Reg.Counter("rows_synth_total").Add(10)
+	}
+
+	snap := agg.PartySnapshot("c0")
+	if snap.Counters["rows_synth_total"] != 20 {
+		t.Fatalf("aggregated counter = %d, want 20 (two delta-10 updates)", snap.Counters["rows_synth_total"])
+	}
+	if h := snap.Histograms["ae_step_seconds"]; h.Count != 1 {
+		t.Fatalf("aggregated hist count = %d, want 1", h.Count)
+	}
+	if faults := agg.Faults()["c0"]; faults["drops"] != 3 {
+		t.Fatalf("faults = %v, want drops=3", faults)
+	}
+
+	// A gap in the sequence (an update lost to a crash) is recorded.
+	agg.Ingest(&TelemetryUpdate{Party: "c0", Seq: 9})
+	health, ok := agg.FleetHealth()["c0"].(map[string]any)
+	if !ok {
+		t.Fatalf("fleet health missing c0: %v", agg.FleetHealth())
+	}
+	if gaps := health["seq_gaps"].(int64); gaps != 1 {
+		t.Fatalf("seq_gaps = %d, want 1", gaps)
+	}
+
+	if _, err := DecodeTelemetryUpdate([]byte(`{"seq":1}`)); err == nil {
+		t.Fatal("decode accepted an update without a party")
+	}
+}
+
+// TestFleetPrometheusExposition checks the fleet-wide exposition: every
+// series carries its party label, each family emits exactly one # HELP and
+// one # TYPE line, families are sorted, and the local party's registry wins
+// over its stale federated copy.
+func TestFleetPrometheusExposition(t *testing.T) {
+	agg := NewFleetAggregator()
+	for _, party := range []string{"c1", "c0"} {
+		rec := NewRecorder()
+		fed := NewFederator(party, rec)
+		rec.Reg.Counter("bus_bytes_total_latents").Add(500)
+		rec.Reg.Gauge("ae_loss").Set(3.0)
+		rec.Reg.Histogram("ae_step_seconds").Observe(0.25)
+		agg.Ingest(fed.Flush())
+	}
+	// A stale federated copy of the local party: the live snapshot must win.
+	agg.Ingest(&TelemetryUpdate{Party: "coord", Seq: 1, Gauges: map[string]float64{"diffusion_loss": 99}})
+
+	local := NewRegistry()
+	local.Gauge("diffusion_loss").Set(0.5)
+	var buf bytes.Buffer
+	if err := agg.WritePrometheus(&buf, "coord", local.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		`bus_bytes_total_latents{party="c0"} 500`,
+		`bus_bytes_total_latents{party="c1"} 500`,
+		`ae_loss{party="c0"} 3`,
+		`ae_step_seconds_count{party="c1"} 1`,
+		`diffusion_loss{party="coord"} 0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `diffusion_loss{party="coord"} 99`) {
+		t.Error("stale federated copy of the local party leaked into the exposition")
+	}
+
+	// Conformance: # HELP and # TYPE exactly once per family, HELP first,
+	// families in sorted order, no unlabelled series.
+	var families []string
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for i, line := range lines {
+		if strings.HasPrefix(line, "# HELP ") {
+			name := strings.Fields(line)[2]
+			families = append(families, name)
+			if i+1 >= len(lines) || !strings.HasPrefix(lines[i+1], "# TYPE "+name+" ") {
+				t.Errorf("family %s: # HELP not followed by its # TYPE", name)
+			}
+		} else if !strings.HasPrefix(line, "#") && !strings.Contains(line, `party="`) {
+			t.Errorf("unlabelled series in fleet exposition: %q", line)
+		}
+	}
+	seen := map[string]bool{}
+	for i, name := range families {
+		if seen[name] {
+			t.Errorf("family %s emitted twice", name)
+		}
+		seen[name] = true
+		if i > 0 && families[i-1] > name {
+			t.Errorf("families out of order: %s after %s", name, families[i-1])
+		}
+	}
+	if len(families) == 0 {
+		t.Fatal("no families in exposition")
+	}
+}
+
+// TestFleetChromeTrace checks the live merged trace: one process lane per
+// federated party plus the local tracer, all in one valid Chrome-trace doc.
+func TestFleetChromeTrace(t *testing.T) {
+	agg := NewFleetAggregator()
+	rec := NewRecorder()
+	fed := NewFederator("c0", rec)
+	rec.StartSpan("ae-train").End()
+	agg.Ingest(fed.Flush())
+
+	local := NewTracer()
+	sp := local.StartSpan("diffusion-train")
+	time.Sleep(time.Millisecond)
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := agg.WriteChromeTrace(&buf, local); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("fleet trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if n, _ := ev["name"].(string); n != "" {
+			names[n] = true
+		}
+	}
+	for _, want := range []string{"ae-train", "diffusion-train"} {
+		if !names[want] {
+			t.Errorf("fleet trace missing span %q (have %v)", want, names)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFlightRecorderRing checks the ring semantics: entries before capacity
+// come back in order, and past capacity the oldest are overwritten so the
+// ring always holds the most recent tail.
+func TestFlightRecorderRing(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	for i := 0; i < 3; i++ {
+		fr.Note("send", fmt.Sprintf("kind%d", i), "", float64(i))
+	}
+	if fr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", fr.Len())
+	}
+	es := fr.Entries()
+	if len(es) != 3 || es[0].Name != "kind0" || es[2].Name != "kind2" {
+		t.Fatalf("pre-wrap entries = %+v", es)
+	}
+
+	for i := 3; i < 10; i++ {
+		fr.Note("send", fmt.Sprintf("kind%d", i), "", float64(i))
+	}
+	if fr.Len() != 4 {
+		t.Fatalf("Len after wrap = %d, want capacity 4", fr.Len())
+	}
+	es = fr.Entries()
+	for i, e := range es {
+		want := fmt.Sprintf("kind%d", 6+i)
+		if e.Name != want {
+			t.Fatalf("entry %d = %q, want %q (oldest-first tail)", i, e.Name, want)
+		}
+		if i > 0 && es[i].Seq != es[i-1].Seq+1 {
+			t.Fatalf("sequence not monotonic across wrap: %+v", es)
+		}
+	}
+}
+
+// TestFlightRecorderNilSafe checks the package's nil-recorder contract.
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Note("send", "latents", "", 1)
+	if fr.Len() != 0 || fr.Entries() != nil {
+		t.Fatal("nil flight recorder must be inert")
+	}
+	var buf bytes.Buffer
+	if err := fr.WriteDump(&buf, "c0", "test"); err != nil {
+		t.Fatal(err)
+	}
+	var d PostmortemDump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("nil dump is not valid JSON: %v", err)
+	}
+	if d.Party != "c0" || len(d.Entries) != 0 {
+		t.Fatalf("nil dump = %+v, want empty c0 document", d)
+	}
+}
+
+// TestDumpPostmortem checks the on-disk dump: the file lands at
+// runDir/postmortem/<party>.json and parses back with cause and entries.
+func TestDumpPostmortem(t *testing.T) {
+	dir := t.TempDir()
+	fr := NewFlightRecorder(8)
+	fr.Note("send", "latents", "", 2048)
+	fr.Note("peer-down", "", "c1", 0)
+
+	path, err := DumpPostmortem(dir, "coord", fr, fmt.Errorf("silo: peer c1 dead"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "postmortem", "coord.json"); path != want {
+		t.Fatalf("path = %q, want %q", path, want)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d PostmortemDump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("postmortem is not valid JSON: %v", err)
+	}
+	if d.Party != "coord" || d.Cause != "silo: peer c1 dead" {
+		t.Fatalf("dump header = %+v", d)
+	}
+	if len(d.Entries) != 2 || d.Entries[1].Op != "peer-down" || d.Entries[1].Peer != "c1" {
+		t.Fatalf("dump entries = %+v", d.Entries)
+	}
+}
+
+// TestRecorderFlightIntegration checks that recorder telemetry calls land in
+// the attached flight ring with their operation labels.
+func TestRecorderFlightIntegration(t *testing.T) {
+	rec := NewRecorder()
+	fr := NewFlightRecorder(16)
+	rec.SetFlight(fr)
+
+	rec.Message("latents", 1000, 0)
+	rec.PeerDown("c2")
+	rec.StartSpan("ae-train").End()
+
+	ops := map[string]bool{}
+	for _, e := range fr.Entries() {
+		ops[e.Op] = true
+	}
+	for _, want := range []string{"send", "peer-down", "span"} {
+		if !ops[want] {
+			t.Errorf("flight ring missing op %q (have %v)", want, ops)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+//silofuse:bitwise-ok merge/delta contracts pin exact count, sum, and bound arithmetic
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileEdgeCases pins the histogram's boundary behavior: empty
+// histograms report zeros everywhere, and a single observation reports
+// itself at every quantile (bucket interpolation clamped to exact bounds).
+func TestQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	if s := h.Stats(); s.Count != 0 || s.Min != 0 || s.Max != 0 || s.P99 != 0 {
+		t.Fatalf("empty stats = %+v, want zero value", s)
+	}
+
+	h.Observe(0.37)
+	s := h.Stats()
+	if s.Count != 1 || s.Min != 0.37 || s.Max != 0.37 {
+		t.Fatalf("single-observation stats = %+v", s)
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 0.37 {
+			t.Fatalf("single-observation q%.2f = %v, want exactly 0.37", q, got)
+		}
+	}
+
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile must be 0")
+	}
+}
+
+// TestMergeHistogramStats checks the federation merge: counts and sums add
+// exactly, min/max are preserved exactly, quantiles stay within the merged
+// bounds, and an empty side is the identity.
+func TestMergeHistogramStats(t *testing.T) {
+	a := HistogramStats{Count: 3, Sum: 0.6, Min: 0.1, Max: 0.3, P50: 0.2, P95: 0.3, P99: 0.3}
+	b := HistogramStats{Count: 1, Sum: 0.9, Min: 0.9, Max: 0.9, P50: 0.9, P95: 0.9, P99: 0.9}
+
+	m := MergeHistogramStats(a, b)
+	if m.Count != 4 || math.Abs(m.Sum-1.5) > 1e-12 {
+		t.Fatalf("merged count/sum = %d/%v, want 4/1.5", m.Count, m.Sum)
+	}
+	if m.Min != 0.1 || m.Max != 0.9 {
+		t.Fatalf("merged bounds = [%v, %v], want [0.1, 0.9] preserved exactly", m.Min, m.Max)
+	}
+	for name, q := range map[string]float64{"p50": m.P50, "p95": m.P95, "p99": m.P99} {
+		if q < m.Min || q > m.Max {
+			t.Fatalf("merged %s = %v escapes [%v, %v]", name, q, m.Min, m.Max)
+		}
+	}
+
+	if got := MergeHistogramStats(HistogramStats{}, a); got != a {
+		t.Fatalf("merge with empty left = %+v, want right unchanged", got)
+	}
+	if got := MergeHistogramStats(a, HistogramStats{}); got != a {
+		t.Fatalf("merge with empty right = %+v, want left unchanged", got)
+	}
+	if got := MergeHistogramStats(HistogramStats{}, HistogramStats{}); got.Count != 0 {
+		t.Fatalf("merge of empties = %+v, want zero value", got)
+	}
+}
+
+// TestDeltaHistogramStats checks the flush-delta contract: exact count/sum
+// differences, a zero-value result when nothing new was observed, and the
+// full summary when there is no previous baseline.
+func TestDeltaHistogramStats(t *testing.T) {
+	prev := HistogramStats{Count: 2, Sum: 0.4, Min: 0.1, Max: 0.3, P50: 0.2}
+	cur := HistogramStats{Count: 5, Sum: 1.4, Min: 0.1, Max: 0.5, P50: 0.25}
+
+	d := DeltaHistogramStats(prev, cur)
+	if d.Count != 3 || math.Abs(d.Sum-1.0) > 1e-12 {
+		t.Fatalf("delta count/sum = %d/%v, want 3/1.0", d.Count, d.Sum)
+	}
+	if d.Max != 0.5 || d.P50 != 0.25 {
+		t.Fatalf("delta must carry cur's bounds/quantiles: %+v", d)
+	}
+
+	if d := DeltaHistogramStats(cur, cur); d.Count != 0 {
+		t.Fatalf("idle delta = %+v, want zero value", d)
+	}
+	if d := DeltaHistogramStats(HistogramStats{}, cur); d != cur {
+		t.Fatalf("delta without baseline = %+v, want cur", d)
+	}
+}

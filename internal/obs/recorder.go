@@ -30,6 +30,10 @@ type Recorder struct {
 	// EventEvery is the per-stage step interval between "train" events.
 	// Zero means the default (50); negative disables train events.
 	EventEvery int
+	// Flight, when non-nil, receives a bounded trail of recent operations
+	// (train steps, span ends, bus traffic) for post-mortem dumps. Attach it
+	// with SetFlight so the span-end hook is installed too.
+	Flight *FlightRecorder
 
 	flow atomic.Uint64
 }
@@ -52,13 +56,15 @@ func NewPartyRecorder(reg *Registry, pid int, name string) *Recorder {
 // SetEvents attaches the event sink and installs the span-end hook that
 // streams "phase" records (name, duration, attributes, cumulative wire bytes
 // by kind). Several recorders may share one EventWriter; it serialises
-// internally. A nil recorder or nil sink is a no-op.
+// internally. The hook is added alongside any other span-end consumers
+// (flight recorder, telemetry federator) — call SetEvents once per recorder.
+// A nil recorder or nil sink is a no-op.
 func (r *Recorder) SetEvents(ew *EventWriter) {
 	if r == nil || ew == nil {
 		return
 	}
 	r.Events = ew
-	r.Trace.SetOnSpanEnd(func(sp SpanInfo) {
+	r.Trace.AddOnSpanEnd(func(sp SpanInfo) {
 		fields := map[string]any{
 			"name":      sp.Name,
 			"start_sec": sp.StartSec,
@@ -72,6 +78,29 @@ func (r *Recorder) SetEvents(ew *EventWriter) {
 		}
 		ew.Emit("phase", fields)
 	})
+}
+
+// SetFlight attaches the flight recorder and installs the span-end hook
+// that notes finished spans, so a post-mortem dump shows which phases
+// completed before the failure. A nil recorder or nil ring is a no-op.
+func (r *Recorder) SetFlight(fr *FlightRecorder) {
+	if r == nil || fr == nil {
+		return
+	}
+	r.Flight = fr
+	r.Trace.AddOnSpanEnd(func(sp SpanInfo) {
+		fr.Note("span", sp.Name, "", sp.DurSec)
+	})
+}
+
+// FlightNote forwards one operation to the attached flight recorder; a nil
+// recorder or absent ring ignores the call. Transport code uses this for
+// receive-side notes that have no metric counterpart.
+func (r *Recorder) FlightNote(op, name, peer string, value float64) {
+	if r == nil {
+		return
+	}
+	r.Flight.Note(op, name, peer, value)
 }
 
 // wireBytesByKind snapshots the cumulative bus_bytes_total_* counters.
@@ -133,6 +162,7 @@ func (r *Recorder) TrainStep(stage string, loss float64, rows int, d time.Durati
 	r.Reg.Counter(stage + "_rows_total").Add(int64(rows))
 	r.Reg.Gauge(stage + "_loss").Set(loss)
 	r.Reg.Histogram(stage + "_step_seconds").Observe(d.Seconds())
+	r.Flight.Note("train", stage, "", loss)
 	if r.Events != nil {
 		every := r.EventEvery
 		if every == 0 {
@@ -180,6 +210,7 @@ func (r *Recorder) Message(kind string, bytes int64, d time.Duration) {
 	r.Reg.Counter("bus_messages_total_" + kind).Inc()
 	r.Reg.Counter("bus_bytes_total_" + kind).Add(bytes)
 	r.Reg.Histogram("bus_send_seconds_" + kind).Observe(d.Seconds())
+	r.Flight.Note("send", kind, "", float64(bytes))
 }
 
 // Retry records one transport retransmission of the given message kind
@@ -193,6 +224,7 @@ func (r *Recorder) Retry(kind string, d time.Duration) {
 	}
 	r.Reg.Counter("bus_retries_total_" + kind).Inc()
 	r.Reg.Histogram("bus_backoff_seconds_" + kind).Observe(d.Seconds())
+	r.Flight.Note("retry", kind, "", d.Seconds())
 }
 
 // Redelivery records a receiver-side duplicate discard (an envelope whose
@@ -202,6 +234,7 @@ func (r *Recorder) Redelivery(kind string) {
 		return
 	}
 	r.Reg.Counter("bus_redeliveries_total_" + kind).Inc()
+	r.Flight.Note("redelivery", kind, "", 0)
 }
 
 // CorruptPayload records a checksum-failed envelope:
@@ -211,6 +244,7 @@ func (r *Recorder) CorruptPayload(kind string) {
 		return
 	}
 	r.Reg.Counter("bus_corrupt_total_" + kind).Inc()
+	r.Flight.Note("corrupt", kind, "", 0)
 }
 
 // Reconnect records a transport reconnect for the named peer:
@@ -220,6 +254,7 @@ func (r *Recorder) Reconnect(peer string) {
 		return
 	}
 	r.Reg.Counter("bus_reconnects_total_" + peer).Inc()
+	r.Flight.Note("reconnect", "", peer, 0)
 }
 
 // PeerDown records a peer-death detection for the named peer:
@@ -229,6 +264,7 @@ func (r *Recorder) PeerDown(peer string) {
 		return
 	}
 	r.Reg.Counter("bus_peer_down_total_" + peer).Inc()
+	r.Flight.Note("peer-down", "", peer, 0)
 }
 
 // StartSpan opens a trace span (nil span when disabled).

@@ -15,9 +15,9 @@ import (
 	"time"
 )
 
-// TestWritePrometheusGolden pins the exposition format: # TYPE headers,
-// name sanitisation of message-kind suffixes, exact quantiles for a constant
-// histogram, and deterministic family ordering.
+// TestWritePrometheusGolden pins the exposition format: # HELP and # TYPE
+// headers, name sanitisation of message-kind suffixes, exact quantiles for a
+// constant histogram, and deterministic family ordering.
 func TestWritePrometheusGolden(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("bus_bytes_total_synth-req").Add(96)
@@ -30,14 +30,17 @@ func TestWritePrometheusGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := strings.Join([]string{
+		"# HELP ae_step_seconds silofuse metric ae_step_seconds",
 		"# TYPE ae_step_seconds summary",
 		`ae_step_seconds{quantile="0.5"} 0.25`,
 		`ae_step_seconds{quantile="0.95"} 0.25`,
 		`ae_step_seconds{quantile="0.99"} 0.25`,
 		"ae_step_seconds_sum 2.5",
 		"ae_step_seconds_count 10",
+		"# HELP bus_bytes_total_synth_req modeled wire bytes through the silo bus",
 		"# TYPE bus_bytes_total_synth_req counter",
 		"bus_bytes_total_synth_req 96",
+		"# HELP diffusion_loss silofuse metric diffusion_loss",
 		"# TYPE diffusion_loss gauge",
 		"diffusion_loss 0.5",
 		"",

@@ -28,14 +28,15 @@ type Tracer struct {
 	events []traceEvent
 	open   []*Span
 	nextID int
-	onEnd  func(SpanInfo)
+	onEnd  []func(SpanInfo)
 }
 
 type traceEvent struct {
 	Name  string         `json:"name"`
 	Cat   string         `json:"cat"`
 	Phase string         `json:"ph"`
-	TS    float64        `json:"ts"` // microseconds since tracer start
+	TS    float64        `json:"ts"`            // microseconds since tracer start
+	Dur   float64        `json:"dur,omitempty"` // complete ("X") event duration, microseconds
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
 	ID    uint64         `json:"id,omitempty"` // flow event binding id
@@ -89,16 +90,42 @@ func (t *Tracer) PID() int {
 	return t.pid
 }
 
-// SetOnSpanEnd registers fn to run after every span ends (outside the
-// tracer's lock), with the finished span's summary. The Recorder uses this
-// to stream phase records to an event log.
+// SetOnSpanEnd registers fn as the only span-end hook, replacing any hooks
+// registered before. Hooks run after every span ends (outside the tracer's
+// lock), with the finished span's summary. The Recorder uses this to stream
+// phase records to an event log.
 func (t *Tracer) SetOnSpanEnd(fn func(SpanInfo)) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.onEnd = fn
+	t.onEnd = []func(SpanInfo){fn}
+}
+
+// AddOnSpanEnd registers fn alongside any existing span-end hooks, so
+// several consumers (an event log, a telemetry federator, a flight
+// recorder) can observe span ends independently.
+func (t *Tracer) AddOnSpanEnd(fn func(SpanInfo)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onEnd = append(t.onEnd, fn)
+}
+
+// Epoch returns the tracer's wall-clock start in microseconds since the
+// Unix epoch (0 on a nil tracer) — the alignment key MergeChromeTraces and
+// the telemetry federation use to place traces from different processes on
+// one timeline.
+func (t *Tracer) Epoch() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
 }
 
 // StartSpan opens a span named name. The caller must End it. Calling on a
@@ -189,10 +216,12 @@ func (s *Span) End() {
 	}
 	s.tr.mu.Lock()
 	info, ok := s.endLocked()
-	fn := s.tr.onEnd
+	fns := append([]func(SpanInfo){}, s.tr.onEnd...)
 	s.tr.mu.Unlock()
-	if ok && fn != nil {
-		fn(info)
+	if ok {
+		for _, fn := range fns {
+			fn(info)
+		}
 	}
 }
 
@@ -267,15 +296,45 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	}
 	events = append(events, t.events...)
 	out := chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms", EpochMicros: t.epoch}
-	fn := t.onEnd
+	fns := append([]func(SpanInfo){}, t.onEnd...)
 	t.mu.Unlock()
-	if fn != nil {
+	for _, fn := range fns {
 		for _, info := range infos {
 			fn(info)
 		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// WriteChromeTraceLive writes the trace as it stands right now: spans still
+// open are emitted with a synthetic end at the current time but remain open
+// in the tracer. This is the non-destructive variant of WriteChromeTrace
+// for live endpoints — serving /trace mid-run must not end the run's spans.
+func (t *Tracer) WriteChromeTraceLive(w io.Writer) error {
+	if t == nil {
+		return json.NewEncoder(w).Encode(chromeTrace{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"})
+	}
+	t.mu.Lock()
+	events := make([]traceEvent, 0, len(t.events)+len(t.open)+1)
+	if t.proc != "" {
+		events = append(events, traceEvent{
+			Name: "process_name", Phase: "M", PID: t.pid, TID: 1,
+			Args: map[string]any{"name": t.proc},
+		})
+	}
+	events = append(events, t.events...)
+	now := float64(time.Since(t.start)) / float64(time.Microsecond)
+	for i := len(t.open) - 1; i >= 0; i-- {
+		s := t.open[i]
+		events = append(events, traceEvent{
+			Name: s.name, Cat: "silofuse", Phase: "E",
+			TS: now, PID: t.pid, TID: 1, Args: s.attrs,
+		})
+	}
+	out := chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms", EpochMicros: t.epoch}
+	t.mu.Unlock()
+	return json.NewEncoder(w).Encode(out)
 }
 
 // MergeChromeTraces stitches several Chrome trace JSON documents (each

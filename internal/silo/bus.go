@@ -38,6 +38,13 @@ const (
 	KindPeerDown   Kind = "peer-down"  // transport-injected death notice; From = dead peer
 )
 
+// KindTelemetry carries telemetry federation updates (party -> coordinator,
+// JSON-encoded obs.TelemetryUpdate in Envelope.Blob). It rides the same
+// sequenced, checksummed delivery path as application traffic, but its bytes
+// land in their own Stats.ByKind bucket so the paper's communication tables
+// (goodput per application kind) never include observability overhead.
+const KindTelemetry Kind = "telemetry"
+
 // Envelope is one protocol message. Payload may be nil for control
 // messages.
 //
@@ -54,10 +61,15 @@ const (
 // routing fields and payload bits, and Rexmit marks a retry attempt so
 // transports account its bytes under KindRetransmit instead of the
 // message's own kind.
+// Blob carries opaque non-tensor payloads (today: telemetry federation
+// updates). Like the resilient fields it is zero on application traffic, so
+// gob pays no wire bytes for it when unused; its length is charged to
+// WireSize so federation overhead is accounted exactly.
 type Envelope struct {
 	From, To string
 	Kind     Kind
 	Payload  *tensor.Matrix
+	Blob     []byte
 	Flow     uint64
 	Seq      uint64
 	Sum      uint64
@@ -87,10 +99,11 @@ func (e *Envelope) statKind() Kind {
 // the documented tolerance, enforced by TestWireSizeTolerance.
 func (e *Envelope) WireSize() int64 {
 	const header = 64 // from/to/kind strings + matrix dims + framing
-	if e.Payload == nil {
-		return header
+	size := int64(header) + int64(len(e.Blob))
+	if e.Payload != nil {
+		size += int64(8 * len(e.Payload.Data))
 	}
-	return header + int64(8*len(e.Payload.Data))
+	return size
 }
 
 // Tolerance of measured gob bytes versus the WireSize model, per stream:

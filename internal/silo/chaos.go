@@ -244,6 +244,9 @@ func (c *ChaosBus) Send(e *Envelope) error {
 			dup.Payload = tensor.FromSlice(dup.Payload.Rows, dup.Payload.Cols,
 				append([]float64(nil), dup.Payload.Data...))
 		}
+		if dup.Blob != nil {
+			dup.Blob = append([]byte(nil), dup.Blob...)
+		}
 		if err := c.inner.Send(&dup); err != nil {
 			return err
 		}
@@ -404,10 +407,15 @@ func (c *ChaosBus) popStash(to string) *Envelope {
 // once the sender's wave completes it may legitimately reuse the payload
 // buffer, and a held reference would see the mutation.
 func (c *ChaosBus) push(to string, e *Envelope, age int) {
-	if e.Payload != nil {
+	if e.Payload != nil || e.Blob != nil {
 		cp := *e
-		cp.Payload = tensor.FromSlice(e.Payload.Rows, e.Payload.Cols,
-			append([]float64(nil), e.Payload.Data...))
+		if e.Payload != nil {
+			cp.Payload = tensor.FromSlice(e.Payload.Rows, e.Payload.Cols,
+				append([]float64(nil), e.Payload.Data...))
+		}
+		if e.Blob != nil {
+			cp.Blob = append([]byte(nil), e.Blob...)
+		}
 		e = &cp
 	}
 	c.mu.Lock()

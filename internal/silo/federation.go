@@ -1,0 +1,184 @@
+package silo
+
+import (
+	"fmt"
+	"sync"
+
+	"silofuse/internal/obs"
+)
+
+// Telemetry federation over the bus: parties serialize their metric deltas,
+// completed spans and fault counters (obs.TelemetryUpdate) into
+// KindTelemetry envelopes shipped to the coordinator at deterministic phase
+// boundaries — before the latent upload and after the synthesis decode.
+// Flush points derive from protocol position, never from timers, so a
+// federated run's application message stream is bit-identical to a
+// non-federated one and the walltime analyzer stays clean. Telemetry bytes
+// land in Stats.ByKind[KindTelemetry], keeping every application kind's
+// goodput accounting pure.
+
+// TelemetryEnvelope packs one update into a bus envelope.
+func TelemetryEnvelope(from, to string, u *obs.TelemetryUpdate) (*Envelope, error) {
+	blob, err := obs.EncodeTelemetryUpdate(u)
+	if err != nil {
+		return nil, fmt.Errorf("silo: telemetry encode: %w", err)
+	}
+	return &Envelope{From: from, To: to, Kind: KindTelemetry, Blob: blob}, nil
+}
+
+// SendTelemetry flushes fed and ships the update from -> to. A nil federator
+// or an empty party is a no-op. The returned error reports transport
+// failure; callers on the training path should swallow it — telemetry must
+// never fail the run it observes.
+func SendTelemetry(bus Bus, from, to string, fed *obs.Federator) error {
+	u := fed.Flush()
+	if u == nil {
+		return nil
+	}
+	e, err := TelemetryEnvelope(from, to, u)
+	if err != nil {
+		return err
+	}
+	return bus.Send(e)
+}
+
+// IngestTelemetry decodes and folds a telemetry envelope into agg,
+// reporting whether e was telemetry at all (so receive loops can skip it
+// transparently). Undecodable telemetry is dropped — a corrupt observation
+// must not fail the observed run.
+func IngestTelemetry(agg *obs.FleetAggregator, e *Envelope) bool {
+	if e == nil || e.Kind != KindTelemetry {
+		return false
+	}
+	if u, err := obs.DecodeTelemetryUpdate(e.Blob); err == nil {
+		agg.Ingest(u)
+	}
+	return true
+}
+
+// Federation couples a Pipeline to the telemetry federation layer: it holds
+// the coordinator-side aggregator, one federator per party, and the count of
+// updates successfully sent but not yet ingested (so drain loops receive
+// exactly what is in flight and a swallowed send failure never wedges a
+// receive). A nil *Federation disables federation throughout.
+type Federation struct {
+	Agg *obs.FleetAggregator
+
+	mu       sync.Mutex
+	feds     map[string]*obs.Federator
+	coordID  string
+	inflight int
+}
+
+// NewFederation builds a federation sink for the named coordinator.
+func NewFederation(coordID string, agg *obs.FleetAggregator) *Federation {
+	if agg == nil {
+		agg = obs.NewFleetAggregator()
+	}
+	return &Federation{Agg: agg, feds: make(map[string]*obs.Federator), coordID: coordID}
+}
+
+// Register installs a party's federator (replacing any previous one).
+func (f *Federation) Register(party string, fed *obs.Federator) {
+	if f == nil || fed == nil {
+		return
+	}
+	f.mu.Lock()
+	f.feds[party] = fed
+	f.mu.Unlock()
+}
+
+// federator returns the registered federator for party (nil when absent).
+func (f *Federation) federator(party string) *obs.Federator {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.feds[party]
+}
+
+// Flush ships party's pending telemetry to the coordinator, swallowing
+// transport errors (the subsequent application send surfaces real failures,
+// on its own kind's accounting). Successful sends are counted so Drain
+// knows how many envelopes are in flight.
+func (f *Federation) Flush(bus Bus, party string) {
+	if f == nil || party == f.coordID {
+		return
+	}
+	fed := f.federator(party)
+	if fed == nil {
+		return
+	}
+	if err := SendTelemetry(bus, party, f.coordID, fed); err == nil {
+		f.mu.Lock()
+		f.inflight++
+		f.mu.Unlock()
+	}
+}
+
+// FlushLocal folds the coordinator's own telemetry straight into the
+// aggregator, no transport involved.
+func (f *Federation) FlushLocal() {
+	if f == nil {
+		return
+	}
+	f.Agg.IngestLocal(f.federator(f.coordID))
+}
+
+// Observe ingests e when it is an in-flight telemetry envelope, reporting
+// whether the receive loop should skip it.
+func (f *Federation) Observe(e *Envelope) bool {
+	if f == nil {
+		return false
+	}
+	if !IngestTelemetry(f.Agg, e) {
+		return false
+	}
+	f.mu.Lock()
+	if f.inflight > 0 {
+		f.inflight--
+	}
+	f.mu.Unlock()
+	return true
+}
+
+// Drain receives every telemetry envelope still in flight to the
+// coordinator and ingests it. Only updates whose send succeeded are counted
+// in flight, so Drain never blocks on a failed flush.
+func (f *Federation) Drain(bus Bus) error {
+	if f == nil {
+		return nil
+	}
+	for {
+		f.mu.Lock()
+		n := f.inflight
+		f.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		e, err := bus.Recv(f.coordID)
+		if err != nil {
+			return err
+		}
+		if !f.Observe(e) {
+			return fmt.Errorf("silo: drain expected telemetry, got %q from %s", e.Kind, e.From)
+		}
+	}
+}
+
+// EnableFederation turns on telemetry federation for the pipeline: one
+// federator per client over its party recorder (install them first with
+// SetPartyRecorders) plus one for the coordinator, all feeding agg (created
+// when nil). Returns the federation handle, also stored on the pipeline so
+// the training and synthesis paths flush at their phase boundaries.
+func (p *Pipeline) EnableFederation(agg *obs.FleetAggregator) *Federation {
+	f := NewFederation(p.Coord.ID, agg)
+	f.Register(p.Coord.ID, obs.NewFederator(p.Coord.ID, p.Rec))
+	for _, c := range p.Clients {
+		f.Register(c.ID, obs.NewFederator(c.ID, c.Rec))
+	}
+	p.Fed = f
+	p.Coord.Fed = f
+	return f
+}

@@ -1,0 +1,146 @@
+//silofuse:bitwise-ok federation must leave training bit-identical; losses compared exactly
+package silo
+
+import (
+	"testing"
+
+	"silofuse/internal/obs"
+)
+
+// federatedPipeline builds a pipeline with per-party recorders and telemetry
+// federation enabled over the given bus.
+func federatedPipeline(t *testing.T, bus Bus, clients int) (*Pipeline, *Federation) {
+	t.Helper()
+	tb := loanTable(t, 300)
+	cfg := smallConfig(clients)
+	cfg.AEIters, cfg.DiffIters = 40, 50
+	p, err := NewPipeline(bus, tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	coordRec := obs.NewPartyRecorder(reg, 1, "coord")
+	recs := make([]*obs.Recorder, clients)
+	for i := range recs {
+		recs[i] = obs.NewPartyRecorder(reg, 2+i, p.Clients[i].ID)
+	}
+	if err := p.SetPartyRecorders(coordRec, recs); err != nil {
+		t.Fatal(err)
+	}
+	return p, p.EnableFederation(nil)
+}
+
+// TestFederationDeterminism is the tentpole invariant: enabling telemetry
+// federation must not perturb the model. Training losses and the application
+// message traffic stay bit-identical to a non-federated run; the telemetry
+// bytes land exclusively in their own accounting bucket.
+func TestFederationDeterminism(t *testing.T) {
+	tb := loanTable(t, 300)
+	cfg := smallConfig(2)
+	cfg.AEIters, cfg.DiffIters = 40, 50
+
+	plainBus := NewLocalBus()
+	plain, err := NewPipeline(plainBus, tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aeP, diffP, err := plain.TrainStacked()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fedBus := NewLocalBus()
+	fed, _ := federatedPipeline(t, fedBus, 2)
+	aeF, diffF, err := fed.TrainStacked()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if aeP != aeF || diffP != diffF {
+		t.Fatalf("federation perturbed training: ae %v vs %v, diff %v vs %v", aeP, aeF, diffP, diffF)
+	}
+	plainKinds := plainBus.Stats().ByKind
+	fedKinds := fedBus.Stats().ByKind
+	if fedKinds[KindTelemetry] == 0 {
+		t.Fatal("federated run shipped no telemetry")
+	}
+	for kind, bytes := range plainKinds {
+		if fedKinds[kind] != bytes {
+			t.Fatalf("kind %s: %d bytes federated vs %d plain — app goodput must be untouched", kind, fedKinds[kind], bytes)
+		}
+	}
+}
+
+// TestFederationAggregates runs training plus partitioned synthesis with
+// federation on and checks the coordinator's fleet view: every party
+// reported, no sequence gaps, client training metrics visible fleet-wide,
+// and the fleet exposition labelling every series.
+func TestFederationAggregates(t *testing.T) {
+	bus := NewLocalBus()
+	p, fed := federatedPipeline(t, bus, 2)
+	if _, _, err := p.TrainStacked(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SynthesizePartitioned(1, 40, true); err != nil {
+		t.Fatal(err)
+	}
+
+	agg := fed.Agg
+	parties := agg.Parties()
+	want := map[string]bool{"c0": true, "c1": true, "coord": true}
+	if len(parties) != len(want) {
+		t.Fatalf("parties = %v, want c0 c1 coord", parties)
+	}
+	for _, party := range parties {
+		if !want[party] {
+			t.Fatalf("unexpected party %q", party)
+		}
+		health := agg.FleetHealth()[party].(map[string]any)
+		if health["updates"].(int64) == 0 {
+			t.Fatalf("party %s: no updates ingested", party)
+		}
+		if health["seq_gaps"].(int64) != 0 {
+			t.Fatalf("party %s: sequence gaps on a healthy run: %v", party, health)
+		}
+	}
+
+	// Client-side autoencoder telemetry must be visible in the fleet view.
+	c0 := agg.PartySnapshot("c0")
+	if c0.Histograms["ae_step_seconds"].Count == 0 {
+		t.Fatalf("c0 snapshot missing ae step telemetry: %+v", c0.Histograms)
+	}
+	// Spans shipped from the clients ride the updates too.
+	if h := agg.FleetHealth()["c0"].(map[string]any); h["spans"].(int) == 0 {
+		t.Fatal("c0 shipped no spans")
+	}
+}
+
+// TestFederationDrain checks that after synthesis the coordinator has
+// received every in-flight telemetry envelope: nothing is left queued to
+// the coordinator on the bus.
+func TestFederationDrain(t *testing.T) {
+	bus := NewLocalBus()
+	p, _ := federatedPipeline(t, bus, 2)
+	if _, _, err := p.TrainStacked(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SynthesizePartitioned(1, 30, true); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := bus.TryRecv("coord"); ok {
+		t.Fatalf("envelope still queued to the coordinator after drain: kind %s from %s", e.Kind, e.From)
+	}
+}
+
+// TestTelemetryEnvelopeChecksum pins that the resilient checksum covers the
+// Blob: two envelopes differing only in one blob byte must not collide.
+func TestTelemetryEnvelopeChecksum(t *testing.T) {
+	a := &Envelope{From: "c0", To: "coord", Kind: KindTelemetry, Blob: []byte(`{"party":"c0","seq":1}`)}
+	b := &Envelope{From: "c0", To: "coord", Kind: KindTelemetry, Blob: []byte(`{"party":"c0","seq":2}`)}
+	if checksumEnvelope(a) == checksumEnvelope(b) {
+		t.Fatal("checksum ignores Blob contents")
+	}
+	if a.WireSize() != 64+int64(len(a.Blob)) {
+		t.Fatalf("telemetry wire size = %d, want header + blob", a.WireSize())
+	}
+}

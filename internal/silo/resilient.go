@@ -123,6 +123,10 @@ func checksumEnvelope(e *Envelope) uint64 {
 		}
 	}
 	h = (h ^ e.Seq) * prime
+	h = (h ^ uint64(len(e.Blob))) * prime
+	for _, b := range e.Blob {
+		h = (h ^ uint64(b)) * prime
+	}
 	if e.Payload != nil {
 		h = (h ^ uint64(e.Payload.Rows)) * prime
 		h = (h ^ uint64(e.Payload.Cols)) * prime

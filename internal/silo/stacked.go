@@ -3,6 +3,7 @@ package silo
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"silofuse/internal/autoencoder"
@@ -47,6 +48,10 @@ type Pipeline struct {
 	// Rec, when non-nil, receives phase spans and per-step telemetry from
 	// every actor in the pipeline. Set it with SetRecorder.
 	Rec *obs.Recorder
+	// Fed, when non-nil, federates per-party telemetry to the coordinator at
+	// phase boundaries. Enable it with EnableFederation (after
+	// SetPartyRecorders, so each party has its own delta source).
+	Fed *Federation
 }
 
 // SetRecorder threads rec through the pipeline: phase spans on the pipeline
@@ -109,6 +114,10 @@ func NewPipeline(bus Bus, data *tabular.Table, cfg PipelineConfig) (*Pipeline, e
 		}
 		aeCfg.Latent = local.Schema.NumColumns()
 		clients[i] = NewClient(names[i], local, aeCfg, cfg.Seed+int64(i)*1000)
+		// Clients train concurrently in the AE phase, so per-client global
+		// MemStats windows would count each other's allocations; the phase
+		// is measured once, at the pipeline level, in TrainStackedFrom.
+		clients[i].AE.SkipAllocStats = true
 	}
 	coord := NewCoordinator("coord", names, cfg.Seed+999_999)
 	coord.DisableWhitening = cfg.DisableLatentWhitening
@@ -182,6 +191,13 @@ func (p *Pipeline) TrainStackedFrom(ck *Checkpoint) (aeLoss, diffLoss float64, e
 		span.SetAttr("clients", len(p.Clients))
 		span.SetAttr("iters", p.Cfg.AEIters)
 		losses := make([]float64, len(p.Clients))
+		// Allocation accounting brackets the whole parallel phase: a single
+		// global MemStats window over all clients is deterministic, where
+		// overlapping per-client windows are not (see SkipAllocStats).
+		var ms0 runtime.MemStats
+		if p.Rec != nil {
+			runtime.ReadMemStats(&ms0)
+		}
 		var wg sync.WaitGroup
 		for i, c := range p.Clients {
 			wg.Add(1)
@@ -191,6 +207,11 @@ func (p *Pipeline) TrainStackedFrom(ck *Checkpoint) (aeLoss, diffLoss float64, e
 			}(i, c)
 		}
 		wg.Wait()
+		if p.Rec != nil {
+			var ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms1)
+			p.Rec.TrainAllocs("ae", p.Cfg.AEIters*len(p.Clients), ms1.Mallocs-ms0.Mallocs, ms1.TotalAlloc-ms0.TotalAlloc)
+		}
 		for _, l := range losses {
 			aeLoss += l
 		}
@@ -211,6 +232,10 @@ func (p *Pipeline) TrainStackedFrom(ck *Checkpoint) (aeLoss, diffLoss float64, e
 			wg.Add(1)
 			go func(i int, c *Client) {
 				defer wg.Done()
+				// Federation flush precedes the upload on the same link, so
+				// the coordinator sees each client's telemetry before its
+				// latents — a deterministic skip in CollectLatents.
+				p.Fed.Flush(p.Bus, c.ID)
 				errs[i] = c.UploadLatents(p.Bus, p.Coord.ID, p.Cfg.LatentNoiseStd)
 			}(i, c)
 		}
@@ -239,6 +264,7 @@ func (p *Pipeline) TrainStackedFrom(ck *Checkpoint) (aeLoss, diffLoss float64, e
 		diffLoss = p.Coord.TrainDiffusion(ck.latents, p.Cfg.Diff, p.Cfg.DiffIters, p.Cfg.Batch)
 		dspan.SetAttr("loss", diffLoss)
 		dspan.End()
+		p.Fed.FlushLocal()
 		ck.Phase, ck.DiffLoss = PhaseDiffusion, diffLoss
 	} else {
 		diffLoss = ck.DiffLoss
@@ -314,10 +340,18 @@ func (p *Pipeline) SynthesizePartitioned(requester int, n int, sample bool) ([]*
 	if err := p.Bus.Send(req); err != nil {
 		return nil, err
 	}
-	if env, err := p.Bus.Recv(p.Coord.ID); err != nil {
-		return nil, err
-	} else if env.Kind != KindSynthReq {
-		return nil, fmt.Errorf("silo: coordinator expected synth request, got %q", env.Kind)
+	for {
+		env, err := p.Bus.Recv(p.Coord.ID)
+		if err != nil {
+			return nil, err
+		}
+		if p.Fed.Observe(env) {
+			continue // leftover federated telemetry
+		}
+		if env.Kind != KindSynthReq {
+			return nil, fmt.Errorf("silo: coordinator expected synth request, got %q", env.Kind)
+		}
+		break
 	}
 
 	parts, err := p.Coord.SampleLatents(n, p.Cfg.SynthSteps)
@@ -345,6 +379,9 @@ func (p *Pipeline) SynthesizePartitioned(requester int, n int, sample bool) ([]*
 				return
 			}
 			out[i], errs[i] = c.DecodeLatents(env.Payload, sample)
+			// End-of-synthesis federation flush: the run's final deterministic
+			// phase boundary for this party.
+			p.Fed.Flush(p.Bus, c.ID)
 		}(i, c)
 	}
 	wg.Wait()
@@ -353,6 +390,10 @@ func (p *Pipeline) SynthesizePartitioned(requester int, n int, sample bool) ([]*
 			return nil, e
 		}
 	}
+	if err := p.Fed.Drain(p.Bus); err != nil {
+		return nil, err
+	}
+	p.Fed.FlushLocal()
 	return out, nil
 }
 

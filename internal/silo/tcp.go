@@ -21,6 +21,7 @@ type wireEnvelope struct {
 	Rows     int
 	Cols     int
 	Data     []float64
+	Blob     []byte // opaque payload (telemetry updates); omitted when empty
 	Flow     uint64
 	// Resilient-delivery fields; gob omits them when zero, so unwrapped
 	// transports pay no wire bytes (see Envelope).
@@ -30,7 +31,7 @@ type wireEnvelope struct {
 }
 
 func toWire(e *Envelope) wireEnvelope {
-	w := wireEnvelope{From: e.From, To: e.To, Kind: e.Kind, Flow: e.Flow, Seq: e.Seq, Sum: e.Sum, Rexmit: e.Rexmit}
+	w := wireEnvelope{From: e.From, To: e.To, Kind: e.Kind, Blob: e.Blob, Flow: e.Flow, Seq: e.Seq, Sum: e.Sum, Rexmit: e.Rexmit}
 	if e.Payload != nil {
 		w.Rows, w.Cols, w.Data = e.Payload.Rows, e.Payload.Cols, e.Payload.Data
 	}
@@ -38,7 +39,7 @@ func toWire(e *Envelope) wireEnvelope {
 }
 
 func fromWire(w wireEnvelope) *Envelope {
-	e := &Envelope{From: w.From, To: w.To, Kind: w.Kind, Flow: w.Flow, Seq: w.Seq, Sum: w.Sum, Rexmit: w.Rexmit}
+	e := &Envelope{From: w.From, To: w.To, Kind: w.Kind, Blob: w.Blob, Flow: w.Flow, Seq: w.Seq, Sum: w.Sum, Rexmit: w.Rexmit}
 	if w.Data != nil {
 		e.Payload = tensor.FromSlice(w.Rows, w.Cols, w.Data)
 	}

@@ -238,6 +238,9 @@ type (
 	PeerHealth = silo.PeerHealth
 	// PeerDeadError reports which peer died; it unwraps to ErrPeerDead.
 	PeerDeadError = silo.PeerDeadError
+	// Federation couples a Pipeline to telemetry federation: per-party
+	// metric deltas ship over the bus at deterministic phase boundaries.
+	Federation = silo.Federation
 )
 
 // Typed transport failures surfaced by the fault-tolerant bus stack.
@@ -310,6 +313,25 @@ type (
 	// BenchSnapshot is the perf record silofuse-bench writes
 	// (BENCH_silofuse.json).
 	BenchSnapshot = experiments.BenchSnapshot
+	// FleetAggregator folds federated telemetry updates into a fleet-wide
+	// view: per-party labelled /metrics, merged traces, federation health.
+	FleetAggregator = obs.FleetAggregator
+	// Federator computes one party's telemetry deltas for federation.
+	Federator = obs.Federator
+	// TelemetryUpdate is one party's shipped telemetry delta.
+	TelemetryUpdate = obs.TelemetryUpdate
+	// FlightRecorder is the fixed-capacity ring of recent operations dumped
+	// as a postmortem when a run dies.
+	FlightRecorder = obs.FlightRecorder
+	// FlightEntry is one recorded flight-recorder operation.
+	FlightEntry = obs.FlightEntry
+	// PostmortemDump is the on-disk schema of a flight-recorder dump.
+	PostmortemDump = obs.PostmortemDump
+	// DiffThresholds sets per-metric-class regression tolerances for run
+	// and bench diffing (silofuse-obs diff, the -bench-baseline gate).
+	DiffThresholds = experiments.DiffThresholds
+	// DiffReport is the result of comparing two metric sets.
+	DiffReport = experiments.DiffReport
 )
 
 // NewRecorder builds an enabled Recorder with a fresh registry and tracer.
@@ -342,3 +364,39 @@ var NewRunManifest = experiments.NewManifest
 
 // CurrentRuntime captures this process's RuntimeInfo.
 var CurrentRuntime = experiments.CurrentRuntime
+
+// NewFleetAggregator builds an empty fleet telemetry aggregator.
+var NewFleetAggregator = obs.NewFleetAggregator
+
+// NewFederator builds a party's telemetry federator over its recorder.
+var NewFederator = obs.NewFederator
+
+// NewFlightRecorder preallocates a flight-recorder ring (default capacity
+// when given a non-positive one).
+var NewFlightRecorder = obs.NewFlightRecorder
+
+// DumpPostmortem writes runDir/postmortem/<party>.json from a party's
+// flight-recorder ring.
+var DumpPostmortem = obs.DumpPostmortem
+
+// ReadEvents parses an events.jsonl stream, tolerating a crash-truncated
+// trailing line.
+var ReadEvents = obs.ReadEvents
+
+// ReadEventsFile is ReadEvents over a file path.
+var ReadEventsFile = obs.ReadEventsFile
+
+// ReadBenchSnapshot loads and validates a BENCH_silofuse.json.
+var ReadBenchSnapshot = experiments.ReadBenchSnapshot
+
+// DefaultDiffThresholds returns the CI regression-gate policy.
+var DefaultDiffThresholds = experiments.DefaultDiffThresholds
+
+// DiffMetrics compares two flattened metric sets under thresholds.
+var DiffMetrics = experiments.DiffMetrics
+
+// BenchMetrics flattens a bench snapshot into diffable metric keys.
+var BenchMetrics = experiments.BenchMetrics
+
+// EventMetrics flattens a run's event stream into diffable metric keys.
+var EventMetrics = experiments.EventMetrics
