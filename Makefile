@@ -1,7 +1,7 @@
 GO ?= go
 BENCHFLAGS ?= -benchmem
 
-.PHONY: build vet lint test test-chaos race ci bench bench-smoke bench-baseline bench-kernels obs-smoke profile
+.PHONY: build vet lint test test-chaos race ci bench bench-smoke bench-baseline bench-kernels obs-smoke profile profile-smoke
 
 build:
 	$(GO) build ./...
@@ -88,6 +88,32 @@ obs-smoke:
 bench-kernels:
 	$(GO) test -run '^$$' -bench 'MatMul|Linear|TrainStep|SampleStep' $(BENCHFLAGS) ./internal/tensor/ ./internal/nn/ ./internal/diffusion/
 
+# profile-smoke exercises the phase-profiling pipeline end to end:
+#   1. two tiny training runs capture per-phase CPU/heap/mutex/block pprof
+#      profiles, the second with -debug-spin injecting a deterministic
+#      slowdown into the diffusion train step (wall time only; losses stay
+#      bit-identical across the pair);
+#   2. the stdlib pprof decoder must parse the captures and render a
+#      function table for the diffusion-train phase;
+#   3. silofuse-obs diff must flag the throughput regression (non-zero
+#      exit) AND attribute it to the injected function by name;
+#   4. silofuse-obs summary must degrade gracefully on a run directory
+#      carrying profiles but no event stream.
+PROFILE_SMOKE_DIR ?= /tmp/silofuse_profile_smoke
+profile-smoke:
+	rm -rf $(PROFILE_SMOKE_DIR) && mkdir -p $(PROFILE_SMOKE_DIR)
+	$(GO) build -o $(PROFILE_SMOKE_DIR)/silofuse-train ./cmd/silofuse-train
+	$(GO) build -o $(PROFILE_SMOKE_DIR)/silofuse-obs ./cmd/silofuse-obs
+	cd $(PROFILE_SMOKE_DIR) && ./silofuse-train -dataset abalone -clients 2 -train-rows 300 -iters 100 -rows 40 -out base.csv -run profbase -profile-phases
+	cd $(PROFILE_SMOKE_DIR) && ./silofuse-train -dataset abalone -clients 2 -train-rows 300 -iters 100 -rows 40 -out slow.csv -run profslow -profile-phases -debug-spin 150000000
+	$(PROFILE_SMOKE_DIR)/silofuse-obs profile -phase diffusion-train $(PROFILE_SMOKE_DIR)/results/profslow
+	@if $(PROFILE_SMOKE_DIR)/silofuse-obs diff -throughput-drop 0.3 $(PROFILE_SMOKE_DIR)/results/profbase $(PROFILE_SMOKE_DIR)/results/profslow > $(PROFILE_SMOKE_DIR)/diff.out 2>&1; then \
+		cat $(PROFILE_SMOKE_DIR)/diff.out; echo "profile-smoke: injected slowdown not caught"; exit 1; \
+	else cat $(PROFILE_SMOKE_DIR)/diff.out; fi
+	grep -q 'debugSpinStep' $(PROFILE_SMOKE_DIR)/diff.out
+	cp -r $(PROFILE_SMOKE_DIR)/results/profslow $(PROFILE_SMOKE_DIR)/results/noevents && rm $(PROFILE_SMOKE_DIR)/results/noevents/events.jsonl
+	$(PROFILE_SMOKE_DIR)/silofuse-obs summary $(PROFILE_SMOKE_DIR)/results/noevents | grep -q 'phase profiles'
+
 # profile captures CPU and heap profiles from a fast fig10 bench run into
 # /tmp, ready for `go tool pprof`.
 profile:
@@ -95,7 +121,7 @@ profile:
 	@echo "profiles: /tmp/silofuse_cpu.pprof /tmp/silofuse_mem.pprof"
 
 ci:
-	$(MAKE) lint && $(GO) build ./... && $(GO) test ./... && $(MAKE) race && $(MAKE) test-chaos && $(MAKE) bench-smoke && $(MAKE) obs-smoke && $(MAKE) bench-kernels BENCHFLAGS='-benchtime=1x'
+	$(MAKE) lint && $(GO) build ./... && $(GO) test ./... && $(MAKE) race && $(MAKE) test-chaos && $(MAKE) bench-smoke && $(MAKE) obs-smoke && $(MAKE) profile-smoke && $(MAKE) bench-kernels BENCHFLAGS='-benchtime=1x'
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

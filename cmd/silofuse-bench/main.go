@@ -16,8 +16,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -44,40 +42,38 @@ func main() {
 	benchJSON := flag.String("bench-json", "BENCH_silofuse.json", "write a perf snapshot (phases, rows/sec, bytes by kind) to this path; empty disables")
 	checkBench := flag.String("check-bench", "", "validate an existing bench snapshot and exit (CI smoke check)")
 	benchBaseline := flag.String("bench-baseline", "", "after the run, diff the fresh -bench-json snapshot against this committed baseline and exit non-zero on regression (per-metric tolerances, per-phase delta table)")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile covering the whole run to this path")
-	memProfile := flag.String("memprofile", "", "write an allocation pprof profile at the end of the run to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile covering the whole run to this path (captured by the phase profiler as the \"all\" phase)")
+	memProfile := flag.String("memprofile", "", "write an allocation pprof profile at the end of the run to this path (the phase profiler's final heap snapshot)")
+	profilePhases := flag.Bool("profile-phases", false, "capture per-phase CPU/heap/mutex/block pprof profiles into results/<run>/profiles (requires -run)")
+	debugSpin := flag.Int("debug-spin", 0, "inject N iterations of deterministic busy-work per diffusion step (wall time only; for profiling attribution tests)")
 	chaosProfile := flag.String("chaos-profile", "", "inject transport faults during distributed training: drop, dup, reorder, delay, corrupt, flaky, blackhole, crash (empty disables)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed of the deterministic fault schedule (with -chaos-profile)")
 	flag.Parse()
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
+	// One capture path: -cpuprofile/-memprofile delegate to the phase
+	// profiler (whole-run capture as the "all" phase), and -profile-phases
+	// adds per-phase slices under results/<run>/profiles.
+	var prof *silofuse.PhaseProfiler
+	if *profilePhases || *cpuProfile != "" || *memProfile != "" {
+		if *profilePhases && *runName == "" {
+			fmt.Fprintln(os.Stderr, "-profile-phases requires -run <name>")
+			os.Exit(2)
+		}
+		pcfg := silofuse.ProfileConfig{CPUPath: *cpuProfile, HeapPath: *memProfile}
+		if *profilePhases {
+			pcfg = silofuse.DefaultProfileConfig(filepath.Join("results", *runName, "profiles"))
+			pcfg.CPUPath = *cpuProfile
+			pcfg.HeapPath = *memProfile
+		}
+		if *cpuProfile != "" {
+			pcfg.CPU = true
+			pcfg.WholeRunCPU = true
+		}
+		var err error
+		if prof, err = silofuse.NewPhaseProfiler(pcfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
-	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			}
-		}()
 	}
 
 	if *checkBench != "" {
@@ -136,10 +132,12 @@ func main() {
 		cfg.Opts.ChaosProfile = *chaosProfile
 		cfg.Opts.ChaosSeed = *chaosSeed
 	}
+	cfg.Opts.DebugSpin = *debugSpin
 	var rec *silofuse.Recorder
-	if *tracePath != "" || *metricsFlag || *runName != "" || *listen != "" || *benchJSON != "" {
+	if *tracePath != "" || *metricsFlag || *runName != "" || *listen != "" || *benchJSON != "" || prof != nil {
 		rec = silofuse.NewRecorder()
 		cfg.Opts.Recorder = rec
+		rec.SetProfiler(prof)
 	}
 	if *runName != "" {
 		ew, err := silofuse.OpenEventLog(filepath.Join("results", *runName, "events.jsonl"))
@@ -153,8 +151,9 @@ func main() {
 	}
 	if *listen != "" {
 		srv, err := silofuse.StartTelemetry(*listen, silofuse.TelemetryConfig{
-			Rec:     rec,
-			RunsDir: "results",
+			Rec:           rec,
+			RunsDir:       "results",
+			PhaseProfiles: prof,
 			Health: func() map[string]any {
 				return map[string]any{"binary": "silofuse-bench", "exp": *exp, "scale": *scale}
 			},
@@ -164,7 +163,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("telemetry listening on http://%s (/metrics /healthz /runs /debug/pprof)\n", srv.Addr())
+		fmt.Printf("telemetry listening on http://%s (/metrics /healthz /runs /debug/pprof /debug/phaseprofiles)\n", srv.Addr())
 	}
 
 	ids := []string{*exp}
@@ -183,6 +182,18 @@ func main() {
 		if rec != nil {
 			rec.Events.Emit("experiment", map[string]any{"exp": id, "dur_sec": elapsed.Seconds()})
 		}
+	}
+	// Close the profiler before any gate can exit: it stops the whole-run
+	// CPU capture, writes the final heap profile and profiles/index.json.
+	if err := prof.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if prof != nil && *cpuProfile != "" {
+		fmt.Printf("wrote cpu profile %s\n", *cpuProfile)
+	}
+	if prof != nil && *memProfile != "" {
+		fmt.Printf("wrote heap profile %s\n", *memProfile)
 	}
 	if *benchJSON != "" {
 		snap := experiments.NewBenchSnapshot(*exp, *scale)
@@ -211,7 +222,7 @@ func main() {
 			}
 		}
 	}
-	if err := writeTelemetry(rec, *tracePath, *metricsFlag, *runName, *exp, cfg.Seed); err != nil {
+	if err := writeTelemetry(rec, prof, *tracePath, *metricsFlag, *runName, *exp, cfg.Seed); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -219,7 +230,7 @@ func main() {
 
 // writeTelemetry emits the optional trace file, metrics exposition and run
 // manifest once all experiments have finished.
-func writeTelemetry(rec *silofuse.Recorder, tracePath string, metrics bool, runName, exp string, seed int64) error {
+func writeTelemetry(rec *silofuse.Recorder, prof *silofuse.PhaseProfiler, tracePath string, metrics bool, runName, exp string, seed int64) error {
 	if rec == nil {
 		return nil
 	}
@@ -246,6 +257,7 @@ func writeTelemetry(rec *silofuse.Recorder, tracePath string, metrics bool, runN
 		man := silofuse.NewRunManifest(runName, seed)
 		man.Config["exp"] = exp
 		man.FromRecorder(rec)
+		man.Profiles = prof.Entries()
 		dir := filepath.Join("results", runName)
 		if err := man.Write(dir); err != nil {
 			return err

@@ -58,6 +58,7 @@ type config struct {
 	chaosSeed          int64
 	chaosRevive        bool
 	fleetMetrics       string
+	profilePhases      bool
 }
 
 func main() {
@@ -70,11 +71,12 @@ func main() {
 	flag.StringVar(&c.tracePath, "trace", "", "write a merged Chrome-trace JSON (one process lane per party) to this path")
 	flag.BoolVar(&c.metrics, "metrics", false, "print the Prometheus text exposition to stderr after the run")
 	flag.StringVar(&c.runName, "run", "", "write results/<run>/manifest.json and stream results/<run>/events.jsonl")
-	flag.StringVar(&c.listen, "listen", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof) on this address during the run")
+	flag.StringVar(&c.listen, "listen", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof, /debug/phaseprofiles) on this address during the run")
 	flag.StringVar(&c.chaosProfile, "chaos-profile", "", "inject transport faults on top of the TCP links: drop, dup, reorder, delay, corrupt, flaky, blackhole, crash (empty disables)")
 	flag.Int64Var(&c.chaosSeed, "chaos-seed", 1, "seed of the deterministic fault schedule (with -chaos-profile)")
 	flag.BoolVar(&c.chaosRevive, "chaos-revive", true, "revive crashed peers during phase recovery; =false lets a crash exhaust the retry budget and dump postmortems")
 	flag.StringVar(&c.fleetMetrics, "fleet-metrics", "", "write the fleet-wide Prometheus exposition (per-party labels) to this file after the run")
+	flag.BoolVar(&c.profilePhases, "profile-phases", false, "capture per-phase CPU/heap/mutex/block pprof profiles into results/<run>/profiles (requires -run)")
 	flag.Parse()
 
 	if err := run(c); err != nil {
@@ -110,6 +112,21 @@ func run(c config) error {
 			flights[name] = silofuse.NewFlightRecorder(0)
 			clientRecs[i].SetFlight(flights[name])
 		}
+	}
+	var prof *silofuse.PhaseProfiler
+	if c.profilePhases {
+		if c.runName == "" {
+			return fmt.Errorf("-profile-phases requires -run <name>")
+		}
+		prof, err = silofuse.NewPhaseProfiler(silofuse.DefaultProfileConfig(filepath.Join("results", c.runName, "profiles")))
+		if err != nil {
+			return err
+		}
+		// The coordinator drives the phase boundaries, so its recorder owns
+		// the profiler. Close is idempotent; the deferred call flushes the
+		// profile index even when the protocol errors out.
+		coordRec.SetProfiler(prof)
+		defer prof.Close()
 	}
 	if c.runName != "" {
 		ew, err := silofuse.OpenEventLog(filepath.Join("results", c.runName, "events.jsonl"))
@@ -155,11 +172,12 @@ func run(c config) error {
 
 	if c.listen != "" {
 		srv, err := silofuse.StartTelemetry(c.listen, silofuse.TelemetryConfig{
-			Rec:        coordRec,
-			RunsDir:    "results",
-			Fleet:      agg,
-			FleetLocal: "coord",
-			Flight:     flights["coord"],
+			Rec:           coordRec,
+			RunsDir:       "results",
+			Fleet:         agg,
+			FleetLocal:    "coord",
+			Flight:        flights["coord"],
+			PhaseProfiles: prof,
 			Health: func() map[string]any {
 				st := hub.Stats()
 				peerInfo := make(map[string]any, c.clients)
@@ -178,7 +196,7 @@ func run(c config) error {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("telemetry listening on http://%s (/metrics /healthz /runs /debug/pprof)\n", srv.Addr())
+		fmt.Printf("telemetry listening on http://%s (/metrics /healthz /runs /debug/pprof /debug/phaseprofiles)\n", srv.Addr())
 	}
 
 	// With a chaos profile the routed TCP bus gains the same fault-injection
@@ -265,7 +283,7 @@ func run(c config) error {
 		return err
 	}
 	fmt.Printf("\njoined synthetic resemblance: %.1f/100\n", rep.Score)
-	return writeTelemetry(c, hub, peers, coordRec, clientRecs, agg, rep.Score)
+	return writeTelemetry(c, hub, peers, coordRec, clientRecs, agg, prof, rep.Score)
 }
 
 // dumpCrash writes every party's flight-recorder ring to
@@ -298,9 +316,13 @@ func dumpCrash(c config, flights map[string]*silofuse.FlightRecorder, err error)
 // writeTelemetry emits the merged trace, metrics exposition and run manifest
 // once the protocol has finished.
 func writeTelemetry(c config, hub *silofuse.TCPHub, peers map[string]*silofuse.TCPPeer,
-	coordRec *silofuse.Recorder, clientRecs []*silofuse.Recorder, agg *silofuse.FleetAggregator, resemblance float64) error {
+	coordRec *silofuse.Recorder, clientRecs []*silofuse.Recorder, agg *silofuse.FleetAggregator,
+	prof *silofuse.PhaseProfiler, resemblance float64) error {
 	if coordRec == nil {
 		return nil
+	}
+	if err := prof.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "profile close:", err)
 	}
 	if c.fleetMetrics != "" && agg != nil {
 		f, err := os.Create(c.fleetMetrics)
@@ -359,6 +381,9 @@ func writeTelemetry(c config, hub *silofuse.TCPHub, peers map[string]*silofuse.T
 		// complete metric snapshot and wire counters; per-link byte
 		// breakdowns come from each endpoint's own measured stats.
 		man.FromRecorder(coordRec)
+		if prof != nil {
+			man.Profiles = prof.Entries()
+		}
 		man.FromStats(hub.Stats())
 		for _, p := range peers {
 			man.FromStats(p.Stats())

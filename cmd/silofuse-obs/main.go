@@ -1,21 +1,26 @@
 // Command silofuse-obs analyzes run telemetry offline: it summarizes a run
-// directory's event stream into a per-phase table, and diffs two runs or two
-// bench snapshots under configurable regression thresholds, exiting non-zero
-// on regression so it can gate CI.
+// directory's event stream into a per-phase table, renders top-N tables
+// from phase-scoped pprof captures, and diffs two runs or two bench
+// snapshots under configurable regression thresholds, exiting non-zero on
+// regression so it can gate CI.
 //
 // Usage:
 //
 //	silofuse-obs summary <run-dir|events.jsonl>
+//	silofuse-obs profile [flags] <run-dir|profiles-dir|profile.pb.gz>
 //	silofuse-obs diff [flags] <base> <current>
 //
 // diff accepts run directories (their events.jsonl is read), .jsonl event
 // logs, or BENCH_silofuse.json snapshots, in any combination — both sides
 // are flattened to the same metric keys before comparison. Event logs may be
 // crash-truncated: a partial trailing line is skipped, all prior lines
-// parse.
+// parse. When both operands are run directories carrying profiles/ and a
+// metric regresses, the report appends attribution tables naming the
+// functions whose profile weight grew most in the regressed phase.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +30,7 @@ import (
 
 	"silofuse/internal/experiments"
 	"silofuse/internal/obs"
+	"silofuse/internal/obs/profile"
 )
 
 func main() {
@@ -36,6 +42,8 @@ func main() {
 	switch os.Args[1] {
 	case "summary":
 		err = runSummary(os.Args[2:])
+	case "profile":
+		err = runProfile(os.Args[2:])
 	case "diff":
 		err = runDiff(os.Args[2:])
 	case "-h", "--help", "help":
@@ -55,7 +63,14 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   silofuse-obs summary <run-dir|events.jsonl>
+  silofuse-obs profile [flags] <run-dir|profiles-dir|profile.pb.gz>
   silofuse-obs diff [flags] <base> <current>
+
+profile flags:
+  -phase            phase to show (default: every captured phase)
+  -kind             profile kind: cpu|heap|mutex|block       (default cpu)
+  -sample           sample type to aggregate (default: cpu or alloc_space)
+  -top              rows in the function table               (default 20)
 
 diff flags:
   -throughput-drop  allowed fractional rows/sec drop        (default 0.60)
@@ -64,6 +79,7 @@ diff flags:
   -wire-growth      allowed fractional wire-byte growth     (default 0.10)
   -loss-growth      allowed fractional loss growth          (default 0.25)
   -phase-growth     allowed fractional phase-time growth    (default 0 = off)
+  -attr-top         functions per attribution table         (default 5)
 `)
 }
 
@@ -104,6 +120,12 @@ func runSummary(args []string) error {
 	path, _ := eventsPath(fs.Arg(0))
 	events, err := obs.ReadEventsFile(path)
 	if err != nil {
+		// A run dir without an event stream (crashed before the first
+		// flush, or recorded with -profile-phases only) still has
+		// artifacts worth reporting; degrade instead of erroring.
+		if st, serr := os.Stat(fs.Arg(0)); serr == nil && st.IsDir() && os.IsNotExist(err) {
+			return summarizeArtifacts(fs.Arg(0))
+		}
 		return err
 	}
 	type phase struct {
@@ -184,6 +206,158 @@ func runSummary(args []string) error {
 	return nil
 }
 
+// summarizeArtifacts reports what a run directory holds when its
+// events.jsonl is absent: the manifest, postmortem dumps, and captured
+// phase profiles.
+func summarizeArtifacts(dir string) error {
+	fmt.Printf("%s: no events.jsonl; reporting available artifacts\n", dir)
+	found := false
+
+	manPath := filepath.Join(dir, "manifest.json")
+	if data, err := os.ReadFile(manPath); err == nil {
+		found = true
+		var man experiments.Manifest
+		if jerr := json.Unmarshal(data, &man); jerr != nil {
+			fmt.Printf("\nmanifest.json: unparseable (%v)\n", jerr)
+		} else {
+			fmt.Printf("\nmanifest.json: run %q, seed %d, created %s\n", man.Run, man.Seed, man.CreatedAt.Format("2006-01-02 15:04:05"))
+			if len(man.Phases) > 0 {
+				fmt.Printf("%-16s  %9s  %9s\n", "PHASE", "START(s)", "DUR(s)")
+				for _, ph := range man.Phases {
+					fmt.Printf("%-16s  %9.3f  %9.3f\n", ph.Name, ph.StartSec, ph.DurSec)
+				}
+			}
+		}
+	}
+
+	if dumps, err := filepath.Glob(filepath.Join(dir, "postmortem", "*.json")); err == nil && len(dumps) > 0 {
+		found = true
+		sort.Strings(dumps)
+		fmt.Printf("\npostmortem dumps: %d\n", len(dumps))
+		for _, d := range dumps {
+			fmt.Printf("  %s\n", filepath.Base(d))
+		}
+	}
+
+	if entries := readProfileIndex(filepath.Join(dir, experiments.ProfilesSubdir)); len(entries) > 0 {
+		found = true
+		fmt.Printf("\nphase profiles: %d\n", len(entries))
+		fmt.Printf("  %-16s  %-6s  %9s  %9s\n", "PHASE", "KIND", "BYTES", "DUR(s)")
+		for _, e := range entries {
+			fmt.Printf("  %-16s  %-6s  %9d  %9.3f\n", e.Phase, e.Kind, e.Bytes, e.DurSec)
+		}
+	}
+
+	if !found {
+		fmt.Println("no manifest, postmortems, or profiles either — empty run directory")
+	}
+	return nil
+}
+
+// readProfileIndex loads profiles/index.json (nil when absent/invalid).
+func readProfileIndex(dir string) []profile.Entry {
+	data, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		return nil
+	}
+	var idx struct {
+		Entries []profile.Entry `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return nil
+	}
+	return idx.Entries
+}
+
+// profileOperandDir resolves the profile subcommand's operand to the
+// directory holding .pb.gz files ("" when the operand is itself a file).
+func profileOperandDir(arg string) (string, bool) {
+	st, err := os.Stat(arg)
+	if err != nil || !st.IsDir() {
+		return "", false
+	}
+	sub := filepath.Join(arg, experiments.ProfilesSubdir)
+	if fi, err := os.Stat(sub); err == nil && fi.IsDir() {
+		return sub, true
+	}
+	return arg, true
+}
+
+func runProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	phase := fs.String("phase", "", "phase to show (default: every captured phase)")
+	kind := fs.String("kind", profile.KindCPU, "profile kind: cpu|heap|mutex|block")
+	sample := fs.String("sample", "", "sample type to aggregate (default: cpu or alloc_space)")
+	top := fs.Int("top", 20, "rows in the function table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("profile wants one run dir, profiles dir, or .pb.gz file")
+	}
+	arg := fs.Arg(0)
+
+	var files []string
+	if dir, isDir := profileOperandDir(arg); isDir {
+		if *phase != "" {
+			files = []string{filepath.Join(dir, profile.EntryFileName(*phase, *kind))}
+		} else {
+			glob, err := filepath.Glob(filepath.Join(dir, "*."+*kind+".pb.gz"))
+			if err != nil {
+				return err
+			}
+			sort.Strings(glob)
+			files = glob
+		}
+		if len(files) == 0 {
+			return fmt.Errorf("no %s profiles under %s", *kind, dir)
+		}
+	} else {
+		files = []string{arg}
+	}
+
+	col := *sample
+	if col == "" && *kind == profile.KindHeap {
+		col = "alloc_space"
+	}
+	for _, path := range files {
+		if err := printProfileTop(path, col, *top); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printProfileTop decodes one profile file and prints its top-N table.
+func printProfileTop(path, sample string, top int) error {
+	p, err := profile.ParsePprofFile(path)
+	if err != nil {
+		return err
+	}
+	flat, err := p.Flatten(sample)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("\n%s  (%s/%s, total %s)\n", filepath.Base(path), flat.Type, flat.Unit, profile.FormatValue(flat.Total, flat.Unit))
+	rows := flat.Top(top)
+	if len(rows) == 0 {
+		fmt.Println("  no samples")
+		return nil
+	}
+	width := len("FUNCTION")
+	for _, st := range rows {
+		if len(st.Name) > width {
+			width = len(st.Name)
+		}
+	}
+	fmt.Printf("  %-*s  %12s  %12s\n", width, "FUNCTION", "SELF", "CUM")
+	for _, st := range rows {
+		fmt.Printf("  %-*s  %12s  %12s\n", width, st.Name,
+			profile.FormatValue(st.Self, flat.Unit), profile.FormatValue(st.Cum, flat.Unit))
+	}
+	return nil
+}
+
 func runDiff(args []string) error {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	th := experiments.DefaultDiffThresholds()
@@ -193,6 +367,7 @@ func runDiff(args []string) error {
 	fs.Float64Var(&th.WireGrowth, "wire-growth", th.WireGrowth, "allowed fractional wire-byte growth")
 	fs.Float64Var(&th.LossGrowth, "loss-growth", th.LossGrowth, "allowed fractional loss growth")
 	fs.Float64Var(&th.PhaseGrowth, "phase-growth", th.PhaseGrowth, "allowed fractional phase-time growth (0 disables)")
+	attrTop := fs.Int("attr-top", 5, "functions per attribution table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -212,6 +387,14 @@ func runDiff(args []string) error {
 		return err
 	}
 	if rep.Regressions > 0 {
+		if experiments.HasProfiles(fs.Arg(0)) && experiments.HasProfiles(fs.Arg(1)) {
+			atts := experiments.AttributeRegressions(rep, fs.Arg(0), fs.Arg(1), *attrTop)
+			if err := experiments.WriteAttributions(os.Stdout, atts); err != nil {
+				return err
+			}
+		} else {
+			fmt.Println("(no phase profiles on both sides; capture runs with -profile-phases for attribution)")
+		}
 		return fmt.Errorf("%d regression(s) against %s", rep.Regressions, fs.Arg(0))
 	}
 	return nil

@@ -37,6 +37,8 @@ type config struct {
 	listen             string
 	chaosProfile       string
 	chaosSeed          int64
+	profilePhases      bool
+	debugSpin          int
 }
 
 func main() {
@@ -56,9 +58,11 @@ func main() {
 	flag.StringVar(&c.tracePath, "trace", "", "write a Chrome-trace JSON of the run to this path")
 	flag.BoolVar(&c.metrics, "metrics", false, "print the metrics text exposition to stderr after the run")
 	flag.StringVar(&c.runName, "run", "", "write results/<run>/manifest.json with config, phases and wire stats, and stream results/<run>/events.jsonl")
-	flag.StringVar(&c.listen, "listen", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof) on this address during the run")
+	flag.StringVar(&c.listen, "listen", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof, /debug/phaseprofiles) on this address during the run")
 	flag.StringVar(&c.chaosProfile, "chaos-profile", "", "inject transport faults during distributed training: drop, dup, reorder, delay, corrupt, flaky, blackhole, crash (empty disables)")
 	flag.Int64Var(&c.chaosSeed, "chaos-seed", 1, "seed of the deterministic fault schedule (with -chaos-profile)")
+	flag.BoolVar(&c.profilePhases, "profile-phases", false, "capture per-phase CPU/heap/mutex/block pprof profiles into results/<run>/profiles (requires -run)")
+	flag.IntVar(&c.debugSpin, "debug-spin", 0, "inject N iterations of deterministic busy-work per diffusion step (wall time only; for profiling attribution tests)")
 	flag.Parse()
 
 	if err := run(c); err != nil {
@@ -105,6 +109,7 @@ func run(c config) error {
 		opts.ChaosProfile = c.chaosProfile
 		opts.ChaosSeed = c.chaosSeed
 	}
+	opts.DebugSpin = c.debugSpin
 	var rec *silofuse.Recorder
 	if c.tracePath != "" || c.metrics || c.runName != "" || c.listen != "" {
 		rec = silofuse.NewRecorder()
@@ -112,6 +117,21 @@ func run(c config) error {
 		// typed transport failure the tail is dumped as a postmortem.
 		rec.SetFlight(silofuse.NewFlightRecorder(0))
 		opts.Recorder = rec
+	}
+	var prof *silofuse.PhaseProfiler
+	if c.profilePhases {
+		if c.runName == "" {
+			return fmt.Errorf("-profile-phases requires -run <name>")
+		}
+		var err error
+		prof, err = silofuse.NewPhaseProfiler(silofuse.DefaultProfileConfig(filepath.Join("results", c.runName, "profiles")))
+		if err != nil {
+			return err
+		}
+		rec.SetProfiler(prof)
+		// Close is idempotent; the deferred call flushes the profile index
+		// even when the run errors out before writeTelemetry.
+		defer prof.Close()
 	}
 	if c.runName != "" {
 		ew, err := silofuse.OpenEventLog(filepath.Join("results", c.runName, "events.jsonl"))
@@ -127,8 +147,9 @@ func run(c config) error {
 	}
 	if c.listen != "" {
 		srv, err := silofuse.StartTelemetry(c.listen, silofuse.TelemetryConfig{
-			Rec:     rec,
-			RunsDir: "results",
+			Rec:           rec,
+			RunsDir:       "results",
+			PhaseProfiles: prof,
 			Health: func() map[string]any {
 				return map[string]any{"binary": "silofuse-train", "dataset": c.dataset, "model": c.model}
 			},
@@ -138,7 +159,7 @@ func run(c config) error {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("telemetry listening on http://%s (/metrics /healthz /runs /debug/pprof)\n", srv.Addr())
+		fmt.Printf("telemetry listening on http://%s (/metrics /healthz /runs /debug/pprof /debug/phaseprofiles)\n", srv.Addr())
 	}
 	m, err := silofuse.NewSynthesizer(c.model, opts)
 	if err != nil {
@@ -200,7 +221,7 @@ func run(c config) error {
 			}
 			fmt.Printf("client %d: wrote %s (%d columns)\n", i, path, p.Schema.NumColumns())
 		}
-		return writeTelemetry(c, m, rec, final)
+		return writeTelemetry(c, m, rec, prof, final)
 	}
 
 	synth, err := m.Sample(c.rows)
@@ -216,7 +237,7 @@ func run(c config) error {
 	}
 	fmt.Printf("wrote %s (%d rows); resemblance %.1f/100\n", c.out, synth.Rows(), rep.Score)
 	final["resemblance"] = rep.Score
-	return writeTelemetry(c, m, rec, final)
+	return writeTelemetry(c, m, rec, prof, final)
 }
 
 // dumpCrash writes the flight-recorder tail to
@@ -239,9 +260,12 @@ func dumpCrash(c config, rec *silofuse.Recorder, err error) error {
 
 // writeTelemetry emits the optional trace file, metrics exposition and run
 // manifest once the run has finished.
-func writeTelemetry(c config, m silofuse.Synthesizer, rec *silofuse.Recorder, final map[string]float64) error {
+func writeTelemetry(c config, m silofuse.Synthesizer, rec *silofuse.Recorder, prof *silofuse.PhaseProfiler, final map[string]float64) error {
 	if rec == nil {
 		return nil
+	}
+	if err := prof.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "profile close:", err)
 	}
 	if c.tracePath != "" {
 		f, err := os.Create(c.tracePath)
@@ -276,6 +300,9 @@ func writeTelemetry(c config, m silofuse.Synthesizer, rec *silofuse.Recorder, fi
 			man.FinalMetrics[k] = v
 		}
 		man.FromRecorder(rec)
+		if prof != nil {
+			man.Profiles = prof.Entries()
+		}
 		if cs, ok := m.(interface {
 			CommStats() silofuse.TransportStats
 		}); ok {

@@ -5,10 +5,11 @@ import (
 	"go/token"
 )
 
-// NilRecorder pins the obs package's documented nil-safety contract: a nil
-// *Recorder (and every handle it gives out) is "telemetry off", so every
-// exported pointer-receiver method in package obs must begin with a
-// nil-receiver guard. Accepted forms:
+// NilRecorder pins the telemetry layer's documented nil-safety contract: a
+// nil *Recorder (and every handle it gives out, including the phase
+// profiler) is "telemetry off", so every exported pointer-receiver method
+// in packages obs and profile must begin with a nil-receiver guard.
+// Accepted forms:
 //
 //	func (r *T) M() { if r == nil { ... } ... }   // guard as first statement
 //	func (r *T) M() bool { return r != nil }      // single-return nil test
@@ -18,12 +19,12 @@ import (
 // contract exists to prevent.
 var NilRecorder = &Analyzer{
 	Name: "nilrecorder",
-	Doc:  "require nil-receiver guards on exported obs pointer methods",
+	Doc:  "require nil-receiver guards on exported obs and profile pointer methods",
 	Run:  runNilRecorder,
 }
 
 func runNilRecorder(p *Pass) {
-	if p.Pkg.Name() != "obs" {
+	if p.Pkg.Name() != "obs" && p.Pkg.Name() != "profile" {
 		return
 	}
 	for _, f := range p.Files {

@@ -1,7 +1,10 @@
-// Package nn impersonates a kernel package so both halves of the noalloc
-// analyzer apply: annotated bodies may not contain allocating constructs,
-// and exported *Into kernels must carry the annotation.
+// Package nn impersonates a kernel package so all three halves of the
+// noalloc analyzer apply: annotated bodies may not contain allocating
+// constructs or profile-capture calls, and exported *Into kernels must
+// carry the annotation.
 package nn
+
+import "runtime/pprof"
 
 type pair struct{ x, y float64 }
 
@@ -42,4 +45,33 @@ func grow(buf []float64, n int) []float64 {
 		buf = make([]float64, n)
 	}
 	return buf[:n]
+}
+
+// recorder mimics the telemetry recorder's phase hooks by name; the
+// profile-capture rule keys on the ProfilePhase* method-name prefix.
+type recorder struct{ n int }
+
+func (r recorder) ProfilePhaseStart(phase string) {}
+
+// profiled claims the contract but snapshots profiles mid-kernel: capture
+// belongs at phase boundaries in the orchestration layer, never inside the
+// hot loop it measures.
+//
+//silofuse:noalloc
+func profiled(dst []float64, rec recorder) {
+	_ = pprof.StartCPUProfile(nil)  // want "profile capture StartCPUProfile in noalloc function profiled"
+	rec.ProfilePhaseStart("kernel") // want "profile capture ProfilePhaseStart in noalloc function profiled"
+	for i := range dst {
+		dst[i] = 0
+	}
+	pprof.StopCPUProfile() // want "profile capture StopCPUProfile in noalloc function profiled"
+}
+
+// hot is annotated and calls only plain helpers: no report.
+//
+//silofuse:noalloc
+func hot(dst []float64) {
+	for i := range dst {
+		dst[i] *= 2
+	}
 }

@@ -1,0 +1,28 @@
+// Package profile impersonates the phase-profiler package so the
+// nilrecorder analyzer applies to it: a nil *PhaseProfiler means
+// "profiling off", so every exported pointer-receiver method must begin
+// with a nil-receiver guard, exactly like the obs recorder's handles.
+package profile
+
+// PhaseProfiler mirrors the real profiler's nil-off contract.
+type PhaseProfiler struct{ n int }
+
+// Start begins with the guard-as-first-statement form.
+func (p *PhaseProfiler) Start(phase string) {
+	if p == nil {
+		return
+	}
+	p.n++
+}
+
+// Enabled is the single-return nil-test form.
+func (p *PhaseProfiler) Enabled() bool { return p != nil }
+
+// Count forgets the guard and would panic with profiling off.
+func (p *PhaseProfiler) Count() int { // want "exported method Count does not begin with a nil-receiver guard"
+	return p.n
+}
+
+// snapshot is unexported; internal call sites are reached only through
+// guarded exported methods.
+func (p *PhaseProfiler) snapshot() int { return p.n }

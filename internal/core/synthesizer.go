@@ -86,6 +86,12 @@ type Options struct {
 	ChaosProfile string
 	// ChaosSeed seeds the deterministic fault schedule.
 	ChaosSeed int64
+
+	// DebugSpin, when > 0, injects that many iterations of deterministic
+	// busy-work after every diffusion training step (see
+	// diffusion.ModelConfig.DebugSpin). Wall time only; results are
+	// bit-identical. Exists for the profiling attribution smoke tests.
+	DebugSpin int
 }
 
 // DefaultOptions returns CPU-scaled settings that preserve the paper's

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"silofuse/internal/obs/profile"
+)
+
+// Bench-regression attribution: when `silofuse-obs diff` finds a regressed
+// metric and both runs carried phase-scoped profiles (results/<run>/profiles),
+// the matching phase profiles from the two runs are decoded, flattened and
+// diffed, and the report names the functions whose weight grew most — the
+// difference between "diffusion-train got 2× slower" and "the time went to
+// (*Model).debugSpinStep".
+
+// ProfilesSubdir is the run-directory subdirectory holding phase profiles.
+const ProfilesSubdir = "profiles"
+
+// stagePhase maps a training-stage metric suffix (rows_per_sec/<stage>,
+// step_p95_sec/<stage>, allocs_per_step/<stage>, ...) to the pipeline
+// phase whose profile covers it.
+var stagePhase = map[string]string{
+	"ae":        "ae-train",
+	"diffusion": "diffusion-train",
+	"e2e":       "e2e-train",
+	"synthesis": "synthesis",
+}
+
+// PhaseProfileFor maps a regressed metric key to the phase and profile
+// kind that explain it: wall-clock classes read the CPU profile,
+// allocation classes the heap profile, wire classes have no profile.
+// Returns ok=false for metrics attribution cannot cover.
+func PhaseProfileFor(metric string) (phase, kind string, ok bool) {
+	class, rest, found := strings.Cut(metric, "/")
+	if !found {
+		return "", "", false
+	}
+	switch class {
+	case "rows_per_sec", "step_p95_sec":
+		if phase, ok = stagePhase[rest]; !ok {
+			return "", "", false
+		}
+		return phase, profile.KindCPU, true
+	case "allocs_per_step", "alloc_bytes_per_step":
+		if phase, ok = stagePhase[rest]; !ok {
+			return "", "", false
+		}
+		return phase, profile.KindHeap, true
+	case "phase_sec", "loss":
+		// phase_sec keys carry the phase name itself. Loss regressions are
+		// attributed to the phase's CPU profile too (a changed kernel shows
+		// up in both); their keys use stage names (loss/ae) or phase names
+		// (loss/ae-train) depending on the source, so map stages first.
+		if phase, ok = stagePhase[rest]; ok {
+			return phase, profile.KindCPU, true
+		}
+		return rest, profile.KindCPU, true
+	default:
+		return "", "", false
+	}
+}
+
+// Attribution explains one regressed phase/kind pair with the top function
+// deltas between the base and current runs' profiles.
+type Attribution struct {
+	Phase   string              `json:"phase"`
+	Kind    string              `json:"kind"`
+	Metrics []string            `json:"metrics"` // regressed metric keys mapped here
+	Unit    string              `json:"unit,omitempty"`
+	Top     []profile.FuncDelta `json:"top,omitempty"`
+	Err     string              `json:"err,omitempty"` // why attribution was unavailable
+}
+
+// AttributeRegressions maps every regressed entry of rep to its phase
+// profile pair under baseDir/curDir and diffs them. Metrics that share a
+// phase/kind are grouped into one attribution; topN caps the function
+// table (<=0 means 5). Runs without profiles yield attributions whose Err
+// explains the gap rather than an error — attribution is best-effort
+// context for the diff report, never a reason to fail it.
+func AttributeRegressions(rep *DiffReport, baseDir, curDir string, topN int) []Attribution {
+	if rep == nil || rep.Regressions == 0 {
+		return nil
+	}
+	if topN <= 0 {
+		topN = 5
+	}
+	groups := make(map[string]*Attribution)
+	var order []string
+	for _, e := range rep.Entries {
+		if !e.Regressed {
+			continue
+		}
+		phase, kind, ok := PhaseProfileFor(e.Metric)
+		if !ok {
+			continue
+		}
+		key := phase + "/" + kind
+		a, seen := groups[key]
+		if !seen {
+			a = &Attribution{Phase: phase, Kind: kind}
+			groups[key] = a
+			order = append(order, key)
+		}
+		a.Metrics = append(a.Metrics, e.Metric)
+	}
+	sort.Strings(order)
+	out := make([]Attribution, 0, len(order))
+	for _, key := range order {
+		a := groups[key]
+		a.fill(baseDir, curDir, topN)
+		out = append(out, *a)
+	}
+	return out
+}
+
+// fill loads and diffs the phase's profile pair, recording failures in Err.
+func (a *Attribution) fill(baseDir, curDir string, topN int) {
+	file := profile.EntryFileName(a.Phase, a.Kind)
+	baseFlat, err := loadFlat(filepath.Join(baseDir, ProfilesSubdir, file), a.Kind)
+	if err != nil {
+		a.Err = fmt.Sprintf("base: %v", err)
+		return
+	}
+	curFlat, err := loadFlat(filepath.Join(curDir, ProfilesSubdir, file), a.Kind)
+	if err != nil {
+		a.Err = fmt.Sprintf("cur: %v", err)
+		return
+	}
+	a.Unit = curFlat.Unit
+	deltas := profile.Diff(baseFlat, curFlat)
+	if len(deltas) > topN {
+		deltas = deltas[:topN]
+	}
+	a.Top = deltas
+}
+
+// loadFlat decodes one profile file and flattens its natural column: the
+// default (cpu) for CPU profiles, alloc_space for heap profiles (steady
+// -state regressions show in cumulative allocation, not the live set).
+func loadFlat(path, kind string) (*profile.FlatProfile, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, fmt.Errorf("no %s profile (%s)", kind, filepath.Base(path))
+	}
+	p, err := profile.ParsePprofFile(path)
+	if err != nil {
+		return nil, err
+	}
+	col := ""
+	if kind == profile.KindHeap {
+		col = "alloc_space"
+	}
+	return p.Flatten(col)
+}
+
+// HasProfiles reports whether a run directory carries a profiles subdir.
+func HasProfiles(runDir string) bool {
+	fi, err := os.Stat(filepath.Join(runDir, ProfilesSubdir))
+	return err == nil && fi.IsDir()
+}
+
+// WriteAttributions renders the attribution tables under the diff report.
+func WriteAttributions(w io.Writer, atts []Attribution) error {
+	for _, a := range atts {
+		if _, err := fmt.Fprintf(w, "\nattribution: phase %s (%s) — regressed: %s\n",
+			a.Phase, a.Kind, strings.Join(a.Metrics, ", ")); err != nil {
+			return err
+		}
+		if a.Err != "" {
+			if _, err := fmt.Fprintf(w, "  unavailable: %s\n", a.Err); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(a.Top) == 0 {
+			if _, err := fmt.Fprintln(w, "  no function deltas (empty profiles)"); err != nil {
+				return err
+			}
+			continue
+		}
+		width := len("FUNCTION")
+		for _, d := range a.Top {
+			if len(d.Name) > width {
+				width = len(d.Name)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  %-*s  %12s  %12s  %12s\n", width, "FUNCTION", "BASE(self)", "CUR(self)", "DELTA"); err != nil {
+			return err
+		}
+		for _, d := range a.Top {
+			delta := profile.FormatValue(d.DeltaSelf, a.Unit)
+			if d.DeltaSelf > 0 {
+				delta = "+" + delta
+			}
+			if _, err := fmt.Fprintf(w, "  %-*s  %12s  %12s  %12s\n", width, d.Name,
+				profile.FormatValue(d.BaseSelf, a.Unit),
+				profile.FormatValue(d.CurSelf, a.Unit), delta); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

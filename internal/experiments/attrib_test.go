@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"silofuse/internal/obs/profile"
+)
+
+// Synthetic pprof builders: a minimal cpu profile with single-frame
+// samples, assembled on the wire format the stdlib decoder parses.
+
+func pbVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func pbTag(b []byte, num, wire int) []byte { return pbVarint(b, uint64(num)<<3|uint64(wire)) }
+
+func pbBytes(b []byte, num int, payload []byte) []byte {
+	b = pbTag(b, num, 2)
+	b = pbVarint(b, uint64(len(payload)))
+	return append(b, payload...)
+}
+
+func pbUint(b []byte, num int, v uint64) []byte {
+	b = pbTag(b, num, 0)
+	return pbVarint(b, v)
+}
+
+// writeCPUProfile writes a gzipped cpu/nanoseconds profile where each
+// named function is the leaf of one sample with the given self weight.
+func writeCPUProfile(t *testing.T, path string, selfNanos map[string]int64) {
+	t.Helper()
+	strtab := []string{"", "cpu", "nanoseconds"}
+	var msg []byte
+	msg = pbBytes(msg, 1, pbUint(pbUint(nil, 1, 1), 2, 2)) // sample_type cpu/ns
+	names := make([]string, 0, len(selfNanos))
+	for name := range selfNanos {
+		names = append(names, name)
+	}
+	// Deterministic ids for reproducible fixtures.
+	sort.Strings(names)
+	for i, name := range names {
+		id := uint64(i + 1)
+		strtab = append(strtab, name)
+		nameIdx := uint64(len(strtab) - 1)
+		msg = pbBytes(msg, 5, pbUint(pbUint(nil, 1, id), 2, nameIdx))             // function
+		msg = pbBytes(msg, 4, pbBytes(pbUint(nil, 1, id), 4, pbUint(nil, 1, id))) // location{line{function_id}}
+		sample := pbBytes(nil, 1, pbVarint(nil, id))                              // location_ids (packed)
+		sample = pbBytes(sample, 2, pbVarint(nil, uint64(selfNanos[name])))       // values (packed)
+		msg = pbBytes(msg, 2, sample)
+	}
+	for _, s := range strtab {
+		msg = pbBytes(msg, 6, []byte(s))
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(msg)
+	zw.Close()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseProfileFor(t *testing.T) {
+	for _, tc := range []struct {
+		metric, phase, kind string
+		ok                  bool
+	}{
+		{"rows_per_sec/diffusion", "diffusion-train", "cpu", true},
+		{"step_p95_sec/ae", "ae-train", "cpu", true},
+		{"allocs_per_step/e2e", "e2e-train", "heap", true},
+		{"alloc_bytes_per_step/diffusion", "diffusion-train", "heap", true},
+		{"phase_sec/latent-ship", "latent-ship", "cpu", true},
+		{"loss/diffusion-train", "diffusion-train", "cpu", true},
+		{"loss/ae", "ae-train", "cpu", true},
+		{"wire_bytes/latents", "", "", false},
+		{"rows_per_sec/unknown-stage", "", "", false},
+		{"nometricclass", "", "", false},
+	} {
+		phase, kind, ok := PhaseProfileFor(tc.metric)
+		if phase != tc.phase || kind != tc.kind || ok != tc.ok {
+			t.Errorf("PhaseProfileFor(%s) = %q/%q/%v, want %q/%q/%v",
+				tc.metric, phase, kind, ok, tc.phase, tc.kind, tc.ok)
+		}
+	}
+}
+
+func TestAttributeRegressionsNamesCulprit(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	file := filepath.Join(ProfilesSubdir, profile.EntryFileName("diffusion-train", profile.KindCPU))
+	writeCPUProfile(t, filepath.Join(baseDir, file), map[string]int64{
+		"diffusion.(*Model).TrainStep": 400_000_000,
+		"tensor.MatMulInto":            300_000_000,
+	})
+	writeCPUProfile(t, filepath.Join(curDir, file), map[string]int64{
+		"diffusion.(*Model).TrainStep":     410_000_000,
+		"tensor.MatMulInto":                310_000_000,
+		"diffusion.(*Model).debugSpinStep": 900_000_000,
+	})
+
+	base := map[string]float64{"rows_per_sec/diffusion": 40000}
+	cur := map[string]float64{"rows_per_sec/diffusion": 9000}
+	rep := DiffMetrics(base, cur, DefaultDiffThresholds())
+	if rep.Regressions == 0 {
+		t.Fatal("expected a throughput regression")
+	}
+
+	atts := AttributeRegressions(rep, baseDir, curDir, 3)
+	if len(atts) != 1 {
+		t.Fatalf("got %d attributions, want 1: %+v", len(atts), atts)
+	}
+	a := atts[0]
+	if a.Phase != "diffusion-train" || a.Kind != "cpu" || a.Err != "" {
+		t.Fatalf("attribution = %+v", a)
+	}
+	if len(a.Top) == 0 || a.Top[0].Name != "diffusion.(*Model).debugSpinStep" {
+		t.Fatalf("top delta = %+v, want debugSpinStep first", a.Top)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteAttributions(&buf, atts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "debugSpinStep") || !strings.Contains(out, "rows_per_sec/diffusion") {
+		t.Fatalf("rendered attribution missing culprit/metric:\n%s", out)
+	}
+}
+
+func TestAttributeRegressionsMissingProfiles(t *testing.T) {
+	base := map[string]float64{"rows_per_sec/diffusion": 40000}
+	cur := map[string]float64{"rows_per_sec/diffusion": 9000}
+	rep := DiffMetrics(base, cur, DefaultDiffThresholds())
+	atts := AttributeRegressions(rep, t.TempDir(), t.TempDir(), 0)
+	if len(atts) != 1 || atts[0].Err == "" {
+		t.Fatalf("want one attribution with Err set, got %+v", atts)
+	}
+	var buf bytes.Buffer
+	if err := WriteAttributions(&buf, atts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "unavailable") {
+		t.Fatalf("missing-profile rendering:\n%s", buf.String())
+	}
+}
+
+func TestAttributeRegressionsGroupsMetrics(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	file := filepath.Join(ProfilesSubdir, profile.EntryFileName("diffusion-train", profile.KindCPU))
+	writeCPUProfile(t, filepath.Join(baseDir, file), map[string]int64{"f": 1})
+	writeCPUProfile(t, filepath.Join(curDir, file), map[string]int64{"f": 2})
+	rep := &DiffReport{
+		Entries: []DiffEntry{
+			{Metric: "rows_per_sec/diffusion", Regressed: true},
+			{Metric: "step_p95_sec/diffusion", Regressed: true},
+			{Metric: "wire_bytes/latents", Regressed: true}, // no profile mapping
+		},
+		Regressions: 3,
+	}
+	atts := AttributeRegressions(rep, baseDir, curDir, 0)
+	if len(atts) != 1 {
+		t.Fatalf("got %d attributions, want 1 grouped: %+v", len(atts), atts)
+	}
+	if len(atts[0].Metrics) != 2 {
+		t.Fatalf("grouped metrics = %v", atts[0].Metrics)
+	}
+}

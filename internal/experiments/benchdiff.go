@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
@@ -221,7 +222,10 @@ func regressed(key string, base, cur float64, th DiffThresholds) (bool, string) 
 			return true, fmt.Sprintf("wire bytes grew > %.0f%%", th.WireGrowth*100)
 		}
 	case "loss":
-		if cur > base*(1+th.LossGrowth)+1e-9 {
+		// Growth is measured against |base|: autoencoder NLL goes negative,
+		// where base*(1+g) would shrink the allowance below the baseline
+		// itself and flag even bit-identical losses.
+		if cur > base+math.Abs(base)*th.LossGrowth+1e-9 {
 			return true, fmt.Sprintf("loss grew > %.0f%%", th.LossGrowth*100)
 		}
 	case "phase_sec":

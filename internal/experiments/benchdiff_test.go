@@ -95,6 +95,26 @@ func TestDiffMetricsPerClassGates(t *testing.T) {
 		}
 	}
 
+	// Negative losses (autoencoder NLL) measure growth against |base|:
+	// bit-identical values must never flag, and real growth still does.
+	negCases := []struct {
+		base, cur float64
+		flag      bool
+	}{
+		{-3.5, -3.5, false},
+		{-3.5, -3.5 + 3.5*th.LossGrowth/2, false},
+		{-3.5, -3.5 + 3.5*th.LossGrowth*1.1, true},
+	}
+	for _, c := range negCases {
+		base, cur := baseMetrics(), baseMetrics()
+		base["loss/ae-train"] = c.base
+		cur["loss/ae-train"] = c.cur
+		rep := DiffMetrics(base, cur, th)
+		if got := rep.Regressions > 0; got != c.flag {
+			t.Errorf("negative loss %v -> %v: regressed=%v, want %v", c.base, c.cur, got, c.flag)
+		}
+	}
+
 	// Opting into the phase gate flags wall-time growth.
 	th.PhaseGrowth = 0.5
 	cur := baseMetrics()

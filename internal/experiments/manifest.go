@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"silofuse/internal/obs"
+	"silofuse/internal/obs/profile"
 	"silofuse/internal/silo"
 )
 
@@ -64,6 +65,9 @@ type Manifest struct {
 	WireBytesByKind map[string]int64   `json:"wire_bytes_by_kind"`
 	WireBytesByDir  map[string]int64   `json:"wire_bytes_by_dir,omitempty"`
 	Metrics         obs.Snapshot       `json:"metrics"`
+	// Profiles indexes the phase-scoped pprof captures under the run's
+	// profiles/ subdirectory (see internal/obs/profile).
+	Profiles []profile.Entry `json:"profiles,omitempty"`
 }
 
 // NewManifest starts a manifest for the named run.

@@ -14,6 +14,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"silofuse/internal/obs/profile"
 )
 
 // promName sanitises a registry metric name into the Prometheus exposition
@@ -124,6 +126,9 @@ type TelemetryConfig struct {
 	// Flight, when non-nil, enables /debug/flightrecorder: an on-demand dump
 	// of the recent-operations ring.
 	Flight *FlightRecorder
+	// PhaseProfiles, when non-nil, enables /debug/phaseprofiles: the live
+	// index of phase-scoped profiles and the captured .pb.gz files.
+	PhaseProfiles *profile.PhaseProfiler
 }
 
 // NewTelemetryMux builds the live telemetry handler set:
@@ -133,6 +138,7 @@ type TelemetryConfig struct {
 //	/runs               JSON list of runs under RunsDir
 //	/runs/<name>        the run's manifest.json
 //	/runs/<name>/events the run's events.jsonl stream
+//	/debug/phaseprofiles  live index + files of phase-scoped profiles
 //	/debug/pprof/...    net/http/pprof profiles
 func NewTelemetryMux(cfg TelemetryConfig) *http.ServeMux {
 	start := time.Now()
@@ -237,6 +243,10 @@ func NewTelemetryMux(cfg TelemetryConfig) *http.ServeMux {
 			http.NotFound(w, r)
 		}
 	})
+	if cfg.PhaseProfiles != nil {
+		mux.Handle("/debug/phaseprofiles", http.StripPrefix("/debug/phaseprofiles", cfg.PhaseProfiles.Handler()))
+		mux.Handle("/debug/phaseprofiles/", http.StripPrefix("/debug/phaseprofiles", cfg.PhaseProfiles.Handler()))
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

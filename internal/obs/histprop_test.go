@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Property: for any stream of non-negative observations, each quantile
+// estimate must land inside the bucket that contains the true order
+// statistic. The histogram promises ~10% relative error from its bucket
+// geometry; this pins that contract across distributions and stream sizes
+// rather than against hand-picked expectations.
+//
+// The true q-quantile under quantileLocked's rank convention is the
+// ceil(max(1, q*n))-th smallest observation; the estimate interpolates
+// within (and is clamped to exact min/max inside) that value's bucket, so
+// it must lie in [bucketLo(b), bucketLo(b+1)] for b = bucketIndex(true).
+func TestHistogramQuantileBucketBound(t *testing.T) {
+	type gen struct {
+		name string
+		draw func(r *rand.Rand) float64
+	}
+	gens := []gen{
+		{"uniform01", func(r *rand.Rand) float64 { return r.Float64() }},
+		// Log-uniform across 12 decades exercises nearly every bucket.
+		{"loguniform", func(r *rand.Rand) float64 {
+			return math.Pow(10, -6+12*r.Float64())
+		}},
+		// Exponential durations: heavy ties near zero, long tail.
+		{"exponential", func(r *rand.Rand) float64 { return r.ExpFloat64() * 1e-3 }},
+		// Zeros and sub-histMin values land in the underflow bucket.
+		{"withzeros", func(r *rand.Rand) float64 {
+			if r.Intn(4) == 0 {
+				return 0
+			}
+			return r.Float64() * 1e-8
+		}},
+		// Beyond histMax lands in the overflow bucket; estimates clamp to max.
+		{"overflow", func(r *rand.Rand) float64 { return 1e11 + 1e12*r.Float64() }},
+	}
+	quantiles := []float64{0.50, 0.95, 0.99}
+	sizes := []int{1, 2, 7, 100, 1000}
+	for _, g := range gens {
+		for _, n := range sizes {
+			t.Run(fmt.Sprintf("%s/n=%d", g.name, n), func(t *testing.T) {
+				r := rand.New(rand.NewSource(int64(n)*1000 + int64(len(g.name))))
+				h := NewHistogram()
+				vals := make([]float64, n)
+				for i := range vals {
+					vals[i] = g.draw(r)
+					h.Observe(vals[i])
+				}
+				sort.Float64s(vals)
+				for _, q := range quantiles {
+					rank := q * float64(n)
+					if rank < 1 {
+						rank = 1
+					}
+					truth := vals[int(math.Ceil(rank))-1]
+					b := bucketIndex(truth)
+					lo, hi := bucketLo(b), bucketLo(b+1)
+					got := h.Quantile(q)
+					if got < lo || got > hi {
+						t.Errorf("P%.0f = %g outside bucket [%g, %g] of true quantile %g",
+							q*100, got, lo, hi, truth)
+					}
+				}
+			})
+		}
+	}
+}
+
+// A constant stream must report the constant exactly at every quantile:
+// min/max clamping collapses the bucket interpolation to the single
+// observed value.
+func TestHistogramQuantileConstantExact(t *testing.T) {
+	for _, c := range []float64{0, 1e-12, 3.7e-4, 1.0, 2.5e13} {
+		h := NewHistogram()
+		for i := 0; i < 50; i++ {
+			h.Observe(c)
+		}
+		st := h.Stats()
+		for _, got := range []float64{st.P50, st.P95, st.P99} {
+			if got != c { //silofuse:bitwise-ok min/max clamping promises exact constants
+				t.Errorf("constant stream %g: quantile %g, want exact constant", c, got)
+			}
+		}
+		if st.Min != c || st.Max != c { //silofuse:bitwise-ok min/max track observations exactly
+			t.Errorf("constant stream %g: min/max %g/%g", c, st.Min, st.Max)
+		}
+	}
+}
+
+// Quantile estimates are monotone in q: P50 <= P95 <= P99 on any stream.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	for i := 0; i < 500; i++ {
+		h.Observe(r.ExpFloat64())
+	}
+	st := h.Stats()
+	if !(st.P50 <= st.P95 && st.P95 <= st.P99) {
+		t.Errorf("quantiles not monotone: P50=%g P95=%g P99=%g", st.P50, st.P95, st.P99)
+	}
+	if st.P50 < st.Min || st.P99 > st.Max {
+		t.Errorf("quantiles escape [min, max]: [%g, %g] vs P50=%g P99=%g", st.Min, st.Max, st.P50, st.P99)
+	}
+}

@@ -1,0 +1,61 @@
+package profile
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// Handler serves the live profile index and the captured files:
+//
+//	GET <mount>            → JSON {dir, entries, errors}
+//	GET <mount>/<file>     → the raw .pb.gz (pprof-compatible)
+//
+// Mount it with http.StripPrefix so the trailing path is the file name.
+// A nil profiler serves an empty index, matching the nil-off contract.
+func (p *PhaseProfiler) Handler() http.Handler {
+	if p == nil {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte("{\"entries\":[]}\n"))
+		})
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		name := strings.Trim(r.URL.Path, "/")
+		if name == "" {
+			idx := struct {
+				Dir     string   `json:"dir,omitempty"`
+				Entries []Entry  `json:"entries"`
+				Errors  []string `json:"errors,omitempty"`
+			}{Dir: p.Dir(), Entries: p.Entries(), Errors: p.Errs()}
+			if idx.Entries == nil {
+				idx.Entries = []Entry{}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(idx)
+			return
+		}
+		for _, e := range p.Entries() {
+			if e.File != name {
+				continue
+			}
+			path, err := IndexEntryPath(p.Dir(), name)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(data)
+			return
+		}
+		http.Error(w, "no such profile (see index at the mount root)", http.StatusNotFound)
+	})
+}

@@ -1,0 +1,458 @@
+// Package profile implements phase-scoped continuous profiling for the
+// SiloFuse pipeline. A PhaseProfiler captures CPU, heap, and (for the bus)
+// mutex/block profiles bracketed to each pipeline phase — ae-train,
+// latent-ship, diffusion-train, synthesis, e2e-train — and writes them as
+// standard pprof protos to <dir>/<phase>.<kind>.pb.gz, indexed in
+// index.json so run manifests and the /debug/phaseprofiles endpoint can
+// enumerate them.
+//
+// The package mirrors the obs nil-safety contract: a nil *PhaseProfiler is
+// "profiling off" and every exported pointer method is a no-op on it, so
+// capture hooks can sit at phase boundaries unconditionally. It imports
+// only the standard library; the decoder half (pprofparse.go) parses the
+// captured protos back without any pprof dependency.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Profile kinds captured per phase.
+const (
+	KindCPU   = "cpu"
+	KindHeap  = "heap"
+	KindMutex = "mutex"
+	KindBlock = "block"
+)
+
+// WholeRunPhase is the pseudo-phase covering New..Close. It preserves the
+// semantics of silofuse-bench's -cpuprofile/-memprofile flags, which
+// delegate whole-run capture to this package so there is one capture path.
+const WholeRunPhase = "all"
+
+// Config selects what a PhaseProfiler captures and where it lands.
+type Config struct {
+	// Dir receives <phase>.<kind>.pb.gz files and index.json. Empty
+	// disables per-phase capture (only CPUPath/HeapPath whole-run output).
+	Dir string
+	// CPU/Heap/Mutex/Block enable the respective profile kinds.
+	CPU   bool
+	Heap  bool
+	Mutex bool
+	Block bool
+	// Phases, when non-empty, restricts capture to the named phases.
+	Phases []string
+	// WholeRunCPU captures one CPU profile spanning New..Close as the
+	// "all" phase instead of per-phase CPU slices (the Go runtime allows
+	// only one active CPU profile).
+	WholeRunCPU bool
+	// CPUPath, when set with WholeRunCPU, is where the whole-run CPU
+	// profile is written (the -cpuprofile contract). Defaults to
+	// Dir/all.cpu.pb.gz.
+	CPUPath string
+	// HeapPath, when set, receives a final post-GC heap profile at Close
+	// (the -memprofile contract).
+	HeapPath string
+	// MutexFraction and BlockRateNanos tune runtime sampling while the
+	// profiler is live; zero values take sensible defaults (1 and 100µs).
+	MutexFraction  int
+	BlockRateNanos int
+}
+
+// DefaultConfig captures all four kinds for every phase into dir.
+func DefaultConfig(dir string) Config {
+	return Config{Dir: dir, CPU: true, Heap: true, Mutex: true, Block: true}
+}
+
+// Entry indexes one captured profile file. The slice of entries is
+// embedded in run manifests and served at /debug/phaseprofiles.
+type Entry struct {
+	Phase    string  `json:"phase"`
+	Kind     string  `json:"kind"`
+	File     string  `json:"file"` // base name inside the profiles dir
+	Bytes    int64   `json:"bytes"`
+	DurSec   float64 `json:"dur_sec,omitempty"` // phase wall time (cpu entries)
+	Captures int     `json:"captures"`          // times the phase ran; file holds the last
+}
+
+// PhaseProfiler brackets pprof captures to pipeline phases. Safe for
+// concurrent use; overlapping phases are resolved by "first phase wins" —
+// a Start while another phase is active is recorded as skipped rather than
+// corrupting the single process-wide CPU profile.
+type PhaseProfiler struct {
+	mu        sync.Mutex
+	cfg       Config
+	active    string // phase currently holding per-phase capture
+	start     time.Time
+	openedAt  time.Time
+	cpuHolder string // phase (or WholeRunPhase) owning runtime CPU profiling
+	cpuFile   *os.File
+	entries   map[string]*Entry // phase+"/"+kind
+	order     []string
+	errs      []string
+	prevMutex int
+	closed    bool
+}
+
+// New creates the profiler, makes cfg.Dir, raises the runtime mutex/block
+// sampling rates if those kinds are enabled, and — under WholeRunCPU —
+// immediately starts the "all" CPU capture.
+func New(cfg Config) (*PhaseProfiler, error) {
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("profile dir: %w", err)
+		}
+	}
+	p := &PhaseProfiler{cfg: cfg, entries: make(map[string]*Entry), openedAt: time.Now()}
+	if cfg.Mutex {
+		frac := cfg.MutexFraction
+		if frac <= 0 {
+			frac = 1
+		}
+		p.prevMutex = runtime.SetMutexProfileFraction(frac)
+	}
+	if cfg.Block {
+		rate := cfg.BlockRateNanos
+		if rate <= 0 {
+			rate = 100_000 // sample blocking events >= 100µs on average
+		}
+		runtime.SetBlockProfileRate(rate)
+	}
+	if cfg.WholeRunCPU && cfg.CPU {
+		dest := cfg.CPUPath
+		if dest == "" && cfg.Dir != "" {
+			dest = filepath.Join(cfg.Dir, WholeRunPhase+"."+KindCPU+".pb.gz")
+		}
+		if dest != "" {
+			f, err := os.Create(dest)
+			if err != nil {
+				return nil, fmt.Errorf("cpu profile: %w", err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("cpu profile: %w", err)
+			}
+			p.cpuHolder = WholeRunPhase
+			p.cpuFile = f
+		}
+	}
+	return p, nil
+}
+
+// Start begins capture for phase. Under per-phase CPU mode it acquires the
+// process CPU profiler; heap/mutex/block snapshots are taken at Stop. A
+// nil receiver, an unlisted phase, or an already-active phase is a no-op.
+func (p *PhaseProfiler) Start(phase string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || !p.phaseEnabled(phase) {
+		return
+	}
+	if p.active != "" {
+		p.errs = append(p.errs, fmt.Sprintf("phase %q started while %q active; skipped", phase, p.active))
+		return
+	}
+	p.active = phase
+	p.start = time.Now()
+	if p.cfg.CPU && p.cfg.Dir != "" && p.cpuHolder == "" {
+		name := phase + "." + KindCPU + ".pb.gz"
+		f, err := os.Create(filepath.Join(p.cfg.Dir, name))
+		if err != nil {
+			p.errs = append(p.errs, err.Error())
+			return
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			// Another subsystem owns the CPU profiler; keep heap et al.
+			p.errs = append(p.errs, fmt.Sprintf("phase %q: %v", phase, err))
+			f.Close()
+			os.Remove(f.Name())
+			return
+		}
+		p.cpuHolder = phase
+		p.cpuFile = f
+	}
+}
+
+// Stop ends capture for phase: releases the CPU profile if this phase owns
+// it and snapshots the enabled heap/mutex/block profiles. Mismatched or
+// nil calls are no-ops, so Stop can sit on every exit path of a phase.
+func (p *PhaseProfiler) Stop(phase string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.active != phase {
+		return
+	}
+	p.active = ""
+	dur := time.Since(p.start).Seconds()
+	if p.cpuHolder == phase {
+		pprof.StopCPUProfile()
+		p.finishCPUFileLocked(phase, dur)
+	}
+	p.snapshotLocked(phase, dur)
+}
+
+// finishCPUFileLocked closes the active CPU destination and, when it lives
+// inside the profiles dir, indexes it (a -cpuprofile redirect outside the
+// dir is the caller's file, not a run artifact).
+func (p *PhaseProfiler) finishCPUFileLocked(phase string, dur float64) {
+	f := p.cpuFile
+	p.cpuHolder = ""
+	p.cpuFile = nil
+	if f == nil {
+		return
+	}
+	if err := f.Close(); err != nil {
+		p.errs = append(p.errs, err.Error())
+		return
+	}
+	if p.cfg.Dir == "" || filepath.Dir(f.Name()) != filepath.Clean(p.cfg.Dir) {
+		return
+	}
+	var bytes int64
+	if fi, err := os.Stat(f.Name()); err == nil {
+		bytes = fi.Size()
+	}
+	p.indexLocked(phase, KindCPU, filepath.Base(f.Name()), bytes, dur)
+}
+
+// snapshotLocked writes the point-in-time profiles for a finished phase.
+func (p *PhaseProfiler) snapshotLocked(phase string, dur float64) {
+	if p.cfg.Dir == "" {
+		return
+	}
+	kinds := []struct {
+		kind    string
+		lookup  string
+		enabled bool
+	}{
+		{KindHeap, "heap", p.cfg.Heap},
+		{KindMutex, "mutex", p.cfg.Mutex},
+		{KindBlock, "block", p.cfg.Block},
+	}
+	for _, k := range kinds {
+		if !k.enabled {
+			continue
+		}
+		prof := pprof.Lookup(k.lookup)
+		if prof == nil {
+			continue
+		}
+		name := phase + "." + k.kind + ".pb.gz"
+		path := filepath.Join(p.cfg.Dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			p.errs = append(p.errs, err.Error())
+			continue
+		}
+		err = prof.WriteTo(f, 0) // debug=0: gzipped protobuf
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			p.errs = append(p.errs, err.Error())
+			continue
+		}
+		var bytes int64
+		if fi, serr := os.Stat(path); serr == nil {
+			bytes = fi.Size()
+		}
+		p.indexLocked(phase, k.kind, name, bytes, dur)
+	}
+}
+
+// indexLocked records (or refreshes) the entry for phase/kind.
+func (p *PhaseProfiler) indexLocked(phase, kind, file string, bytes int64, dur float64) {
+	key := phase + "/" + kind
+	e, ok := p.entries[key]
+	if !ok {
+		e = &Entry{Phase: phase, Kind: kind}
+		p.entries[key] = e
+		p.order = append(p.order, key)
+	}
+	e.File = file
+	e.Bytes = bytes
+	e.DurSec = dur
+	e.Captures++
+}
+
+// phaseEnabled applies the allowlist; per-phase capture also needs a Dir.
+func (p *PhaseProfiler) phaseEnabled(phase string) bool {
+	if p.cfg.Dir == "" {
+		return false
+	}
+	if len(p.cfg.Phases) == 0 {
+		return true
+	}
+	for _, want := range p.cfg.Phases {
+		if want == phase {
+			return true
+		}
+	}
+	return false
+}
+
+// Close stops any live capture, writes the whole-run heap profile(s) and
+// the index, and restores the runtime sampling rates. Idempotent.
+func (p *PhaseProfiler) Close() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	wallDur := time.Since(p.openedAt).Seconds()
+	if p.active != "" {
+		ph := p.active
+		p.active = ""
+		if p.cpuHolder == ph {
+			pprof.StopCPUProfile()
+			p.finishCPUFileLocked(ph, time.Since(p.start).Seconds())
+		}
+	}
+	if p.cpuHolder == WholeRunPhase {
+		pprof.StopCPUProfile()
+		p.finishCPUFileLocked(WholeRunPhase, wallDur)
+	}
+	p.finalHeapLocked(wallDur)
+	if p.cfg.Mutex {
+		runtime.SetMutexProfileFraction(p.prevMutex)
+	}
+	if p.cfg.Block {
+		runtime.SetBlockProfileRate(0)
+	}
+	return p.writeIndexLocked()
+}
+
+// finalHeapLocked writes the post-GC whole-run heap profile to Dir and/or
+// the -memprofile destination.
+func (p *PhaseProfiler) finalHeapLocked(dur float64) {
+	if !p.cfg.Heap && p.cfg.HeapPath == "" {
+		return
+	}
+	prof := pprof.Lookup("heap")
+	if prof == nil {
+		return
+	}
+	runtime.GC() // settle live-object accounting, matching `go test -memprofile`
+	dests := make([]string, 0, 2)
+	if p.cfg.Heap && p.cfg.Dir != "" {
+		dests = append(dests, filepath.Join(p.cfg.Dir, WholeRunPhase+"."+KindHeap+".pb.gz"))
+	}
+	if p.cfg.HeapPath != "" {
+		dests = append(dests, p.cfg.HeapPath)
+	}
+	for _, path := range dests {
+		f, err := os.Create(path)
+		if err != nil {
+			p.errs = append(p.errs, err.Error())
+			continue
+		}
+		err = prof.WriteTo(f, 0)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			p.errs = append(p.errs, err.Error())
+			continue
+		}
+		if filepath.Dir(path) == filepath.Clean(p.cfg.Dir) {
+			var bytes int64
+			if fi, serr := os.Stat(path); serr == nil {
+				bytes = fi.Size()
+			}
+			p.indexLocked(WholeRunPhase, KindHeap, filepath.Base(path), bytes, dur)
+		}
+	}
+}
+
+// writeIndexLocked persists index.json next to the profiles.
+func (p *PhaseProfiler) writeIndexLocked() error {
+	if p.cfg.Dir == "" {
+		return nil
+	}
+	idx := struct {
+		Entries []Entry  `json:"entries"`
+		Errors  []string `json:"errors,omitempty"`
+	}{Entries: p.entriesLocked(), Errors: p.errs}
+	data, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(p.cfg.Dir, "index.json"), append(data, '\n'), 0o644)
+}
+
+// entriesLocked returns the index sorted by phase then kind.
+func (p *PhaseProfiler) entriesLocked() []Entry {
+	out := make([]Entry, 0, len(p.order))
+	for _, key := range p.order {
+		out = append(out, *p.entries[key])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Phase != out[j].Phase {
+			return out[i].Phase < out[j].Phase
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Entries returns the captured-profile index so far, sorted by phase then
+// kind. Safe on a nil receiver (returns nil).
+func (p *PhaseProfiler) Entries() []Entry {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.entriesLocked()
+}
+
+// Dir returns the profiles directory ("" when per-phase capture is off).
+func (p *PhaseProfiler) Dir() string {
+	if p == nil {
+		return ""
+	}
+	return p.cfg.Dir
+}
+
+// Errs returns capture problems accumulated so far (skipped overlapping
+// phases, I/O failures). Capture is best-effort: errors never abort a run.
+func (p *PhaseProfiler) Errs() []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.errs...)
+}
+
+// IndexEntryPath resolves an indexed file name inside dir, rejecting path
+// escapes. Shared by the HTTP handler and CLI loaders.
+func IndexEntryPath(dir, file string) (string, error) {
+	if file == "" || file != filepath.Base(file) {
+		return "", fmt.Errorf("invalid profile file name %q", file)
+	}
+	return filepath.Join(dir, file), nil
+}
+
+// EntryFileName is the canonical file name for a phase/kind pair.
+func EntryFileName(phase, kind string) string {
+	return phase + "." + kind + ".pb.gz"
+}

@@ -1,0 +1,266 @@
+package profile
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// spinSink defeats dead-code elimination of the spin loops below.
+var spinSink float64
+
+// profileSpinHot is the deliberately hot function the CPU round-trip test
+// expects to find by name in the decoded profile.
+//
+//go:noinline
+func profileSpinHot(iters int) float64 {
+	x := 1.0
+	for i := 0; i < iters; i++ {
+		x += float64(i&15) * 1e-12
+	}
+	return x
+}
+
+// profileAllocHot allocates enough to clear the heap sampler's 512KB
+// default rate many times over.
+//
+//go:noinline
+func profileAllocHot() [][]byte {
+	out := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		out = append(out, make([]byte, 1<<20))
+	}
+	return out
+}
+
+// TestCPURoundTrip pins the acceptance criterion: a phase-scoped capture of
+// real runtime/pprof output decodes with the stdlib-only parser and the hot
+// function appears in the flattened table.
+func TestCPURoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p, err := New(Config{Dir: dir, CPU: true, Heap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start("diffusion-train")
+	for i := 0; i < 60; i++ {
+		spinSink += profileSpinHot(2_000_000)
+	}
+	p.Stop("diffusion-train")
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, EntryFileName("diffusion-train", KindCPU))
+	prof, err := ParsePprofFile(path)
+	if err != nil {
+		t.Fatalf("decoding captured CPU profile: %v", err)
+	}
+	if len(prof.SampleTypes) == 0 {
+		t.Fatal("no sample types decoded")
+	}
+	flat, err := prof.Flatten("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Type != "cpu" || flat.Unit != "nanoseconds" {
+		t.Fatalf("default sample column = %s/%s, want cpu/nanoseconds", flat.Type, flat.Unit)
+	}
+	if flat.Total == 0 {
+		t.Skip("no CPU samples collected (SIGPROF unavailable in this environment)")
+	}
+	st := flat.Lookup("silofuse/internal/obs/profile.profileSpinHot")
+	if st.Self == 0 {
+		for _, top := range flat.Top(10) {
+			t.Logf("top: %-60s self=%d cum=%d", top.Name, top.Self, top.Cum)
+		}
+		t.Fatal("profileSpinHot has zero self weight in decoded profile")
+	}
+	if st.Cum < st.Self {
+		t.Fatalf("cum %d < self %d", st.Cum, st.Self)
+	}
+}
+
+// TestHeapRoundTrip decodes a real heap profile and finds the allocator.
+func TestHeapRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p, err := New(Config{Dir: dir, Heap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start("ae-train")
+	sink := profileAllocHot()
+	p.Stop("ae-train")
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = sink
+
+	prof, err := ParsePprofFile(filepath.Join(dir, EntryFileName("ae-train", KindHeap)))
+	if err != nil {
+		t.Fatalf("decoding captured heap profile: %v", err)
+	}
+	flat, err := prof.Flatten("alloc_space")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Unit != "bytes" {
+		t.Fatalf("alloc_space unit = %q, want bytes", flat.Unit)
+	}
+	st := flat.Lookup("silofuse/internal/obs/profile.profileAllocHot")
+	if st.Cum == 0 {
+		t.Fatal("profileAllocHot not attributed any alloc_space")
+	}
+}
+
+// TestPhaseIndexAndEntries checks the on-disk index and entry bookkeeping.
+func TestPhaseIndexAndEntries(t *testing.T) {
+	dir := t.TempDir()
+	p, err := New(Config{Dir: dir, CPU: true, Heap: true, Mutex: true, Block: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start("ae-train")
+	p.Start("nested") // must be skipped, not corrupt the active capture
+	spinSink += profileSpinHot(1000)
+	p.Stop("nested")
+	p.Stop("ae-train")
+	p.Start("ae-train") // repeated phase: captures counter increments
+	p.Stop("ae-train")
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries := p.Entries()
+	byKey := make(map[string]Entry)
+	for _, e := range entries {
+		byKey[e.Phase+"/"+e.Kind] = e
+	}
+	for _, want := range []string{"ae-train/cpu", "ae-train/heap", "ae-train/mutex", "ae-train/block", "all/heap"} {
+		if _, ok := byKey[want]; !ok {
+			t.Errorf("missing index entry %s (have %v)", want, entries)
+		}
+	}
+	if got := byKey["ae-train/heap"].Captures; got != 2 {
+		t.Errorf("ae-train/heap captures = %d, want 2", got)
+	}
+	if _, ok := byKey["nested/heap"]; ok {
+		t.Error("overlapping phase was captured; want skipped")
+	}
+	if errs := p.Errs(); len(errs) == 0 || !strings.Contains(errs[0], "nested") {
+		t.Errorf("overlap skip not surfaced in Errs: %v", errs)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx struct {
+		Entries []Entry `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &idx); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Entries) != len(entries) {
+		t.Errorf("index.json has %d entries, Entries() %d", len(idx.Entries), len(entries))
+	}
+	for _, e := range idx.Entries {
+		if _, err := os.Stat(filepath.Join(dir, e.File)); err != nil {
+			t.Errorf("indexed file missing: %v", err)
+		}
+	}
+}
+
+// TestWholeRunDelegation pins the -cpuprofile/-memprofile contract: the
+// whole-run CPU capture lands at CPUPath as the "all" phase, per-phase heap
+// snapshots still happen, and HeapPath receives the final heap profile.
+func TestWholeRunDelegation(t *testing.T) {
+	dir := t.TempDir()
+	cpuPath := filepath.Join(dir, "cpu.out")
+	memPath := filepath.Join(dir, "mem.out")
+	p, err := New(Config{
+		Dir: filepath.Join(dir, "profiles"), CPU: true, Heap: true,
+		WholeRunCPU: true, CPUPath: cpuPath, HeapPath: memPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start("diffusion-train")
+	spinSink += profileSpinHot(200_000)
+	p.Stop("diffusion-train")
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpuPath, memPath, filepath.Join(dir, "profiles", "diffusion-train.heap.pb.gz")} {
+		if _, err := ParsePprofFile(path); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+	}
+	for _, e := range p.Entries() {
+		if e.Kind == KindCPU && e.Phase != WholeRunPhase {
+			t.Errorf("per-phase CPU entry %v captured while whole-run CPU held the profiler", e)
+		}
+	}
+}
+
+// TestNilProfiler pins the nil-off contract shared with obs.Recorder.
+func TestNilProfiler(t *testing.T) {
+	var p *PhaseProfiler
+	p.Start("x")
+	p.Stop("x")
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Entries() != nil || p.Dir() != "" || p.Errs() != nil {
+		t.Error("nil profiler leaked state")
+	}
+	rr := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), "entries") {
+		t.Errorf("nil handler: code=%d body=%q", rr.Code, rr.Body.String())
+	}
+}
+
+// TestHandlerServesIndexAndFiles drives the /debug/phaseprofiles surface.
+func TestHandlerServesIndexAndFiles(t *testing.T) {
+	dir := t.TempDir()
+	p, err := New(Config{Dir: dir, Heap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start("synthesis")
+	p.Stop("synthesis")
+
+	rr := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	var idx struct {
+		Entries []Entry `json:"entries"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &idx); err != nil {
+		t.Fatalf("index not JSON: %v (%s)", err, rr.Body.String())
+	}
+	if len(idx.Entries) == 0 {
+		t.Fatal("live index empty after a captured phase")
+	}
+
+	rr = httptest.NewRecorder()
+	p.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/"+idx.Entries[0].File, nil))
+	if rr.Code != 200 {
+		t.Fatalf("file fetch: %d %s", rr.Code, rr.Body.String())
+	}
+	if _, err := ParsePprof(rr.Body.Bytes()); err != nil {
+		t.Fatalf("served profile does not decode: %v", err)
+	}
+
+	rr = httptest.NewRecorder()
+	p.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/../escape", nil))
+	if rr.Code == 200 {
+		t.Error("path escape served")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

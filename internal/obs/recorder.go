@@ -4,6 +4,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"silofuse/internal/obs/profile"
 )
 
 // Recorder bundles a metrics registry and a tracer into the single
@@ -34,6 +36,10 @@ type Recorder struct {
 	// (train steps, span ends, bus traffic) for post-mortem dumps. Attach it
 	// with SetFlight so the span-end hook is installed too.
 	Flight *FlightRecorder
+	// Prof, when non-nil, captures phase-scoped pprof profiles. The
+	// pipeline calls ProfilePhaseStart/ProfilePhaseEnd at its phase
+	// boundaries; both are no-ops when the profiler (or recorder) is nil.
+	Prof *profile.PhaseProfiler
 
 	flow atomic.Uint64
 }
@@ -91,6 +97,35 @@ func (r *Recorder) SetFlight(fr *FlightRecorder) {
 	r.Trace.AddOnSpanEnd(func(sp SpanInfo) {
 		fr.Note("span", sp.Name, "", sp.DurSec)
 	})
+}
+
+// SetProfiler attaches the phase profiler. A nil recorder is a no-op; a
+// nil profiler detaches.
+func (r *Recorder) SetProfiler(p *profile.PhaseProfiler) {
+	if r == nil {
+		return
+	}
+	r.Prof = p
+}
+
+// ProfilePhaseStart begins phase-scoped profile capture. It sits directly
+// at phase boundaries (never inside step loops), so the disabled cost is
+// one nil check here and one inside the profiler.
+func (r *Recorder) ProfilePhaseStart(phase string) {
+	if r == nil {
+		return
+	}
+	r.Prof.Start(phase)
+}
+
+// ProfilePhaseEnd finishes phase-scoped capture and snapshots the
+// point-in-time profiles (heap, mutex, block) for the phase. Safe on every
+// exit path: mismatched or repeated calls are no-ops.
+func (r *Recorder) ProfilePhaseEnd(phase string) {
+	if r == nil {
+		return
+	}
+	r.Prof.Stop(phase)
 }
 
 // FlightNote forwards one operation to the attached flight recorder; a nil

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"silofuse/internal/obs/profile"
 )
 
 // TestWritePrometheusGolden pins the exposition format: # HELP and # TYPE
@@ -82,13 +84,21 @@ func TestTelemetryEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	prof, err := profile.New(profile.Config{Dir: t.TempDir(), Heap: true, Phases: []string{"ae-train"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.Start("ae-train")
+	prof.Stop("ae-train")
+
 	rec := NewRecorder()
 	rec.Message("latents", 4096, time.Millisecond)
 	rec.TrainStep("diffusion", 0.5, 32, time.Millisecond)
 	srv, err := StartTelemetry("127.0.0.1:0", TelemetryConfig{
-		Rec:     rec,
-		RunsDir: runs,
-		Health:  func() map[string]any { return map[string]any{"peers": 3} },
+		Rec:           rec,
+		RunsDir:       runs,
+		PhaseProfiles: prof,
+		Health:        func() map[string]any { return map[string]any{"peers": 3} },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -167,6 +177,14 @@ func TestTelemetryEndpoints(t *testing.T) {
 	}
 	if code, _, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
 		t.Fatalf("/debug/pprof/cmdline status = %d", code)
+	}
+
+	code, body, _ = get("/debug/phaseprofiles")
+	if code != http.StatusOK || !strings.Contains(body, "ae-train.heap.pb.gz") {
+		t.Fatalf("/debug/phaseprofiles = %d %q", code, body)
+	}
+	if code, body, _ = get("/debug/phaseprofiles/ae-train.heap.pb.gz"); code != http.StatusOK {
+		t.Fatalf("/debug/phaseprofiles/ae-train.heap.pb.gz = %d %q", code, body)
 	}
 }
 

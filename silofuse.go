@@ -25,6 +25,7 @@ import (
 	"silofuse/internal/experiments"
 	"silofuse/internal/metrics"
 	"silofuse/internal/obs"
+	"silofuse/internal/obs/profile"
 	"silofuse/internal/privacy"
 	"silofuse/internal/silo"
 	"silofuse/internal/tabular"
@@ -332,6 +333,17 @@ type (
 	DiffThresholds = experiments.DiffThresholds
 	// DiffReport is the result of comparing two metric sets.
 	DiffReport = experiments.DiffReport
+	// PhaseProfiler captures phase-scoped CPU/heap/mutex/block pprof
+	// profiles (results/<run>/profiles, /debug/phaseprofiles).
+	PhaseProfiler = profile.PhaseProfiler
+	// ProfileConfig selects what a PhaseProfiler captures and where.
+	ProfileConfig = profile.Config
+	// ProfileEntry indexes one captured profile file.
+	ProfileEntry = profile.Entry
+	// PprofProfile is a decoded pprof profile (stdlib-only decoder).
+	PprofProfile = profile.Profile
+	// FlatProfile is a profile flattened to per-function self/cum weights.
+	FlatProfile = profile.FlatProfile
 )
 
 // NewRecorder builds an enabled Recorder with a fresh registry and tracer.
@@ -397,6 +409,23 @@ var DiffMetrics = experiments.DiffMetrics
 
 // BenchMetrics flattens a bench snapshot into diffable metric keys.
 var BenchMetrics = experiments.BenchMetrics
+
+// NewPhaseProfiler builds a phase-scoped profiler from its config.
+var NewPhaseProfiler = profile.New
+
+// DefaultProfileConfig captures all profile kinds for every phase into dir.
+var DefaultProfileConfig = profile.DefaultConfig
+
+// ParsePprof decodes a pprof profile from raw or gzipped protobuf bytes
+// with the stdlib-only decoder.
+var ParsePprof = profile.ParsePprof
+
+// ParsePprofFile is ParsePprof over a file path.
+var ParsePprofFile = profile.ParsePprofFile
+
+// DiffProfiles compares two flattened profiles, largest self-weight
+// regression first.
+var DiffProfiles = profile.Diff
 
 // EventMetrics flattens a run's event stream into diffable metric keys.
 var EventMetrics = experiments.EventMetrics
