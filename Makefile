@@ -1,7 +1,7 @@
 GO ?= go
 BENCHFLAGS ?= -benchmem
 
-.PHONY: build vet lint test test-chaos race ci bench bench-smoke bench-baseline bench-kernels obs-smoke profile profile-smoke
+.PHONY: build vet lint test test-chaos race ci bench bench-smoke bench-baseline bench-kernels codec-smoke obs-smoke profile profile-smoke
 
 build:
 	$(GO) build ./...
@@ -43,13 +43,36 @@ race:
 # a broken bench pipeline and a perf/loss regression without paying for a
 # full benchmark run. Regenerate the baseline with `make bench-baseline`.
 bench-smoke:
-	$(GO) run ./cmd/silofuse-bench -exp fig10 -datasets abalone -rows 300 -scale fast -bench-json /tmp/BENCH_silofuse_smoke.json -bench-baseline BENCH_silofuse.json
+	$(GO) run ./cmd/silofuse-bench -exp fig10,fig10x -datasets abalone -rows 300 -scale fast -bench-json /tmp/BENCH_silofuse_smoke.json -bench-baseline BENCH_silofuse.json
 	$(GO) run ./cmd/silofuse-bench -check-bench /tmp/BENCH_silofuse_smoke.json
 
 # bench-baseline refreshes the committed regression baseline with the exact
 # bench-smoke invocation, so the gate always compares identical configs.
 bench-baseline:
-	$(GO) run ./cmd/silofuse-bench -exp fig10 -datasets abalone -rows 300 -scale fast -bench-json BENCH_silofuse.json
+	$(GO) run ./cmd/silofuse-bench -exp fig10,fig10x -datasets abalone -rows 300 -scale fast -bench-json BENCH_silofuse.json
+
+# codec-smoke exercises the precision-tiered wire codecs end to end:
+#   1. the default f64 raw framing must produce bit-identical synthetic data
+#      to the historical gob framing — codec choice is pure transport;
+#   2. an f32-codec + f32-compute run must complete and emit data (tolerance
+#      bounds are pinned by the unit tests; this is the CLI path);
+#   3. the fig10x sweep must write a bench snapshot whose wire section
+#      carries f32 and q8 accounting, with reconstruction errors recorded,
+#      for both the latent path (silofuse) and activations/gradients (e2e).
+CODEC_SMOKE_DIR ?= /tmp/silofuse_codec_smoke
+codec-smoke:
+	rm -rf $(CODEC_SMOKE_DIR) && mkdir -p $(CODEC_SMOKE_DIR)
+	$(GO) build -o $(CODEC_SMOKE_DIR)/silofuse-train ./cmd/silofuse-train
+	$(GO) build -o $(CODEC_SMOKE_DIR)/silofuse-bench ./cmd/silofuse-bench
+	cd $(CODEC_SMOKE_DIR) && ./silofuse-train -dataset abalone -clients 2 -train-rows 300 -iters 60 -rows 50 -wire-codec none -out gob.csv
+	cd $(CODEC_SMOKE_DIR) && ./silofuse-train -dataset abalone -clients 2 -train-rows 300 -iters 60 -rows 50 -wire-codec f64 -out f64.csv
+	cmp $(CODEC_SMOKE_DIR)/gob.csv $(CODEC_SMOKE_DIR)/f64.csv
+	cd $(CODEC_SMOKE_DIR) && ./silofuse-train -dataset abalone -clients 2 -train-rows 300 -iters 60 -rows 50 -wire-codec f32 -compute-precision f32 -out f32.csv
+	test -s $(CODEC_SMOKE_DIR)/f32.csv
+	cd $(CODEC_SMOKE_DIR) && ./silofuse-bench -exp fig10x -datasets abalone -rows 300 -scale fast -bench-json BENCH_codec.json
+	grep -q '"f32/latents"' $(CODEC_SMOKE_DIR)/BENCH_codec.json
+	grep -q '"q8/activation"' $(CODEC_SMOKE_DIR)/BENCH_codec.json
+	grep -q '"max_err"' $(CODEC_SMOKE_DIR)/BENCH_codec.json
 
 # obs-smoke exercises the fleet observability stack end to end:
 #   1. a healthy federated demo run over the TCP hub must write a fleet-wide
@@ -121,7 +144,7 @@ profile:
 	@echo "profiles: /tmp/silofuse_cpu.pprof /tmp/silofuse_mem.pprof"
 
 ci:
-	$(MAKE) lint && $(GO) build ./... && $(GO) test ./... && $(MAKE) race && $(MAKE) test-chaos && $(MAKE) bench-smoke && $(MAKE) obs-smoke && $(MAKE) profile-smoke && $(MAKE) bench-kernels BENCHFLAGS='-benchtime=1x'
+	$(MAKE) lint && $(GO) build ./... && $(GO) test ./... && $(MAKE) race && $(MAKE) test-chaos && $(MAKE) bench-smoke && $(MAKE) codec-smoke && $(MAKE) obs-smoke && $(MAKE) profile-smoke && $(MAKE) bench-kernels BENCHFLAGS='-benchtime=1x'
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table2..table7, quality (tables 3+4 in one pass), fig10, fig11, all")
+	exp := flag.String("exp", "all", "experiment id or comma-separated list: table2..table7, quality (tables 3+4 in one pass), fig10, fig10x (wire codec sweep), fig11, all")
 	scale := flag.String("scale", "fast", "fast or standard")
 	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: experiment's own)")
 	models := flag.String("models", "", "comma-separated model subset (default: experiment's own)")
@@ -48,6 +48,8 @@ func main() {
 	debugSpin := flag.Int("debug-spin", 0, "inject N iterations of deterministic busy-work per diffusion step (wall time only; for profiling attribution tests)")
 	chaosProfile := flag.String("chaos-profile", "", "inject transport faults during distributed training: drop, dup, reorder, delay, corrupt, flaky, blackhole, crash (empty disables)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed of the deterministic fault schedule (with -chaos-profile)")
+	wireCodec := flag.String("wire-codec", "", "wire codec framing dense tensor payloads: none/gob (default), f64 (raw binary), f32 (half the payload bytes), q8 (int8 quantization); fig10x sweeps all codecs regardless")
+	computePrecision := flag.String("compute-precision", "", "kernel precision for sampling and decode (training is always f64): f64 (default) or f32")
 	flag.Parse()
 
 	// One capture path: -cpuprofile/-memprofile delegate to the phase
@@ -132,6 +134,20 @@ func main() {
 		cfg.Opts.ChaosProfile = *chaosProfile
 		cfg.Opts.ChaosSeed = *chaosSeed
 	}
+	switch *wireCodec {
+	case "", "none", "f64", "f32", "q8":
+		cfg.Opts.WireCodec = *wireCodec
+	default:
+		fmt.Fprintf(os.Stderr, "unknown wire codec %q (want none, f64, f32 or q8)\n", *wireCodec)
+		os.Exit(2)
+	}
+	switch *computePrecision {
+	case "", "f64", "f32":
+		cfg.Opts.ComputePrecision = *computePrecision
+	default:
+		fmt.Fprintf(os.Stderr, "unknown compute precision %q (want f64 or f32)\n", *computePrecision)
+		os.Exit(2)
+	}
 	cfg.Opts.DebugSpin = *debugSpin
 	var rec *silofuse.Recorder
 	if *tracePath != "" || *metricsFlag || *runName != "" || *listen != "" || *benchJSON != "" || prof != nil {
@@ -166,9 +182,9 @@ func main() {
 		fmt.Printf("telemetry listening on http://%s (/metrics /healthz /runs /debug/pprof /debug/phaseprofiles)\n", srv.Addr())
 	}
 
-	ids := []string{*exp}
+	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"table2", "quality", "table5", "table6", "table7", "fig10", "fig11"}
+		ids = []string{"table2", "quality", "table5", "table6", "table7", "fig10", "fig10x", "fig11"}
 	}
 	wallStart := time.Now()
 	for _, id := range ids {
@@ -319,6 +335,12 @@ func run(id string, cfg experiments.Config) error {
 			return err
 		}
 		experiments.PrintFigure10(os.Stdout, series)
+	case "fig10x":
+		rows, err := cfg.Figure10X()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFigure10X(os.Stdout, rows)
 	case "fig11":
 		points, err := cfg.Figure11()
 		if err != nil {

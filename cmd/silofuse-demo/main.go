@@ -57,6 +57,8 @@ type config struct {
 	chaosProfile       string
 	chaosSeed          int64
 	chaosRevive        bool
+	wireCodec          string
+	computePrecision   string
 	fleetMetrics       string
 	profilePhases      bool
 }
@@ -75,6 +77,8 @@ func main() {
 	flag.StringVar(&c.chaosProfile, "chaos-profile", "", "inject transport faults on top of the TCP links: drop, dup, reorder, delay, corrupt, flaky, blackhole, crash (empty disables)")
 	flag.Int64Var(&c.chaosSeed, "chaos-seed", 1, "seed of the deterministic fault schedule (with -chaos-profile)")
 	flag.BoolVar(&c.chaosRevive, "chaos-revive", true, "revive crashed peers during phase recovery; =false lets a crash exhaust the retry budget and dump postmortems")
+	flag.StringVar(&c.wireCodec, "wire-codec", "f64", "precision tier framing tensor payloads on the wire: f64 (lossless), f32, q8")
+	flag.StringVar(&c.computePrecision, "compute-precision", "f64", "kernel precision for sampling and decode (training is always f64): f64 or f32")
 	flag.StringVar(&c.fleetMetrics, "fleet-metrics", "", "write the fleet-wide Prometheus exposition (per-party labels) to this file after the run")
 	flag.BoolVar(&c.profilePhases, "profile-phases", false, "capture per-phase CPU/heap/mutex/block pprof profiles into results/<run>/profiles (requires -run)")
 	flag.Parse()
@@ -201,7 +205,9 @@ func run(c config) error {
 
 	// With a chaos profile the routed TCP bus gains the same fault-injection
 	// and reliable-delivery stack the in-process runs use: a seeded ChaosBus
-	// under a ResilientBus (retries, dedup, checksums).
+	// under a ResilientBus (retries, dedup, checksums). The CodecBus tops the
+	// stack either way, framing tensor payloads at the selected precision
+	// tier so every layer below moves the encoded blob.
 	var bus silofuse.Bus = &routedBus{hub: hub, peers: peers}
 	var cb *silofuse.ChaosBus
 	if c.chaosProfile != "" && c.chaosProfile != "none" {
@@ -213,15 +219,31 @@ func run(c config) error {
 		bus = silofuse.NewResilientBus(cb, silofuse.DefaultResilientConfig())
 		fmt.Printf("chaos profile %q active (seed %d, revive=%v)\n", c.chaosProfile, c.chaosSeed, c.chaosRevive)
 	}
+	codecID, err := silofuse.WireCodecByName(c.wireCodec)
+	if err != nil {
+		return err
+	}
+	wire := silofuse.NewCodecBus(bus, codecID)
+	bus = wire
+	fmt.Printf("wire codec %s framing tensor payloads\n", codecID)
 	opts := silofuse.FastOptions()
 	opts.AEIters = c.iters
 	opts.DiffIters = c.iters
+	if c.computePrecision != "f64" && c.computePrecision != "f32" {
+		return fmt.Errorf("unknown compute precision %q (want f64 or f32)", c.computePrecision)
+	}
+	if c.computePrecision == "f32" {
+		fmt.Printf("compute precision f32: sampling and decode on the reduced-precision kernels\n")
+	}
 	cfg := silofuse.PipelineConfig{
 		Clients: c.clients,
-		AE:      silofuse.AutoencoderConfig{Hidden: opts.AEHidden, Embed: opts.AEEmbed, LR: opts.LR},
+		AE: silofuse.AutoencoderConfig{
+			Hidden: opts.AEHidden, Embed: opts.AEEmbed, LR: opts.LR,
+			DecodePrecision: c.computePrecision,
+		},
 		Diff: silofuse.DiffusionConfig{
 			Hidden: opts.DiffHidden, Depth: opts.DiffDepth, TimeDim: opts.DiffTimeDim,
-			T: opts.T, LR: opts.LR, Dropout: 0.01,
+			T: opts.T, LR: opts.LR, Dropout: 0.01, Precision: c.computePrecision,
 		},
 		AEIters:    opts.AEIters,
 		DiffIters:  opts.DiffIters,
@@ -273,6 +295,12 @@ func run(c config) error {
 		fmt.Printf("client c%d holds synthetic partition: %d rows x %d features\n", i, p.Rows(), p.Schema.NumColumns())
 	}
 	fmt.Printf("wire bytes after synthesis: %d\n", totalBytes(hub, peers))
+	wrep := wire.WireReport()
+	for _, kind := range silofuse.WireReportKinds(wrep) {
+		ws := wrep[kind]
+		fmt.Printf("wire codec %s %s: %d msgs, %d -> %d B (max err %.3g)\n",
+			ws.Codec, kind, ws.Messages, ws.RawBytes, ws.Bytes, ws.MaxErr)
+	}
 
 	joined, err := silofuse.JoinVertical(pipe.Schema, pipe.Parts, parts)
 	if err != nil {

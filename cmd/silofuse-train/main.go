@@ -39,6 +39,8 @@ type config struct {
 	chaosSeed          int64
 	profilePhases      bool
 	debugSpin          int
+	wireCodec          string
+	computePrecision   string
 }
 
 func main() {
@@ -63,6 +65,8 @@ func main() {
 	flag.Int64Var(&c.chaosSeed, "chaos-seed", 1, "seed of the deterministic fault schedule (with -chaos-profile)")
 	flag.BoolVar(&c.profilePhases, "profile-phases", false, "capture per-phase CPU/heap/mutex/block pprof profiles into results/<run>/profiles (requires -run)")
 	flag.IntVar(&c.debugSpin, "debug-spin", 0, "inject N iterations of deterministic busy-work per diffusion step (wall time only; for profiling attribution tests)")
+	flag.StringVar(&c.wireCodec, "wire-codec", "f64", "precision tier framing tensor payloads on the wire: none (gob), f64 (lossless raw, default), f32, q8")
+	flag.StringVar(&c.computePrecision, "compute-precision", "f64", "kernel precision for sampling and decode (training is always f64): f64 or f32")
 	flag.Parse()
 
 	if err := run(c); err != nil {
@@ -110,6 +114,14 @@ func run(c config) error {
 		opts.ChaosSeed = c.chaosSeed
 	}
 	opts.DebugSpin = c.debugSpin
+	if _, err := silofuse.WireCodecByName(c.wireCodec); err != nil {
+		return err
+	}
+	opts.WireCodec = c.wireCodec
+	if c.computePrecision != "" && c.computePrecision != "f64" && c.computePrecision != "f32" {
+		return fmt.Errorf("unknown compute precision %q (want f64 or f32)", c.computePrecision)
+	}
+	opts.ComputePrecision = c.computePrecision
 	var rec *silofuse.Recorder
 	if c.tracePath != "" || c.metrics || c.runName != "" || c.listen != "" {
 		rec = silofuse.NewRecorder()

@@ -9,12 +9,13 @@
 // those stories — wall-clock reads in deterministic packages, globally seeded
 // randomness, allocating constructs inside //silofuse:noalloc kernels,
 // unsorted map iteration feeding ordered output, unguarded nil receivers in
-// the telemetry layer, and exact float comparisons outside blessed
-// bitwise-parity tests — at analysis time, before any experiment runs.
+// the telemetry layer, exact float comparisons outside blessed
+// bitwise-parity tests, and float64<->float32 conversions outside the
+// audited precision boundary — at analysis time, before any experiment runs.
 //
 // Source files opt out of individual checks with annotation comments
-// (//silofuse:noalloc, //silofuse:walltime-ok, //silofuse:bitwise-ok); see
-// the Annotations type for placement rules.
+// (//silofuse:noalloc, //silofuse:walltime-ok, //silofuse:bitwise-ok,
+// //silofuse:precision-ok); see the Annotations type for placement rules.
 package analysis
 
 import (
@@ -112,6 +113,7 @@ func All() []*Analyzer {
 		MapRange,
 		NilRecorder,
 		FloatEq,
+		PrecisionCast,
 	}
 }
 

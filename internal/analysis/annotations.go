@@ -29,6 +29,10 @@ const (
 	// AnnotBitwiseOK exempts an exact float comparison — the warm-vs-cold
 	// bitwise-parity tests and deliberate sentinel comparisons.
 	AnnotBitwiseOK = "bitwise-ok"
+	// AnnotPrecisionOK exempts a float64<->float32 conversion outside the
+	// blessed precision boundary (the silo/codec package and the tensor
+	// conversion kernels). It requires a justification string.
+	AnnotPrecisionOK = "precision-ok"
 )
 
 const annotPrefix = "silofuse:"

@@ -22,7 +22,12 @@ import (
 //     train-step loop below;
 //   - diffusion: TestTrainStepSteadyStateAllocs and TestSamplePerStepAllocs
 //     (perf_test.go) pin TrainStep/SampleWithRng, the backbone
-//     Forward/Backward they drive, and the QSample/timestep kernels.
+//     Forward/Backward they drive, and the QSample/timestep kernels;
+//   - f32 kernels: TestSteadyState32KernelAllocs (matmul32_test.go) pins the
+//     tensor f32 matmul/elementwise/conversion family, and
+//     TestForward32SteadyStateAllocs (forward32_test.go) pins
+//     DiffusionMLP32.Forward with the Linear32/GELU32/Sequential32 forwards
+//     it drives.
 //
 // Adding an annotation without extending this list (or vice versa) fails the
 // test, so the annotation set cannot drift from the perf suite it documents.
@@ -33,11 +38,20 @@ var noallocPinned = []string{
 	"diffusion.Model.TrainStep",
 	"nn.DiffusionMLP.Backward",
 	"nn.DiffusionMLP.Forward",
+	"nn.DiffusionMLP32.Forward",
+	"nn.GELU32.Forward",
 	"nn.Linear.Backward",
 	"nn.Linear.Forward",
+	"nn.Linear32.Forward",
+	"nn.Sequential32.Forward",
 	"nn.MSELossInto",
+	"tensor.Add32Into",
 	"tensor.AddInto",
+	"tensor.ConvertInto32",
+	"tensor.ConvertInto64",
 	"tensor.CopyInto",
+	"tensor.MatMul32Into",
+	"tensor.MatMulAddRow32Into",
 	"tensor.Matrix.ColSumsInto",
 	"tensor.Matrix.GatherRowsInto",
 	"tensor.MatMulAddRowInto",

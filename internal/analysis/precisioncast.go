@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PrecisionCast confines float64<->float32 conversions to the precision
+// boundary. The f32 compute tier and the precision-tiered wire codecs are
+// only trustworthy if every narrowing (and the widening back) happens at an
+// audited site: the silo/codec package (whose whole job is lossy framing,
+// with the error accounted per message), the tensor conversion kernels, or
+// a site annotated //silofuse:precision-ok with a one-line justification.
+// A cast anywhere else is how double-rounding and silently lossy shortcuts
+// creep into code that the bit-reproducibility story assumes is pure f64 —
+// or pure f32 past the conversion point.
+//
+// Constant conversions (float32(1e-6), float32(math.Pi)) are exempt: the
+// rounding happens once, at compile time, and is visible at the call site.
+var PrecisionCast = &Analyzer{
+	Name: "precisioncast",
+	Doc:  "confine float64<->float32 conversions to the codec package or annotated sites",
+	Run:  runPrecisionCast,
+}
+
+func runPrecisionCast(p *Pass) {
+	// The codec package is the boundary: every conversion in it is the
+	// product being shipped, with reconstruction error measured and
+	// reported on the wire metrics.
+	if p.Pkg.Name() == "codec" {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := p.Info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			arg := call.Args[0]
+			if av, ok := p.Info.Types[arg]; ok && av.Value != nil {
+				return true // constant: rounded once at compile time
+			}
+			dst := floatKind(tv.Type)
+			src := floatKind(p.Info.TypeOf(arg))
+			var dir string
+			switch {
+			case dst == types.Float32 && src == types.Float64:
+				dir = "float64->float32"
+			case dst == types.Float64 && src == types.Float32:
+				dir = "float32->float64"
+			default:
+				return true
+			}
+			if why, ok := p.Annot.Lookup(AnnotPrecisionOK, call.Pos()); ok {
+				if why == "" {
+					p.Report(call.Pos(), "silofuse:precision-ok annotation needs a one-line justification")
+				}
+				return true
+			}
+			p.Report(call.Pos(), "%s conversion outside the precision boundary; move it into internal/silo/codec or the tensor conversion kernels, or annotate //silofuse:precision-ok <why>", dir)
+			return true
+		})
+	}
+}
+
+// floatKind returns the underlying basic kind of t when it is a float type,
+// and types.Invalid otherwise.
+func floatKind(t types.Type) types.BasicKind {
+	if t == nil {
+		return types.Invalid
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return types.Invalid
+	}
+	return b.Kind()
+}

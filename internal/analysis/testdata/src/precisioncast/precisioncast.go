@@ -1,0 +1,44 @@
+// Package precisioncast exercises the precisioncast analyzer: runtime
+// float64<->float32 conversions outside the codec package must carry a
+// //silofuse:precision-ok annotation with a justification. Constant and
+// integer conversions are out of scope.
+package precisioncast
+
+func narrow(x float64) float32 {
+	return float32(x) // want "float64->float32 conversion outside the precision boundary"
+}
+
+func widen(y float32) float64 {
+	return float64(y) // want "float32->float64 conversion outside the precision boundary"
+}
+
+func annotated(x float64) float32 {
+	return float32(x) //silofuse:precision-ok quantised wire value, error accounted upstream
+}
+
+func missingWhy(x float64) float32 {
+	//silofuse:precision-ok
+	return float32(x) // want "silofuse:precision-ok annotation needs a one-line justification"
+}
+
+// convertKernel is a dedicated conversion kernel: the function-level
+// annotation covers every cast in the body.
+//
+//silofuse:precision-ok dedicated conversion kernel, the boundary itself
+func convertKernel(dst []float32, src []float64) {
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+func constsAndIntsAreFine(n int) float32 {
+	_ = float64(n)
+	const pi = 3.14159
+	return float32(pi) + float32(n)
+}
+
+type celsius float64
+
+func namedTypesCount(c celsius) float32 {
+	return float32(c) // want "float64->float32 conversion outside the precision boundary"
+}

@@ -1,0 +1,17 @@
+// Package codec pins the precisioncast analyzer's package exemption: a
+// package named codec is the precision boundary itself, so its conversions
+// never need annotations. No want comments — any diagnostic here is a
+// fixture failure.
+package codec
+
+func encode(src []float64, dst []float32) {
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+func decode(src []float32, dst []float64) {
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+}

@@ -27,6 +27,12 @@ type Config struct {
 	Latent  int     // latent feature count (paper: = #raw features)
 	LR      float64 // Adam learning rate
 	Dropout float64
+	// DecodePrecision selects the decoder forward tier for Decode: "" or
+	// "f64" is the historical float64 path (bit-identical, the default);
+	// "f32" runs the decoder MLP in float32 on the reduced-precision
+	// kernels, widening once before the distributional heads (whose
+	// sampling/argmax logic stays float64). Training always runs float64.
+	DecodePrecision string
 }
 
 // DefaultConfig returns CPU-scaled defaults; latent must be set per client.
@@ -227,7 +233,10 @@ func (a *Autoencoder) Decode(z *tensor.Matrix, sample bool, rng *rand.Rand) (*ta
 	if z.Cols != a.Cfg.Latent {
 		return nil, fmt.Errorf("autoencoder: latent width %d, expected %d", z.Cols, a.Cfg.Latent)
 	}
-	out := a.decoder.Forward(z, false)
+	out, err := a.decodeForward(z)
+	if err != nil {
+		return nil, err
+	}
 	data := tensor.New(z.Rows, a.Schema.NumColumns())
 	for _, sp := range a.spans {
 		switch sp.kind {
@@ -256,6 +265,22 @@ func (a *Autoencoder) Decode(z *tensor.Matrix, sample bool, rng *rand.Rand) (*ta
 		}
 	}
 	return tabular.NewTable(a.Schema, data)
+}
+
+// decodeForward runs the decoder MLP in the configured precision tier. The
+// f32 path snapshots the trained weights to float32 on every call — the
+// narrowing is O(params), noise against the O(rows·params) forward — which
+// keeps the snapshot trivially in sync with training, and widens the head
+// outputs once so the distributional head logic stays float64.
+func (a *Autoencoder) decodeForward(z *tensor.Matrix) (*tensor.Matrix, error) {
+	if a.Cfg.DecodePrecision != "f32" {
+		return a.decoder.Forward(z, false), nil
+	}
+	dec32, err := nn.NewSequential32(a.decoder)
+	if err != nil {
+		return nil, fmt.Errorf("autoencoder: f32 decode: %w", err)
+	}
+	return tensor.To64(dec32.Forward(tensor.To32(z))), nil
 }
 
 func argmax(xs []float64) int {

@@ -15,6 +15,7 @@ type E2E struct {
 	name string
 
 	bus  silo.Bus
+	wire *silo.CodecBus
 	pipe *silo.E2EPipeline
 }
 
@@ -41,11 +42,12 @@ func (e *E2E) Name() string { return e.name }
 // decoders. The iteration budget is AEIters+DiffIters to match the stacked
 // models' total optimisation work.
 func (e *E2E) Fit(train *tabular.Table) error {
-	bus, cb, err := chaosBus(e.Opts)
+	bus, cb, wire, err := chaosBus(e.Opts)
 	if err != nil {
 		return fmt.Errorf("%s: %w", e.name, err)
 	}
 	e.bus = bus
+	e.wire = wire
 	sf := SiloFuse{Opts: e.Opts}
 	cfg := sf.pipelineConfig()
 	pipe, err := silo.NewE2EPipeline(e.bus, train, cfg)
@@ -85,4 +87,13 @@ func (e *E2E) CommStats() silo.Stats {
 		return silo.Stats{}
 	}
 	return e.bus.Stats()
+}
+
+// WireReport returns the per-kind bytes-vs-error accounting of the wire
+// codec layer (nil before Fit).
+func (e *E2E) WireReport() map[string]silo.WireKindStats {
+	if e.wire == nil {
+		return nil
+	}
+	return e.wire.WireReport()
 }

@@ -7,6 +7,7 @@ import (
 	"silofuse/internal/autoencoder"
 	"silofuse/internal/diffusion"
 	"silofuse/internal/silo"
+	"silofuse/internal/silo/codec"
 	"silofuse/internal/tabular"
 )
 
@@ -19,25 +20,49 @@ type SiloFuse struct {
 	name string
 
 	bus  silo.Bus
+	wire *silo.CodecBus
 	pipe *silo.Pipeline
 }
 
-// chaosBus builds the training transport for opts: a plain LocalBus, or —
-// when a chaos profile is configured — a LocalBus wrapped in a seeded
-// ChaosBus (fault injection) and a ResilientBus (retries, dedup,
-// checksums). The returned ChaosBus is non-nil only in the latter case; it
-// is needed for crash recovery (Revive).
-func chaosBus(opts Options) (silo.Bus, *silo.ChaosBus, error) {
-	base := silo.NewLocalBus()
-	if opts.ChaosProfile == "" || opts.ChaosProfile == "none" {
-		return base, nil, nil
+// chaosBus builds the training transport for opts: a LocalBus, optionally
+// wrapped — when a chaos profile is configured — in a seeded ChaosBus
+// (fault injection) and a ResilientBus (retries, dedup, checksums), and
+// always topped by a CodecBus framing dense tensor payloads through the
+// configured wire codec (f64 by default, which is bit-lossless and keeps
+// byte accounting identical to the native payload model). The returned
+// ChaosBus is non-nil only under a chaos profile; it is needed for crash
+// recovery (Revive). The CodecBus is returned for its per-kind
+// bytes-vs-error report.
+// validComputePrecision rejects anything but the two supported compute
+// tiers, so a typo fails loudly at Fit instead of silently running f64.
+func validComputePrecision(p string) error {
+	switch p {
+	case "", "f64", "f32":
+		return nil
 	}
-	prof, err := silo.ChaosProfileByName(opts.ChaosProfile)
+	return fmt.Errorf("unknown compute precision %q (want f64 or f32)", p)
+}
+
+func chaosBus(opts Options) (silo.Bus, *silo.ChaosBus, *silo.CodecBus, error) {
+	id, err := codec.ByName(opts.WireCodec)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	cb := silo.NewChaosBus(base, opts.ChaosSeed, prof)
-	return silo.NewResilientBus(cb, silo.DefaultResilientConfig()), cb, nil
+	if err := validComputePrecision(opts.ComputePrecision); err != nil {
+		return nil, nil, nil, err
+	}
+	var bus silo.Bus = silo.NewLocalBus()
+	var cb *silo.ChaosBus
+	if opts.ChaosProfile != "" && opts.ChaosProfile != "none" {
+		prof, err := silo.ChaosProfileByName(opts.ChaosProfile)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cb = silo.NewChaosBus(bus, opts.ChaosSeed, prof)
+		bus = silo.NewResilientBus(cb, silo.DefaultResilientConfig())
+	}
+	wire := silo.NewCodecBus(bus, id)
+	return wire, cb, wire, nil
 }
 
 // NewSiloFuse builds the distributed model over Opts.Clients silos.
@@ -67,12 +92,15 @@ func (s *SiloFuse) pipelineConfig() silo.PipelineConfig {
 	return silo.PipelineConfig{
 		Clients:     s.Opts.Clients,
 		Permutation: s.Opts.Permutation,
-		AE:          autoencoder.Config{Hidden: s.Opts.AEHidden, Embed: s.Opts.AEEmbed, LR: s.Opts.LR},
+		AE: autoencoder.Config{
+			Hidden: s.Opts.AEHidden, Embed: s.Opts.AEEmbed, LR: s.Opts.LR,
+			DecodePrecision: s.Opts.ComputePrecision,
+		},
 		Diff: diffusion.ModelConfig{
 			Hidden: s.Opts.DiffHidden, Depth: s.Opts.DiffDepth,
 			TimeDim: s.Opts.DiffTimeDim, T: s.Opts.T, LR: s.Opts.LR, Dropout: 0.01,
 			EMADecay: s.Opts.EMADecay, CosineSch: s.Opts.CosineSchedule,
-			DebugSpin: s.Opts.DebugSpin,
+			DebugSpin: s.Opts.DebugSpin, Precision: s.Opts.ComputePrecision,
 		},
 		DisableLatentWhitening: s.Opts.DisableLatentWhitening,
 		LatentNoiseStd:         s.Opts.LatentNoiseStd,
@@ -89,11 +117,12 @@ func (s *SiloFuse) pipelineConfig() silo.PipelineConfig {
 // With a chaos profile configured the bus injects faults and training runs
 // with phase-level recovery (reviving crashed peers between attempts).
 func (s *SiloFuse) Fit(train *tabular.Table) error {
-	bus, cb, err := chaosBus(s.Opts)
+	bus, cb, wire, err := chaosBus(s.Opts)
 	if err != nil {
 		return fmt.Errorf("%s: %w", s.name, err)
 	}
 	s.bus = bus
+	s.wire = wire
 	pipe, err := silo.NewPipeline(s.bus, train, s.pipelineConfig())
 	if err != nil {
 		return fmt.Errorf("%s: %w", s.name, err)
@@ -141,6 +170,15 @@ func (s *SiloFuse) CommStats() silo.Stats {
 	return s.bus.Stats()
 }
 
+// WireReport returns the per-kind bytes-vs-error accounting of the wire
+// codec layer (nil before Fit).
+func (s *SiloFuse) WireReport() map[string]silo.WireKindStats {
+	if s.wire == nil {
+		return nil
+	}
+	return s.wire.WireReport()
+}
+
 // SetSynthSteps changes the number of inference denoising steps after
 // fitting (used by the Table VII privacy-sensitivity sweep).
 func (s *SiloFuse) SetSynthSteps(steps int) {
@@ -163,7 +201,14 @@ func (s *SiloFuse) Save(w io.Writer) error {
 // table (which supplies the schema and the featuriser statistics the
 // architectures were built with) and the same Options.
 func (s *SiloFuse) Load(train *tabular.Table, r io.Reader) error {
-	s.bus = silo.NewLocalBus() // restored models synthesize fault-free
+	id, err := codec.ByName(s.Opts.WireCodec)
+	if err != nil {
+		return fmt.Errorf("%s: %w", s.name, err)
+	}
+	// Restored models synthesize fault-free; the codec layer still frames
+	// synthesis traffic so byte accounting matches a trained instance.
+	s.wire = silo.NewCodecBus(silo.NewLocalBus(), id)
+	s.bus = s.wire
 	pipe, err := silo.NewPipeline(s.bus, train, s.pipelineConfig())
 	if err != nil {
 		return fmt.Errorf("%s: %w", s.name, err)

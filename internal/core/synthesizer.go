@@ -87,6 +87,20 @@ type Options struct {
 	// ChaosSeed seeds the deterministic fault schedule.
 	ChaosSeed int64
 
+	// WireCodec selects the precision tier framing dense tensor payloads on
+	// the bus (see internal/silo/codec): "" or "f64" (lossless, default —
+	// bit-identical accounting and results), "f32" (half the payload bytes,
+	// round-to-nearest), "q8" (per-column int8 quantization, roughly a
+	// quarter of the payload bytes). The per-kind bytes-vs-error accounting
+	// lands in the wire_* metrics and WireReport.
+	WireCodec string
+	// ComputePrecision selects the kernel precision on compute paths where
+	// bit-exactness is not contracted (the sampling/denoise ping-pong and
+	// the decode-side autoencoder forward): "" or "f64" (default,
+	// bit-identical) or "f32" (float32 kernels, ~2x memory bandwidth).
+	// Training always runs in float64.
+	ComputePrecision string
+
 	// DebugSpin, when > 0, injects that many iterations of deterministic
 	// busy-work after every diffusion training step (see
 	// diffusion.ModelConfig.DebugSpin). Wall time only; results are

@@ -36,6 +36,12 @@ type ModelConfig struct {
 	// attribution path (silofuse-obs diff, make profile-smoke) can inject
 	// a slowdown with a known culprit function.
 	DebugSpin int
+	// Precision selects the sampling compute tier: "" or "f64" runs the
+	// historical float64 path (bit-identical, the default); "f32" runs the
+	// DDIM sampling loop — backbone forward, ping-pong buffers and
+	// per-element update — in float32 on the reduced-precision kernels.
+	// Training is always float64 regardless of this setting.
+	Precision string
 }
 
 // DefaultModelConfig returns the paper's backbone configuration scaled to
@@ -56,6 +62,10 @@ type Model struct {
 	// Train (stage "diffusion"). nil means telemetry off at zero cost.
 	Rec *obs.Recorder
 	rng *rand.Rand
+
+	// precision is ModelConfig.Precision; "f32" routes Sample through the
+	// float32 kernel path.
+	precision string
 
 	// debugSpin/spinSink implement ModelConfig.DebugSpin; the sink lives on
 	// the model (not a package global) so concurrent models stay race-free.
@@ -87,6 +97,7 @@ func NewModel(rng *rand.Rand, cfg ModelConfig) *Model {
 		PredictX0: cfg.PredictX0,
 		rng:       rng,
 		debugSpin: cfg.DebugSpin,
+		precision: cfg.Precision,
 	}
 	if cfg.EMADecay > 0 {
 		m.EMA = nn.NewEMA(net.Params(), cfg.EMADecay)
@@ -219,7 +230,59 @@ func (m *Model) SampleWithRng(rng *rand.Rand, n, steps int) *tensor.Matrix {
 		m.EMA.Apply()
 		defer m.EMA.Restore()
 	}
+	if m.precision == "f32" {
+		return tensor.To64(m.sample32(rng, n, steps))
+	}
 	return m.G.Sample(rng, m, n, m.Net.In, steps, 0)
+}
+
+// sample32 runs the reduced-precision sampling loop. The backbone weights
+// are snapshotted to float32 here — after EMA.Apply, so averaged weights
+// are what the snapshot narrows — and the result stays float32 until the
+// caller converts it once at the boundary.
+func (m *Model) sample32(rng *rand.Rand, n, steps int) *tensor.Matrix32 {
+	net32, err := m.Net.Snapshot32()
+	if err != nil {
+		// The backbone trunk is Linear/GELU/Dropout by construction; any
+		// other layer reaching here is a programming error, not a runtime
+		// condition.
+		panic(err)
+	}
+	p := &predictor32{g: m.G, net: net32, predictX0: m.PredictX0}
+	return m.G.Sample32(rng, p, n, m.Net.In, steps, 0)
+}
+
+// predictor32 adapts the float32 backbone snapshot to NoisePredictor32,
+// including the x0→ε conversion under x0-parameterisation (the float32
+// rendering of Model.Predict).
+type predictor32 struct {
+	g         *Gaussian
+	net       *nn.DiffusionMLP32
+	predictX0 bool
+	eps       *tensor.Matrix32
+}
+
+func (p *predictor32) Predict32(x *tensor.Matrix32, ts []int) *tensor.Matrix32 {
+	out := p.net.Forward(x, ts)
+	if !p.predictX0 {
+		return out
+	}
+	p.eps = tensor.Ensure32(p.eps, out.Rows, out.Cols)
+	eps := p.eps
+	for i := 0; i < out.Rows; i++ {
+		ab := p.g.S.AlphaBar[ts[i]]
+		sa := float32(math.Sqrt(ab)) //silofuse:precision-ok schedule constants computed in float64, narrowed once per row
+		sbf := math.Sqrt(1 - ab)
+		if sbf < 1e-6 {
+			sbf = 1e-6
+		}
+		sb := float32(sbf) //silofuse:precision-ok schedule constants computed in float64, narrowed once per row
+		xr, or, er := x.Row(i), out.Row(i), eps.Row(i)
+		for j := range er {
+			er[j] = (xr[j] - sa*or[j]) / sb
+		}
+	}
+	return eps
 }
 
 // Save writes the backbone weights to w.

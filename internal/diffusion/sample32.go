@@ -1,0 +1,70 @@
+package diffusion
+
+import (
+	"math"
+	"math/rand"
+
+	"silofuse/internal/tensor"
+)
+
+// Reduced-precision DDIM sampling: the ping-pong buffers, the noise
+// predictions and the per-element update all run in float32, halving the
+// sampling loop's memory traffic and FLOP width. The schedule-derived
+// step coefficients are still computed in float64 — they involve
+// catastrophic cancellation near ᾱ→1 — and narrowed once per step, so the
+// per-element arithmetic is float32 against well-conditioned constants.
+// Training is never routed through this file: bit-exactness of the
+// training path is contracted, sampling precision is not.
+
+// NoisePredictor32 is the float32 twin of NoisePredictor.
+type NoisePredictor32 interface {
+	Predict32(x *tensor.Matrix32, ts []int) *tensor.Matrix32
+}
+
+// ddimStep32 applies one DDIM update from timestep t to tPrev in float32,
+// mirroring ddimStep's arithmetic with step constants narrowed once.
+func (g *Gaussian) ddimStep32(rng *rand.Rand, x, epsPred, next *tensor.Matrix32, t, tPrev int, eta float64) {
+	ab := g.S.AlphaBar[t]
+	abPrev := g.S.AlphaBar[tPrev]
+	sigma := eta * math.Sqrt((1-abPrev)/(1-ab)) * math.Sqrt(1-ab/abPrev)
+	c1 := float32(math.Sqrt(abPrev))                            //silofuse:precision-ok step constants computed in float64, narrowed once per step
+	c2 := float32(math.Sqrt(math.Max(1-abPrev-sigma*sigma, 0))) //silofuse:precision-ok step constants computed in float64, narrowed once per step
+	sqab := float32(math.Sqrt(ab))                              //silofuse:precision-ok step constants computed in float64, narrowed once per step
+	sq1ab := float32(math.Sqrt(1 - ab))                         //silofuse:precision-ok step constants computed in float64, narrowed once per step
+	for i := 0; i < x.Rows; i++ {
+		xr := x.Row(i)
+		er := epsPred.Row(i)
+		nr := next.Row(i)
+		for j := range nr {
+			x0 := (xr[j] - sq1ab*er[j]) / sqab
+			nr[j] = c1*x0 + c2*er[j]
+			if sigma > 0 {
+				nr[j] += float32(sigma * rng.NormFloat64()) //silofuse:precision-ok stochastic term drawn in float64 to keep the rng stream aligned with the f64 path
+			}
+		}
+	}
+}
+
+// Sample32 is the float32 twin of Sample: DDIM-style strided sampling from
+// pure noise with two reusable ping-pong buffers. The initial noise draws
+// consume the rng stream exactly as the float64 path would, so switching
+// precision never desynchronises downstream random decisions.
+func (g *Gaussian) Sample32(rng *rand.Rand, net NoisePredictor32, n, dim, steps int, eta float64) *tensor.Matrix32 {
+	x := tensor.New32(n, dim).Randn32(rng, 1)
+	buf := tensor.New32(n, dim)
+	seq := g.S.StridedTimesteps(steps)
+	ts := make([]int, n)
+	for si, t := range seq {
+		tPrev := 0
+		if si+1 < len(seq) {
+			tPrev = seq[si+1]
+		}
+		for i := range ts {
+			ts[i] = t
+		}
+		epsPred := net.Predict32(x, ts)
+		g.ddimStep32(rng, x, epsPred, buf, t, tPrev, eta)
+		x, buf = buf, x
+	}
+	return x
+}

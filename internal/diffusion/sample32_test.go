@@ -1,0 +1,117 @@
+package diffusion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"silofuse/internal/tensor"
+)
+
+// The f32 sampling path promises: same structure, same rng stream, rounding
+// -scale divergence from the f64 path. Two models with identical weights
+// and seeds — one per precision — must therefore produce samples that agree
+// within an accumulated-rounding tolerance, for both parameterisations.
+
+func trainedPair(t *testing.T, predictX0 bool) (*Model, *Model) {
+	t.Helper()
+	cfg := ModelConfig{
+		Dim: 4, Hidden: 32, Depth: 2, TimeDim: 8, T: 50,
+		LR: 1e-3, EMADecay: 0.99, PredictX0: predictX0,
+	}
+	cfg32 := cfg
+	cfg32.Precision = "f32"
+	m64 := NewModel(rand.New(rand.NewSource(40)), cfg)
+	m32 := NewModel(rand.New(rand.NewSource(40)), cfg32)
+
+	// Identical training in float64 for both (Precision only affects
+	// sampling), so the weights stay bit-identical.
+	data := tensor.New(256, 4).Randn(rand.New(rand.NewSource(41)), 1)
+	l64 := m64.Train(data, 60, 64)
+	l32 := m32.Train(data, 60, 64)
+	if math.Float64bits(l64) != math.Float64bits(l32) { //silofuse:bitwise-ok training is contracted bit-identical across precision settings
+		t.Fatalf("training diverged across precision settings: %v vs %v", l64, l32)
+	}
+	return m64, m32
+}
+
+func sampleDiff(t *testing.T, m64, m32 *Model, n, steps int) (maxDiff, scale float64) {
+	t.Helper()
+	s64 := m64.SampleWithRng(rand.New(rand.NewSource(42)), n, steps)
+	s32 := m32.SampleWithRng(rand.New(rand.NewSource(42)), n, steps)
+	if s64.Rows != s32.Rows || s64.Cols != s32.Cols {
+		t.Fatalf("shape mismatch: %dx%d vs %dx%d", s64.Rows, s64.Cols, s32.Rows, s32.Cols)
+	}
+	for i, v := range s64.Data {
+		if d := math.Abs(s32.Data[i] - v); d > maxDiff {
+			maxDiff = d
+		}
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	return maxDiff, scale
+}
+
+func TestSample32MatchesF64WithinTolerance(t *testing.T) {
+	m64, m32 := trainedPair(t, false)
+	maxDiff, scale := sampleDiff(t, m64, m32, 64, 10)
+	if maxDiff == 0 { //silofuse:bitwise-ok a zero max diff proves the f32 path was skipped, not a tolerance check
+		t.Fatal("f32 sampling is bit-identical to f64 — the f32 path is not being exercised")
+	}
+	// ~10 DDIM steps of float32 forward passes and updates: divergence
+	// stays orders of magnitude below the data scale.
+	if maxDiff > 1e-2*(1+scale) {
+		t.Fatalf("f32 sample diverged: max diff %g at scale %g", maxDiff, scale)
+	}
+}
+
+func TestSample32MatchesF64PredictX0(t *testing.T) {
+	m64, m32 := trainedPair(t, true)
+	maxDiff, scale := sampleDiff(t, m64, m32, 64, 10)
+	if maxDiff > 1e-2*(1+scale) {
+		t.Fatalf("f32 x0-parameterised sample diverged: max diff %g at scale %g", maxDiff, scale)
+	}
+}
+
+func TestSample32DefaultPrecisionUnchanged(t *testing.T) {
+	// "" and "f64" are the same path: bit-identical samples.
+	cfg := ModelConfig{Dim: 3, Hidden: 16, Depth: 1, TimeDim: 4, T: 20, LR: 1e-3}
+	cfgExplicit := cfg
+	cfgExplicit.Precision = "f64"
+	a := NewModel(rand.New(rand.NewSource(43)), cfg)
+	b := NewModel(rand.New(rand.NewSource(43)), cfgExplicit)
+	sa := a.SampleWithRng(rand.New(rand.NewSource(44)), 16, 5)
+	sb := b.SampleWithRng(rand.New(rand.NewSource(44)), 16, 5)
+	for i := range sa.Data {
+		if math.Float64bits(sa.Data[i]) != math.Float64bits(sb.Data[i]) {
+			t.Fatalf("explicit f64 diverged from default at %d", i)
+		}
+	}
+}
+
+func TestSample32StochasticEtaStreamAligned(t *testing.T) {
+	// With eta > 0 the stochastic term draws one NormFloat64 per element,
+	// in the same order as the f64 path; the outputs must stay close.
+	cfg := ModelConfig{Dim: 4, Hidden: 24, Depth: 2, TimeDim: 8, T: 50, LR: 1e-3}
+	m := NewModel(rand.New(rand.NewSource(45)), cfg)
+	net32, err := m.Net.Snapshot32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &predictor32{g: m.G, net: net32}
+	s64 := m.G.Sample(rand.New(rand.NewSource(46)), m, 32, 4, 8, 1.0)
+	s32 := tensor.To64(m.G.Sample32(rand.New(rand.NewSource(46)), p, 32, 4, 8, 1.0))
+	var maxDiff, scale float64
+	for i, v := range s64.Data {
+		if d := math.Abs(s32.Data[i] - v); d > maxDiff {
+			maxDiff = d
+		}
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	if maxDiff > 1e-2*(1+scale) {
+		t.Fatalf("eta=1 f32 sample diverged: max diff %g at scale %g", maxDiff, scale)
+	}
+}

@@ -34,6 +34,125 @@ type BenchSnapshot struct {
 	AllocBytesPerStep map[string]float64 `json:"alloc_bytes_per_step,omitempty"`
 	WireMessages      int64              `json:"wire_messages"`
 	WireBytesByKind   map[string]int64   `json:"wire_bytes_by_kind,omitempty"`
+	// Wire is the codec-level bytes-vs-error accounting, keyed
+	// "<codec>/<kind>" (e.g. "f32/latents"): how many bytes the precision
+	// tier actually paid per message kind against the raw f64 payload model,
+	// and the reconstruction error it introduced. Deterministic for a fixed
+	// configuration and seed, so the bench baseline gate covers it.
+	Wire map[string]WireCodecStats `json:"wire,omitempty"`
+}
+
+// WireCodecStats is one codec/kind row of the wire compression accounting.
+type WireCodecStats struct {
+	Messages int64   `json:"messages"`
+	RawBytes int64   `json:"raw_bytes"` // modelled f64 framing bytes (header + 8·values)
+	Bytes    int64   `json:"bytes"`     // bytes actually framed under the codec
+	MaxErr   float64 `json:"max_err"`
+	MeanErr  float64 `json:"mean_err"`
+}
+
+// mergeWire folds src into dst (allocating dst if nil): counts accumulate,
+// errors keep the worst observed value, so merging several parties'
+// recorders yields fleet-wide totals with the fleet-worst error.
+func mergeWire(dst, src map[string]WireCodecStats) map[string]WireCodecStats {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string]WireCodecStats, len(src))
+	}
+	for k, st := range src {
+		prev := dst[k]
+		prev.Messages += st.Messages
+		prev.RawBytes += st.RawBytes
+		prev.Bytes += st.Bytes
+		if st.MaxErr > prev.MaxErr {
+			prev.MaxErr = st.MaxErr
+		}
+		if st.MeanErr > prev.MeanErr {
+			prev.MeanErr = st.MeanErr
+		}
+		dst[k] = prev
+	}
+	return dst
+}
+
+// parseWireMetrics reassembles the per-codec wire accounting from the
+// wire_* metric families (see obs.Recorder.WireCodec). Codec names carry no
+// underscore, so the "<codec>_<kind>" suffix splits at the first one.
+func parseWireMetrics(snap obs.Snapshot) map[string]WireCodecStats {
+	out := make(map[string]WireCodecStats)
+	key := func(suffix string) (string, bool) {
+		codec, kind, ok := strings.Cut(suffix, "_")
+		return codec + "/" + kind, ok
+	}
+	update := func(suffix string, f func(*WireCodecStats)) {
+		k, ok := key(suffix)
+		if !ok {
+			return
+		}
+		st := out[k]
+		f(&st)
+		out[k] = st
+	}
+	for name, v := range snap.Counters {
+		if suffix, ok := strings.CutPrefix(name, "wire_messages_total_"); ok {
+			update(suffix, func(st *WireCodecStats) { st.Messages += v })
+		}
+		if suffix, ok := strings.CutPrefix(name, "wire_raw_bytes_total_"); ok {
+			update(suffix, func(st *WireCodecStats) { st.RawBytes += v })
+		}
+		if suffix, ok := strings.CutPrefix(name, "wire_bytes_total_"); ok {
+			update(suffix, func(st *WireCodecStats) { st.Bytes += v })
+		}
+	}
+	for name, v := range snap.Gauges {
+		if suffix, ok := strings.CutPrefix(name, "wire_err_max_"); ok {
+			update(suffix, func(st *WireCodecStats) {
+				if v > st.MaxErr {
+					st.MaxErr = v
+				}
+			})
+		}
+		if suffix, ok := strings.CutPrefix(name, "wire_err_mean_"); ok {
+			update(suffix, func(st *WireCodecStats) {
+				if v > st.MeanErr {
+					st.MeanErr = v
+				}
+			})
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// replayWireMetrics re-emits an aggregated wire accounting into rec's
+// wire_* metric families: counters accumulate, error gauges keep the worst
+// value already recorded. Sweeps that measure isolated runs on private
+// recorders (Figure10X) use it to surface their per-codec accounting in the
+// run's main recorder, and hence in the bench snapshot and manifest.
+func replayWireMetrics(rec *obs.Recorder, wire map[string]WireCodecStats) {
+	if rec == nil {
+		return
+	}
+	for key, st := range wire {
+		codecName, kind, ok := strings.Cut(key, "/")
+		if !ok {
+			continue
+		}
+		suffix := codecName + "_" + kind
+		rec.Reg.Counter("wire_messages_total_" + suffix).Add(st.Messages)
+		rec.Reg.Counter("wire_raw_bytes_total_" + suffix).Add(st.RawBytes)
+		rec.Reg.Counter("wire_bytes_total_" + suffix).Add(st.Bytes)
+		if g := rec.Reg.Gauge("wire_err_max_" + suffix); st.MaxErr > g.Value() {
+			g.Set(st.MaxErr)
+		}
+		if g := rec.Reg.Gauge("wire_err_mean_" + suffix); st.MeanErr > g.Value() {
+			g.Set(st.MeanErr)
+		}
+	}
 }
 
 // NewBenchSnapshot starts a snapshot for the named experiment and scale.
@@ -49,8 +168,10 @@ func NewBenchSnapshot(exp, scale string) *BenchSnapshot {
 // FromRecorder fills the perf sections from rec: top-level trace spans as
 // phases, per-stage rows/sec derived from the <stage>_rows_total counters
 // over the <stage>_step_seconds histogram sums, the step-latency quantiles
-// themselves, and wire traffic from the bus_* counters. A nil recorder
-// leaves the snapshot unchanged.
+// themselves, wire traffic from the bus_* counters, and the codec-level
+// bytes-vs-error accounting from the wire_* metric families (summing counts
+// and keeping the worst error when called for several recorders). A nil
+// recorder leaves the snapshot unchanged.
 func (b *BenchSnapshot) FromRecorder(rec *obs.Recorder) {
 	if rec == nil {
 		return
@@ -64,6 +185,7 @@ func (b *BenchSnapshot) FromRecorder(rec *obs.Recorder) {
 		})
 	}
 	snap := rec.Snapshot()
+	b.Wire = mergeWire(b.Wire, parseWireMetrics(snap))
 	for name, v := range snap.Counters {
 		if kind, ok := strings.CutPrefix(name, "bus_bytes_total_"); ok {
 			if b.WireBytesByKind == nil {

@@ -61,6 +61,52 @@ func TestBenchSnapshotFromRecorder(t *testing.T) {
 	}
 }
 
+func TestBenchSnapshotWireSection(t *testing.T) {
+	rec := obs.NewRecorder()
+	// Two sends on one stream (counters accumulate, gauges carry the
+	// caller's running aggregates) plus a hyphenated kind, which must not
+	// confuse the first-underscore codec/kind split.
+	rec.WireCodec("f32", "latents", 1000, 520, 1e-7, 3e-8)
+	rec.WireCodec("f32", "latents", 1000, 520, 2e-7, 4e-8)
+	rec.WireCodec("q8", "synth-latent", 2048, 580, 3e-3, 9e-4)
+
+	b := NewBenchSnapshot("fig10", "fast")
+	b.FromRecorder(rec)
+	lat := b.Wire["f32/latents"]
+	if lat.Messages != 2 || lat.RawBytes != 2000 || lat.Bytes != 1040 {
+		t.Fatalf("f32/latents = %+v", lat)
+	}
+	if lat.MaxErr != 2e-7 || lat.MeanErr != 4e-8 {
+		t.Fatalf("f32/latents errors = %+v", lat)
+	}
+	syn := b.Wire["q8/synth-latent"]
+	if syn.Messages != 1 || syn.Bytes != 580 || syn.MaxErr != 3e-3 {
+		t.Fatalf("q8/synth-latent = %+v", syn)
+	}
+
+	// Merging a second party's recorder sums counts and keeps the worst
+	// error, so the snapshot reflects fleet totals.
+	rec2 := obs.NewRecorder()
+	rec2.WireCodec("f32", "latents", 1000, 520, 5e-7, 1e-8)
+	b.FromRecorder(rec2)
+	lat = b.Wire["f32/latents"]
+	if lat.Messages != 3 || lat.Bytes != 1560 || lat.MaxErr != 5e-7 || lat.MeanErr != 4e-8 {
+		t.Fatalf("merged f32/latents = %+v", lat)
+	}
+
+	// A recorder without wire metrics leaves the section alone, and a
+	// snapshot that never saw a codec has no section at all.
+	b.FromRecorder(obs.NewRecorder())
+	if len(b.Wire) != 2 {
+		t.Fatalf("wire section grew on empty recorder: %v", b.Wire)
+	}
+	plain := NewBenchSnapshot("fig10", "fast")
+	plain.FromRecorder(obs.NewRecorder())
+	if plain.Wire != nil {
+		t.Fatalf("unexpected wire section: %v", plain.Wire)
+	}
+}
+
 func TestBenchSnapshotRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "nested", "BENCH_silofuse.json")
 	b := NewBenchSnapshot("all", "fast")

@@ -17,6 +17,8 @@ import (
 //	allocs_per_step/<stage>       steady-state heap allocations (deterministic)
 //	alloc_bytes_per_step/<stage>  steady-state heap bytes (deterministic)
 //	wire_bytes/<kind>             modeled wire bytes (bit-deterministic)
+//	wire_enc_bytes/<codec>/<kind> codec-framed wire bytes (bit-deterministic)
+//	wire_err_max/<codec>/<kind>   codec max reconstruction error (deterministic)
 //	loss/<stage>                  final training loss (bit-deterministic)
 //	phase_sec/<phase>             phase wall time (informational by default)
 //
@@ -36,9 +38,15 @@ type DiffThresholds struct {
 	// AllocBytesGrowth is the allowed fractional growth in
 	// alloc_bytes_per_step.
 	AllocBytesGrowth float64
-	// WireGrowth is the allowed fractional growth in wire_bytes (the byte
-	// model is deterministic, so growth means the protocol itself changed).
+	// WireGrowth is the allowed fractional growth in wire_bytes and
+	// wire_enc_bytes (the byte model is deterministic, so growth means the
+	// protocol or codec framing itself changed).
 	WireGrowth float64
+	// WireErrGrowth is the allowed fractional growth in wire_err_max: the
+	// reconstruction error a lossy codec introduces is deterministic for a
+	// fixed configuration and seed, so meaningful growth means the codec's
+	// accuracy degraded.
+	WireErrGrowth float64
 	// LossGrowth is the allowed fractional growth in loss (bit-identical
 	// across runs of the same configuration and seed).
 	LossGrowth float64
@@ -55,6 +63,7 @@ func DefaultDiffThresholds() DiffThresholds {
 		AllocGrowth:      2,
 		AllocBytesGrowth: 0.25,
 		WireGrowth:       0.10,
+		WireErrGrowth:    0.10,
 		LossGrowth:       0.25,
 	}
 }
@@ -97,6 +106,10 @@ func BenchMetrics(b *BenchSnapshot) map[string]float64 {
 	}
 	for kind, v := range b.WireBytesByKind {
 		out["wire_bytes/"+kind] = float64(v)
+	}
+	for key, st := range b.Wire {
+		out["wire_enc_bytes/"+key] = float64(st.Bytes)
+		out["wire_err_max/"+key] = st.MaxErr
 	}
 	for _, ph := range b.Phases {
 		out["phase_sec/"+ph.Name] = ph.DurSec
@@ -217,9 +230,16 @@ func regressed(key string, base, cur float64, th DiffThresholds) (bool, string) 
 		if base >= 0 && cur > base*(1+th.AllocBytesGrowth)+64 {
 			return true, fmt.Sprintf("alloc bytes/step grew > %.0f%%", th.AllocBytesGrowth*100)
 		}
-	case "wire_bytes":
+	case "wire_bytes", "wire_enc_bytes":
 		if cur > base*(1+th.WireGrowth)+256 {
 			return true, fmt.Sprintf("wire bytes grew > %.0f%%", th.WireGrowth*100)
+		}
+	case "wire_err_max":
+		// The +1e-12 floor keeps lossless codecs (base and cur both ~0)
+		// from tripping on float noise while still catching a codec that
+		// silently turned lossy.
+		if cur > base*(1+th.WireErrGrowth)+1e-12 {
+			return true, fmt.Sprintf("codec reconstruction error grew > %.0f%%", th.WireErrGrowth*100)
 		}
 	case "loss":
 		// Growth is measured against |base|: autoencoder NLL goes negative,

@@ -8,13 +8,16 @@ import (
 
 func baseMetrics() map[string]float64 {
 	return map[string]float64{
-		"rows_per_sec/ae":           1000,
-		"step_p95_sec/ae":           0.010,
-		"allocs_per_step/ae":        4,
-		"alloc_bytes_per_step/ae":   4096,
-		"wire_bytes/latents":        100_000,
-		"loss/diffusion-train":      0.85,
-		"phase_sec/diffusion-train": 2.0,
+		"rows_per_sec/ae":            1000,
+		"step_p95_sec/ae":            0.010,
+		"allocs_per_step/ae":         4,
+		"alloc_bytes_per_step/ae":    4096,
+		"wire_bytes/latents":         100_000,
+		"wire_enc_bytes/f32/latents": 50_000,
+		"wire_err_max/f32/latents":   2e-7,
+		"wire_err_max/f64/grad-up":   0,
+		"loss/diffusion-train":       0.85,
+		"phase_sec/diffusion-train":  2.0,
 	}
 }
 
@@ -81,6 +84,14 @@ func TestDiffMetricsPerClassGates(t *testing.T) {
 		{"alloc_bytes_per_step/ae", 4096*(1+th.AllocBytesGrowth) + 100, true},
 		{"wire_bytes/latents", 100_000*(1+th.WireGrowth) + 300, true},
 		{"wire_bytes/latents", 100_000 * (1 + th.WireGrowth/2), false},
+		{"wire_enc_bytes/f32/latents", 50_000*(1+th.WireGrowth) + 300, true},
+		{"wire_enc_bytes/f32/latents", 50_000 * (1 + th.WireGrowth/2), false},
+		{"wire_err_max/f32/latents", 2e-7 * (1 + th.WireErrGrowth) * 1.1, true},
+		{"wire_err_max/f32/latents", 2e-7 * (1 + th.WireErrGrowth/2), false},
+		// A lossless codec turning lossy is a regression even from a zero
+		// baseline; float noise below the absolute floor is not.
+		{"wire_err_max/f64/grad-up", 1e-6, true},
+		{"wire_err_max/f64/grad-up", 1e-13, false},
 		{"loss/diffusion-train", 0.85 * (1 + th.LossGrowth) * 1.05, true},
 		{"loss/diffusion-train", 0.85, false},
 		{"step_p95_sec/ae", 0.010 * (1 + th.ThroughputDrop) * 1.1, true},
@@ -121,6 +132,22 @@ func TestDiffMetricsPerClassGates(t *testing.T) {
 	cur["phase_sec/diffusion-train"] = 4.0
 	if rep := DiffMetrics(baseMetrics(), cur, th); rep.Regressions != 1 {
 		t.Fatalf("phase gate with threshold set: %d regressions, want 1", rep.Regressions)
+	}
+}
+
+// TestBenchMetricsWireFlattening checks that the snapshot's wire section
+// flattens into the keys the diff gate compares.
+func TestBenchMetricsWireFlattening(t *testing.T) {
+	b := NewBenchSnapshot("fig10x", "fast")
+	b.Wire = map[string]WireCodecStats{
+		"f32/latents": {Messages: 3, RawBytes: 3000, Bytes: 1560, MaxErr: 2e-7, MeanErr: 4e-8},
+	}
+	m := BenchMetrics(b)
+	if m["wire_enc_bytes/f32/latents"] != 1560 {
+		t.Fatalf("wire_enc_bytes = %v", m["wire_enc_bytes/f32/latents"])
+	}
+	if m["wire_err_max/f32/latents"] != 2e-7 {
+		t.Fatalf("wire_err_max = %v", m["wire_err_max/f32/latents"])
 	}
 }
 

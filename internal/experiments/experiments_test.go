@@ -5,6 +5,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"silofuse/internal/obs"
 )
 
 // tinyConfig shrinks everything so the full harness paths run in seconds.
@@ -175,6 +177,71 @@ func TestFigure10Shape(t *testing.T) {
 	var buf bytes.Buffer
 	PrintFigure10(&buf, series)
 	if !strings.Contains(buf.String(), "SiloFuse") {
+		t.Fatal("printout incomplete")
+	}
+}
+
+// TestFigure10XCodecSweep pins the headline of the codec tier: against the
+// gob/f64 byte model, f32 at least halves-ish (≥1.8x) the tensor payloads of
+// both distributed models with rounding-scale error, q8 cuts further with
+// quantization-scale error, and the replayed accounting reaches the main
+// recorder so bench snapshots see it.
+func TestFigure10XCodecSweep(t *testing.T) {
+	c := tinyConfig()
+	c.Datasets = []string{"abalone"}
+	main := obs.NewRecorder()
+	c.Opts.Recorder = main
+	rows, err := c.Figure10X()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 4 codecs x 2 models
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	byKey := map[string]Figure10XRow{}
+	for _, r := range rows {
+		byKey[r.Model+"/"+r.Codec] = r
+	}
+	for _, model := range []string{"silofuse", "e2edistr"} {
+		none, f64r, f32r, q8r := byKey[model+"/none"], byKey[model+"/f64"], byKey[model+"/f32"], byKey[model+"/q8"]
+		// Raw f64 framing matches the historical gob byte model exactly.
+		if f64r.TotalBytes != none.TotalBytes {
+			t.Errorf("%s: f64 total %d != gob total %d", model, f64r.TotalBytes, none.TotalBytes)
+		}
+		if f64r.MaxErr != 0 {
+			t.Errorf("%s: lossless f64 reported error %g", model, f64r.MaxErr)
+		}
+		if f64r.EncBytes == 0 || f32r.EncBytes == 0 || q8r.EncBytes == 0 {
+			t.Fatalf("%s: codec rows missing tensor bytes: %+v %+v %+v", model, f64r, f32r, q8r)
+		}
+		// The wire win the PR promises: f32 cuts tensor bytes >= 1.8x.
+		if ratio := float64(f64r.EncBytes) / float64(f32r.EncBytes); ratio < 1.8 {
+			t.Errorf("%s: f32 tensor bytes ratio %.2f, want >= 1.8", model, ratio)
+		}
+		if q8r.EncBytes >= f32r.EncBytes {
+			t.Errorf("%s: q8 (%d B) should undercut f32 (%d B)", model, q8r.EncBytes, f32r.EncBytes)
+		}
+		// Errors are ordered by tier and bounded: rounding scale for f32,
+		// quantization scale for q8.
+		if f32r.MaxErr <= 0 || f32r.MaxErr > 1e-5 {
+			t.Errorf("%s: f32 max err %g out of rounding scale", model, f32r.MaxErr)
+		}
+		if q8r.MaxErr <= f32r.MaxErr || q8r.MaxErr > 0.1 {
+			t.Errorf("%s: q8 max err %g out of quantization scale (f32 %g)", model, q8r.MaxErr, f32r.MaxErr)
+		}
+	}
+	// The replayed accounting lands in the main recorder under the same
+	// wire_* families the bench snapshot parses.
+	snap := NewBenchSnapshot("fig10x", "fast")
+	snap.FromRecorder(main)
+	lat := snap.Wire["f32/latents"]
+	if lat.Messages == 0 || lat.Bytes == 0 || lat.MaxErr == 0 {
+		t.Fatalf("replayed f32/latents accounting missing: %+v (wire=%v)", lat, snap.Wire)
+	}
+
+	var buf bytes.Buffer
+	PrintFigure10X(&buf, rows)
+	if !strings.Contains(buf.String(), "q8") || !strings.Contains(buf.String(), "vs gob") {
 		t.Fatal("printout incomplete")
 	}
 }

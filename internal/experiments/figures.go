@@ -7,6 +7,7 @@ import (
 
 	"silofuse/internal/core"
 	"silofuse/internal/metrics"
+	"silofuse/internal/obs"
 )
 
 // Figure10Series is one dataset's communication-cost comparison: total
@@ -109,6 +110,126 @@ func humanBytes(b int64) string {
 		exp++
 	}
 	return fmt.Sprintf("%.2f %ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}
+
+// Figure10XRow is one (dataset, model, codec) cell of the bytes-vs-error
+// sweep: how many bytes the precision tier moved for the codec-framed
+// tensor kinds, against the modelled raw-f64 cost, and the reconstruction
+// error it introduced. "none" rows are the gob baseline the other codecs
+// are compared to.
+type Figure10XRow struct {
+	Dataset string
+	Model   string // "silofuse" (latents + synth path) or "e2edistr" (activations + gradients)
+	Codec   string
+	// Messages / RawBytes / EncBytes aggregate the codec-framed tensor
+	// kinds only; TotalBytes counts every transport byte of the run.
+	Messages   int64
+	RawBytes   int64
+	EncBytes   int64
+	TotalBytes int64
+	MaxErr     float64 // worst per-element reconstruction error across kinds
+	MeanErr    float64 // worst per-kind mean reconstruction error
+}
+
+// Figure10X sweeps the wire codecs over real short runs of both
+// distributed models and reports bytes vs reconstruction error per codec:
+// SiloFuse exercises the latent upload and synthesis path, E2EDistr the
+// activation/gradient exchange. Every run is deterministic, so the numbers
+// are comparable across invocations and gateable by the bench baseline.
+func (c Config) Figure10X() ([]Figure10XRow, error) {
+	cc := c
+	if cc.Datasets == nil {
+		cc.Datasets = []string{"abalone"}
+	}
+	specs, err := cc.datasets()
+	if err != nil {
+		return nil, err
+	}
+	synthRows := cc.SynthRows
+	if synthRows > 512 {
+		synthRows = 512
+	}
+	var out []Figure10XRow
+	for _, spec := range specs {
+		train, _ := cc.prepare(spec)
+		for _, codecName := range []string{"none", "f64", "f32", "q8"} {
+			// SiloFuse: stacked fit plus a synthesis pass, so both the
+			// latent upload and the synth-latent return leg are framed.
+			sfOpts := cc.Opts
+			sfOpts.AEIters = 20
+			sfOpts.DiffIters = 20
+			sfOpts.WireCodec = codecName
+			sfRec := obs.NewRecorder()
+			sfOpts.Recorder = sfRec
+			sf := core.NewSiloFuse(sfOpts)
+			if err := sf.Fit(train); err != nil {
+				return nil, err
+			}
+			if _, err := sf.Sample(synthRows); err != nil {
+				return nil, err
+			}
+			out = append(out, figure10xRow(spec.Name, "silofuse", codecName, sf.CommStats().Bytes, sfRec, c.Opts.Recorder))
+
+			// E2EDistr: the split forward/backward moves activations and
+			// gradients every iteration.
+			e2eOpts := cc.Opts
+			e2eOpts.AEIters = 20
+			e2eOpts.DiffIters = 0
+			e2eOpts.WireCodec = codecName
+			e2eRec := obs.NewRecorder()
+			e2eOpts.Recorder = e2eRec
+			e2e := core.NewE2EDistr(e2eOpts)
+			if err := e2e.Fit(train); err != nil {
+				return nil, err
+			}
+			out = append(out, figure10xRow(spec.Name, "e2edistr", codecName, e2e.CommStats().Bytes, e2eRec, c.Opts.Recorder))
+		}
+	}
+	return out, nil
+}
+
+// figure10xRow aggregates one run's wire_* metrics into a sweep row and
+// replays the per-kind accounting into the invocation's main recorder (if
+// any), so the sweep's numbers reach the bench snapshot and manifest.
+func figure10xRow(dataset, model, codecName string, total int64, rec, main *obs.Recorder) Figure10XRow {
+	row := Figure10XRow{Dataset: dataset, Model: model, Codec: codecName, TotalBytes: total}
+	wire := parseWireMetrics(rec.Snapshot())
+	replayWireMetrics(main, wire)
+	for _, st := range wire {
+		row.Messages += st.Messages
+		row.RawBytes += st.RawBytes
+		row.EncBytes += st.Bytes
+		if st.MaxErr > row.MaxErr {
+			row.MaxErr = st.MaxErr
+		}
+		if st.MeanErr > row.MeanErr {
+			row.MeanErr = st.MeanErr
+		}
+	}
+	return row
+}
+
+// PrintFigure10X renders the sweep with each codec's total-byte ratio
+// against the gob baseline ("none", which emits no codec accounting) of the
+// same dataset and model.
+func PrintFigure10X(w io.Writer, rows []Figure10XRow) {
+	fmt.Fprintln(w, "Figure 10x: wire codec sweep — tensor bytes vs reconstruction error")
+	base := make(map[string]int64)
+	for _, r := range rows {
+		if r.Codec == "none" {
+			base[r.Dataset+"/"+r.Model] = r.TotalBytes
+		}
+	}
+	fmt.Fprintf(w, "%-10s %-9s %-6s %10s %12s %12s %8s %10s %10s\n",
+		"Dataset", "Model", "Codec", "Messages", "TensorBytes", "TotalBytes", "vs gob", "MaxErr", "MeanErr")
+	for _, r := range rows {
+		ratio := "--"
+		if b := base[r.Dataset+"/"+r.Model]; b > 0 && r.TotalBytes > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(b)/float64(r.TotalBytes))
+		}
+		fmt.Fprintf(w, "%-10s %-9s %-6s %10d %12s %12s %8s %10.2e %10.2e\n",
+			r.Dataset, r.Model, r.Codec, r.Messages, humanBytes(r.EncBytes), humanBytes(r.TotalBytes), ratio, r.MaxErr, r.MeanErr)
+	}
 }
 
 // Figure11Point is one robustness configuration's scores.

@@ -64,7 +64,12 @@ type Manifest struct {
 	WireBytes       int64              `json:"wire_bytes"`
 	WireBytesByKind map[string]int64   `json:"wire_bytes_by_kind"`
 	WireBytesByDir  map[string]int64   `json:"wire_bytes_by_dir,omitempty"`
-	Metrics         obs.Snapshot       `json:"metrics"`
+	// Wire is the codec-level bytes-vs-error section, keyed "<codec>/<kind>":
+	// for each compressed message kind, the bytes actually framed, the f64
+	// baseline they replace, and the max/mean reconstruction error the
+	// precision tier introduced (zero for lossless codecs).
+	Wire    map[string]WireCodecStats `json:"wire,omitempty"`
+	Metrics obs.Snapshot              `json:"metrics"`
 	// Profiles indexes the phase-scoped pprof captures under the run's
 	// profiles/ subdirectory (see internal/obs/profile).
 	Profiles []profile.Entry `json:"profiles,omitempty"`
@@ -84,7 +89,8 @@ func NewManifest(run string, seed int64) *Manifest {
 }
 
 // FromRecorder fills the manifest from rec: phases from the tracer's
-// top-level spans, wire traffic from the bus_* counters, and the full
+// top-level spans, wire traffic from the bus_* counters, the codec-level
+// bytes-vs-error accounting from the wire_* metric families, and the full
 // metrics snapshot. A nil or disabled recorder leaves the manifest
 // unchanged.
 func (m *Manifest) FromRecorder(rec *obs.Recorder) {
@@ -100,6 +106,7 @@ func (m *Manifest) FromRecorder(rec *obs.Recorder) {
 		})
 	}
 	m.Metrics = rec.Snapshot()
+	m.Wire = mergeWire(m.Wire, parseWireMetrics(m.Metrics))
 	for name, v := range m.Metrics.Counters {
 		if kind, ok := strings.CutPrefix(name, "bus_bytes_total_"); ok {
 			m.WireBytesByKind[kind] += v

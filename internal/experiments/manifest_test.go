@@ -24,6 +24,7 @@ func TestManifestFromRecorderAndWrite(t *testing.T) {
 	sp.End()
 	rec.Message("latents", 4096, time.Millisecond)
 	rec.Message("synth-latent", 1024, time.Millisecond)
+	rec.WireCodec("f32", "latents", 4096, 2080, 1.5e-7, 4e-8)
 
 	m := NewManifest("unit", 7)
 	m.Config["model"] = "silofuse"
@@ -53,6 +54,11 @@ func TestManifestFromRecorderAndWrite(t *testing.T) {
 	if m.Metrics.Counters["ae_steps_total"] != 1 {
 		t.Fatalf("metrics snapshot = %v", m.Metrics.Counters)
 	}
+	wire := m.Wire["f32/latents"]
+	if wire.Messages != 1 || wire.RawBytes != 4096 || wire.Bytes != 2080 ||
+		wire.MaxErr != 1.5e-7 || wire.MeanErr != 4e-8 {
+		t.Fatalf("wire section = %+v", m.Wire)
+	}
 
 	dir := filepath.Join(t.TempDir(), "results", "unit")
 	if err := m.Write(dir); err != nil {
@@ -74,6 +80,9 @@ func TestManifestFromRecorderAndWrite(t *testing.T) {
 	}
 	if back.FinalMetrics["resemblance"] != 80.5 {
 		t.Fatalf("round-trip final metrics = %v", back.FinalMetrics)
+	}
+	if back.Wire["f32/latents"].Bytes != 2080 {
+		t.Fatalf("round-trip wire section = %+v", back.Wire)
 	}
 }
 

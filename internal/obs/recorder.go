@@ -248,6 +248,26 @@ func (r *Recorder) Message(kind string, bytes int64, d time.Duration) {
 	r.Flight.Note("send", kind, "", float64(bytes))
 }
 
+// WireCodec records one codec-framed transport send: raw is the modelled
+// native-float64 wire cost, enc the encoded bytes actually framed, and
+// maxErr/meanErr the caller's RUNNING error aggregates for this
+// (codec, kind) stream — the caller accumulates, the recorder just stores.
+// Metrics land under wire_<field>_<codec>_<kind> (codec names carry no
+// underscore, so consumers split on the first "_" after the prefix):
+// wire_messages_total_, wire_raw_bytes_total_, wire_bytes_total_ counters
+// and wire_err_max_, wire_err_mean_ gauges.
+func (r *Recorder) WireCodec(codec, kind string, raw, enc int64, maxErr, meanErr float64) {
+	if r == nil {
+		return
+	}
+	suffix := codec + "_" + kind
+	r.Reg.Counter("wire_messages_total_" + suffix).Inc()
+	r.Reg.Counter("wire_raw_bytes_total_" + suffix).Add(raw)
+	r.Reg.Counter("wire_bytes_total_" + suffix).Add(enc)
+	r.Reg.Gauge("wire_err_max_" + suffix).Set(maxErr)
+	r.Reg.Gauge("wire_err_mean_" + suffix).Set(meanErr)
+}
+
 // Retry records one transport retransmission of the given message kind
 // after a backoff of d: it bumps bus_retries_total_<kind> and observes the
 // backoff in bus_backoff_seconds_<kind>. Retransmitted bytes themselves are

@@ -225,7 +225,7 @@ func (c *ChaosBus) Send(e *Envelope) error {
 		}
 	}
 	send := e
-	if c.prof.CorruptPermille > 0 && e.Payload != nil && len(e.Payload.Data) > 0 &&
+	if c.prof.CorruptPermille > 0 && corruptible(e) &&
 		hit(c.decide(k.link, k.seq, laneCorrupt), c.prof.CorruptPermille) && attempt == 1 {
 		send = c.corrupt(e, k)
 	}
@@ -288,13 +288,31 @@ func (c *ChaosBus) checkCrash(e *Envelope) (bool, error) {
 	return false, nil
 }
 
+// corruptible reports whether e carries tensor data the corrupt fault can
+// flip a bit in: a native float64 payload or a codec-framed blob. Telemetry
+// blobs (Codec zero) are exempt, matching the pre-codec behaviour.
+func corruptible(e *Envelope) bool {
+	if e.Payload != nil && len(e.Payload.Data) > 0 {
+		return true
+	}
+	return e.Codec != 0 && len(e.Blob) > 0
+}
+
 // corrupt returns a copy of e with one hash-chosen payload bit flipped, so
-// the original sender retains intact data for retransmission.
+// the original sender retains intact data for retransmission. Codec-framed
+// envelopes get a bit flipped in the encoded blob — the corruption happens
+// on the serialized wire representation, exactly as a network would.
 func (c *ChaosBus) corrupt(e *Envelope, k chaosKey) *Envelope {
 	cp := *e
-	cp.Payload = tensor.FromSlice(e.Payload.Rows, e.Payload.Cols, append([]float64(nil), e.Payload.Data...))
-	i := int(c.decide(k.link, k.seq, laneCorruptBit) % uint64(len(cp.Payload.Data)))
-	cp.Payload.Data[i] = math.Float64frombits(math.Float64bits(cp.Payload.Data[i]) ^ 1)
+	if e.Payload != nil && len(e.Payload.Data) > 0 {
+		cp.Payload = tensor.FromSlice(e.Payload.Rows, e.Payload.Cols, append([]float64(nil), e.Payload.Data...))
+		i := int(c.decide(k.link, k.seq, laneCorruptBit) % uint64(len(cp.Payload.Data)))
+		cp.Payload.Data[i] = math.Float64frombits(math.Float64bits(cp.Payload.Data[i]) ^ 1)
+	} else {
+		cp.Blob = append([]byte(nil), e.Blob...)
+		bit := c.decide(k.link, k.seq, laneCorruptBit) % uint64(len(cp.Blob)*8)
+		cp.Blob[bit/8] ^= 1 << (bit % 8)
+	}
 	c.mu.Lock()
 	c.stats.Corrupts++
 	c.mu.Unlock()

@@ -1,0 +1,229 @@
+package silo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"silofuse/internal/obs"
+	"silofuse/internal/silo/codec"
+)
+
+// codecEligible reports whether a message kind carries a dense tensor
+// payload the wire codec should frame. Control kinds (synth-req, heartbeat,
+// peer-down) and opaque blobs (telemetry) pass through untouched.
+func codecEligible(k Kind) bool {
+	switch k {
+	case KindLatents, KindSynthLatent, KindActivation, KindDenoised, KindGradUp, KindGradDown:
+		return true
+	}
+	return false
+}
+
+// WireKindStats is one message kind's bytes-vs-error record under a wire
+// codec: how many tensor messages were framed, the modelled float64 bytes
+// they would have cost (8 per value), the encoded bytes actually framed,
+// and the maximum / value-weighted mean absolute reconstruction error the
+// codec introduced. For the lossless f64 codec both errors are exactly 0.
+type WireKindStats struct {
+	Codec    string  `json:"codec"`
+	Messages int64   `json:"messages"`
+	RawBytes int64   `json:"raw_bytes"`
+	Bytes    int64   `json:"bytes"`
+	MaxErr   float64 `json:"max_err"`
+	MeanErr  float64 `json:"mean_err"`
+}
+
+// wireAgg accumulates one kind's codec accounting.
+type wireAgg struct {
+	messages int64
+	rawBytes int64
+	encBytes int64
+	maxErr   float64
+	errSum   float64
+	values   int64
+}
+
+// CodecBus is the outermost transport layer: it frames dense tensor
+// payloads through the precision-tiered wire codec on Send and decodes them
+// back to native tensors on Recv, so the application protocol is oblivious
+// to the wire representation while every layer below it — checksums,
+// retries, dedup, chaos faults, byte accounting — operates on the encoded
+// blob, exactly as a real network stack would.
+//
+// The default f64 codec is bit-lossless and its blob is exactly 8 bytes per
+// value, so a default run's losses and per-kind byte accounting are
+// bit-identical to the historical native-payload path (pinned by
+// TestCodecBusDefaultBitIdentity).
+//
+// Every framed send is accounted per kind: raw vs encoded bytes and the
+// reconstruction error bound, exposed through WireReport and — when a
+// recorder is attached — the wire_* metric family that BENCH_silofuse.json
+// and run manifests pick up.
+type CodecBus struct {
+	inner Bus
+	id    codec.ID
+	rec   *obs.Recorder
+
+	mu   sync.Mutex
+	wire map[Kind]*wireAgg
+}
+
+// NewCodecBus wraps inner with the given wire codec. It is the identity for
+// ineligible kinds; codec.None disables framing entirely.
+func NewCodecBus(inner Bus, id codec.ID) *CodecBus {
+	return &CodecBus{inner: inner, id: id, wire: make(map[Kind]*wireAgg)}
+}
+
+// Codec returns the bus's wire codec id.
+func (b *CodecBus) Codec() codec.ID { return b.id }
+
+// SetRecorder implements RecorderSetter: wire codec metrics land on rec,
+// and the recorder is forwarded to the wrapped transport.
+func (b *CodecBus) SetRecorder(rec *obs.Recorder) {
+	b.rec = rec
+	if rs, ok := b.inner.(RecorderSetter); ok {
+		rs.SetRecorder(rec)
+	}
+}
+
+// Send implements Bus: eligible tensor payloads are encoded into the
+// envelope's Blob (dims ride the envelope) before the inner layers see it.
+// The caller's envelope is never mutated — the frame is a shallow copy — so
+// senders retain their payload for retransmission or reuse.
+func (b *CodecBus) Send(e *Envelope) error {
+	if b.id == codec.None || !codecEligible(e.Kind) || e.Payload == nil || e.Codec != 0 {
+		return b.inner.Send(e)
+	}
+	blob, st, err := codec.Encode(b.id, e.Payload)
+	if err != nil {
+		return fmt.Errorf("silo: wire codec %s encode %s: %w", b.id, e.Kind, err)
+	}
+	enc := *e
+	enc.Blob = blob
+	enc.Codec = b.id
+	enc.Rows, enc.Cols = e.Payload.Rows, e.Payload.Cols
+	enc.Payload = nil
+	b.record(e.Kind, int64(8*len(e.Payload.Data)), enc.WireSize(), int64(len(e.Payload.Data)), st)
+	return b.inner.Send(&enc)
+}
+
+// record folds one framed send into the per-kind accounting and mirrors the
+// running aggregates to the recorder's wire_* metrics.
+func (b *CodecBus) record(kind Kind, rawPayload, encWire, values int64, st codec.ErrStats) {
+	const header = 64 // same fixed-header model as Envelope.WireSize
+	b.mu.Lock()
+	a := b.wire[kind]
+	if a == nil {
+		a = &wireAgg{}
+		b.wire[kind] = a
+	}
+	a.messages++
+	a.rawBytes += header + rawPayload
+	a.encBytes += encWire
+	a.values += values
+	a.errSum += st.Mean * float64(values)
+	if st.Max > a.maxErr {
+		a.maxErr = st.Max
+	}
+	maxErr, meanErr := a.maxErr, 0.0
+	if a.values > 0 {
+		meanErr = a.errSum / float64(a.values)
+	}
+	b.mu.Unlock()
+	b.rec.WireCodec(b.id.String(), string(kind), header+rawPayload, encWire, maxErr, meanErr)
+}
+
+// decode reconstructs a codec-framed envelope's tensor payload; unframed
+// envelopes pass through untouched. A blob that no longer matches its
+// declared shape surfaces as ErrCorruptPayload — with the resilient layer
+// below, its checksum catches corruption first, so this is a last line of
+// defence on bare stacks.
+func (b *CodecBus) decode(e *Envelope) (*Envelope, error) {
+	if e.Codec == codec.None {
+		return e, nil
+	}
+	m, err := codec.Decode(e.Codec, e.Blob, e.Rows, e.Cols)
+	if err != nil {
+		return nil, fmt.Errorf("silo: %s->%s %s seq %d wire codec decode: %w (%v)", e.From, e.To, e.Kind, e.Seq, ErrCorruptPayload, err)
+	}
+	dec := *e
+	dec.Payload = m
+	dec.Blob = nil
+	dec.Codec = codec.None
+	dec.Rows, dec.Cols = 0, 0
+	return &dec, nil
+}
+
+// Recv implements Bus, decoding codec-framed envelopes back to native
+// tensors before the application sees them.
+func (b *CodecBus) Recv(to string) (*Envelope, error) {
+	e, err := b.inner.Recv(to)
+	if err != nil {
+		return nil, err
+	}
+	return b.decode(e)
+}
+
+// TryRecv implements TryReceiver. An undecodable frame is passed through
+// raw: TryRecv callers are drain loops that discard the envelope anyway.
+func (b *CodecBus) TryRecv(to string) (*Envelope, bool) {
+	tr, ok := b.inner.(TryReceiver)
+	if !ok {
+		return nil, false
+	}
+	e, ok := tr.TryRecv(to)
+	if !ok {
+		return nil, false
+	}
+	if dec, err := b.decode(e); err == nil {
+		return dec, true
+	}
+	return e, true
+}
+
+// Reset implements Resetter by forwarding to the wrapped transport.
+func (b *CodecBus) Reset(parties []string) {
+	if rs, ok := b.inner.(Resetter); ok {
+		rs.Reset(parties)
+	}
+}
+
+// Stats implements Bus by delegating to the wrapped transport: the inner
+// layers already account the encoded envelope's WireSize, so the codec's
+// byte savings land in the existing ByKind buckets with no double count.
+func (b *CodecBus) Stats() Stats { return b.inner.Stats() }
+
+// WireReport snapshots the per-kind bytes-vs-error accounting of every
+// framed kind, keyed by kind name.
+func (b *CodecBus) WireReport() map[string]WireKindStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]WireKindStats, len(b.wire))
+	for kind, a := range b.wire {
+		meanErr := 0.0
+		if a.values > 0 {
+			meanErr = a.errSum / float64(a.values)
+		}
+		out[string(kind)] = WireKindStats{
+			Codec:    b.id.String(),
+			Messages: a.messages,
+			RawBytes: a.rawBytes,
+			Bytes:    a.encBytes,
+			MaxErr:   a.maxErr,
+			MeanErr:  meanErr,
+		}
+	}
+	return out
+}
+
+// WireReportKinds lists the framed kinds in sorted order — the
+// deterministic iteration companion of WireReport.
+func WireReportKinds(rep map[string]WireKindStats) []string {
+	kinds := make([]string, 0, len(rep))
+	for k := range rep {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}

@@ -1,0 +1,424 @@
+//silofuse:bitwise-ok codec tests pin bit-identical default paths and exact byte models
+package silo
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"silofuse/internal/silo/codec"
+	"silofuse/internal/tensor"
+)
+
+// TestWireSizeCodecModel pins Envelope.WireSize's closed-form model per
+// codec against the codec package's EncodedSize arithmetic, and checks that
+// an f64-framed envelope costs exactly what the historical native-payload
+// model charges — the invariant the default run's byte accounting rests on.
+func TestWireSizeCodecModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, shape := range [][2]int{{1, 1}, {7, 3}, {50, 20}, {128, 16}} {
+		rows, cols := shape[0], shape[1]
+		m := tensor.New(rows, cols).Randn(rng, 1)
+		native := &Envelope{From: "a", To: "b", Kind: KindLatents, Payload: m}
+		for _, id := range []codec.ID{codec.F64, codec.F32, codec.Q8} {
+			blob, _, err := codec.Encode(id, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			framed := &Envelope{From: "a", To: "b", Kind: KindLatents, Blob: blob, Codec: id, Rows: rows, Cols: cols}
+			want := int64(64 + id.EncodedSize(rows, cols))
+			if got := framed.WireSize(); got != want {
+				t.Fatalf("%s %dx%d: WireSize = %d, want 64+EncodedSize = %d", id, rows, cols, got, want)
+			}
+			n, c := rows*cols, cols
+			var closed int64
+			switch id {
+			case codec.F64:
+				closed = int64(64 + 8*n)
+			case codec.F32:
+				closed = int64(64 + 4*n)
+			case codec.Q8:
+				closed = int64(64 + 16*c + n)
+			}
+			if got := framed.WireSize(); got != closed {
+				t.Fatalf("%s %dx%d: WireSize = %d, closed form says %d", id, rows, cols, got, closed)
+			}
+		}
+		f64blob, _, err := codec.Encode(codec.F64, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		framed := &Envelope{From: "a", To: "b", Kind: KindLatents, Blob: f64blob, Codec: codec.F64, Rows: rows, Cols: cols}
+		if framed.WireSize() != native.WireSize() {
+			t.Fatalf("%dx%d: f64-framed WireSize %d != native payload WireSize %d", rows, cols, framed.WireSize(), native.WireSize())
+		}
+	}
+}
+
+// TestCodecBusRoundTrip sends dense payloads through a CodecBus over a
+// LocalBus under each codec and checks the application sees a native tensor
+// again: bit-exact under f64, within the documented error bounds under f32
+// and q8, with the caller's envelope left unmutated.
+func TestCodecBusRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := tensor.New(40, 8).Randn(rng, 2)
+	for _, id := range []codec.ID{codec.F64, codec.F32, codec.Q8} {
+		bus := NewCodecBus(NewLocalBus(), id)
+		sent := &Envelope{From: "c0", To: "coord", Kind: KindLatents, Payload: m}
+		if err := bus.Send(sent); err != nil {
+			t.Fatal(err)
+		}
+		if sent.Payload != m || sent.Blob != nil || sent.Codec != 0 {
+			t.Fatalf("%s: Send mutated the caller's envelope", id)
+		}
+		got, err := bus.Recv("coord")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Payload == nil || got.Blob != nil || got.Codec != 0 || got.Rows != 0 || got.Cols != 0 {
+			t.Fatalf("%s: Recv returned a still-framed envelope: %+v", id, got)
+		}
+		if got.Payload.Rows != m.Rows || got.Payload.Cols != m.Cols {
+			t.Fatalf("%s: shape %dx%d, want %dx%d", id, got.Payload.Rows, got.Payload.Cols, m.Rows, m.Cols)
+		}
+		var maxErr float64
+		for i, v := range m.Data {
+			if d := math.Abs(got.Payload.Data[i] - v); d > maxErr {
+				maxErr = d
+			}
+		}
+		switch id {
+		case codec.F64:
+			for i, v := range m.Data {
+				if math.Float64bits(got.Payload.Data[i]) != math.Float64bits(v) {
+					t.Fatalf("f64: element %d not bit-exact", i)
+				}
+			}
+		case codec.F32:
+			// Half-ULP relative rounding bound per element.
+			for i, v := range m.Data {
+				if d := math.Abs(got.Payload.Data[i] - v); d > math.Abs(v)*math.Exp2(-24)*1.000001 {
+					t.Fatalf("f32: element %d error %v above rounding bound for %v", i, d, v)
+				}
+			}
+		case codec.Q8:
+			rep := bus.WireReport()[string(KindLatents)]
+			if maxErr > rep.MaxErr {
+				t.Fatalf("q8: observed error %v above reported bound %v", maxErr, rep.MaxErr)
+			}
+		}
+	}
+}
+
+// TestCodecBusPassthrough pins what the codec layer must NOT touch: control
+// kinds, blob-only telemetry envelopes, and every kind when the codec is
+// None. Untouched envelopes are delivered by identity, and no wire
+// accounting is booked for them.
+func TestCodecBusPassthrough(t *testing.T) {
+	m := tensor.New(2, 2).Fill(3)
+	bus := NewCodecBus(NewLocalBus(), codec.F32)
+
+	ctrl := &Envelope{From: "c0", To: "coord", Kind: KindSynthReq}
+	tele := &Envelope{From: "c0", To: "coord", Kind: KindTelemetry, Blob: []byte("{}")}
+	for _, e := range []*Envelope{ctrl, tele} {
+		if err := bus.Send(e); err != nil {
+			t.Fatal(err)
+		}
+		got, err := bus.Recv("coord")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != e {
+			t.Fatalf("%s: passthrough envelope was copied or re-framed", e.Kind)
+		}
+	}
+
+	off := NewCodecBus(NewLocalBus(), codec.None)
+	if err := off.Send(&Envelope{From: "c0", To: "coord", Kind: KindLatents, Payload: m}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := off.Recv("coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload != m || got.Codec != 0 {
+		t.Fatal("codec.None must be the identity for tensor payloads")
+	}
+	if len(bus.WireReport()) != 0 || len(off.WireReport()) != 0 {
+		t.Fatalf("passthrough traffic booked wire accounting: %v %v", bus.WireReport(), off.WireReport())
+	}
+}
+
+// TestCodecBusWireReport pins the per-kind accounting arithmetic: message
+// counts, the raw 64+8n model, encoded bytes equal to the framed WireSize,
+// zero error under f64 and a positive bounded error under q8 — and that the
+// Stats the inner bus books are the encoded (not raw) bytes, with no double
+// count from the codec layer.
+func TestCodecBusWireReport(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := tensor.New(10, 4).Randn(rng, 1)
+	b := tensor.New(6, 4).Randn(rng, 1)
+	for _, id := range []codec.ID{codec.F64, codec.Q8} {
+		bus := NewCodecBus(NewLocalBus(), id)
+		for _, m := range []*tensor.Matrix{a, b} {
+			if err := bus.Send(&Envelope{From: "c0", To: "coord", Kind: KindLatents, Payload: m}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := bus.Recv("coord"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rep := bus.WireReport()[string(KindLatents)]
+		if rep.Codec != id.String() || rep.Messages != 2 {
+			t.Fatalf("%s: report %+v", id, rep)
+		}
+		wantRaw := int64(2*64 + 8*(len(a.Data)+len(b.Data)))
+		if rep.RawBytes != wantRaw {
+			t.Fatalf("%s: raw bytes %d, want %d", id, rep.RawBytes, wantRaw)
+		}
+		wantEnc := int64(2*64 + id.EncodedSize(a.Rows, a.Cols) + id.EncodedSize(b.Rows, b.Cols))
+		if rep.Bytes != wantEnc {
+			t.Fatalf("%s: encoded bytes %d, want %d", id, rep.Bytes, wantEnc)
+		}
+		if got := bus.Stats().ByKind[KindLatents]; got != wantEnc {
+			t.Fatalf("%s: inner stats booked %d B, want encoded %d B", id, got, wantEnc)
+		}
+		switch id {
+		case codec.F64:
+			if rep.MaxErr != 0 || rep.MeanErr != 0 {
+				t.Fatalf("f64: nonzero error %+v", rep)
+			}
+		case codec.Q8:
+			if !(rep.MaxErr > 0) || !(rep.MeanErr > 0) || rep.MeanErr > rep.MaxErr {
+				t.Fatalf("q8: implausible error stats %+v", rep)
+			}
+		}
+	}
+}
+
+// TestCodecBusDefaultBitIdentity is the headline guarantee of the wire-codec
+// layer: a default (f64) CodecBus run is bit-identical to a bare LocalBus
+// run — training losses, synthesised output, and the per-kind byte and
+// message accounting all match exactly, so enabling the codec layer by
+// default changes nothing about today's results.
+func TestCodecBusDefaultBitIdentity(t *testing.T) {
+	bare := NewLocalBus()
+	baseAE, baseDiff, baseOut := chaosStackedRun(t, bare)
+
+	wire := NewCodecBus(NewLocalBus(), codec.F64)
+	ae, diff, out := chaosStackedRun(t, wire)
+	if math.Float64bits(ae) != math.Float64bits(baseAE) || math.Float64bits(diff) != math.Float64bits(baseDiff) {
+		t.Fatalf("f64 codec losses (%v, %v) diverge from bare bus (%v, %v)", ae, diff, baseAE, baseDiff)
+	}
+	sameTable(t, "codec-f64/stacked", baseOut, out)
+
+	bs, ws := bare.Stats(), wire.Stats()
+	if ws.Messages != bs.Messages || ws.Bytes != bs.Bytes {
+		t.Fatalf("f64 codec stats (%d msgs, %d B) diverge from bare bus (%d msgs, %d B)", ws.Messages, ws.Bytes, bs.Messages, bs.Bytes)
+	}
+	for kind, want := range bs.ByKind {
+		if ws.ByKind[kind] != want {
+			t.Fatalf("f64 codec ByKind[%s] = %d, want %d", kind, ws.ByKind[kind], want)
+		}
+	}
+	rep := wire.WireReport()
+	for _, kind := range WireReportKinds(rep) {
+		r := rep[kind]
+		if r.MaxErr != 0 || r.MeanErr != 0 {
+			t.Fatalf("f64 codec reported nonzero error for %s: %+v", kind, r)
+		}
+		if r.Bytes != r.RawBytes {
+			t.Fatalf("f64 codec %s encoded %d B != raw %d B", kind, r.Bytes, r.RawBytes)
+		}
+	}
+}
+
+// TestCodecBusCompression pins the headline byte savings on a real stacked
+// run: relative to the f64 framing, f32 carries the latent stream in about
+// half the bytes and q8 in about a quarter, with reconstruction error
+// within each codec's documented bound.
+func TestCodecBusCompression(t *testing.T) {
+	byteses := map[codec.ID]int64{}
+	reports := map[codec.ID]WireKindStats{}
+	for _, id := range []codec.ID{codec.F64, codec.F32, codec.Q8} {
+		wire := NewCodecBus(NewLocalBus(), id)
+		chaosStackedRun(t, wire)
+		byteses[id] = wire.Stats().ByKind[KindLatents]
+		reports[id] = wire.WireReport()[string(KindLatents)]
+	}
+	f64b, f32b, q8b := byteses[codec.F64], byteses[codec.F32], byteses[codec.Q8]
+	if f64b == 0 {
+		t.Fatal("no latent traffic recorded")
+	}
+	if ratio := float64(f32b) / float64(f64b); ratio < 0.4 || ratio > 0.6 {
+		t.Fatalf("f32/f64 latent byte ratio %.3f outside [0.4, 0.6] (%d/%d)", ratio, f32b, f64b)
+	}
+	if ratio := float64(q8b) / float64(f64b); ratio < 0.1 || ratio > 0.35 {
+		t.Fatalf("q8/f64 latent byte ratio %.3f outside [0.1, 0.35] (%d/%d)", ratio, q8b, f64b)
+	}
+	if r := reports[codec.F32]; !(r.MaxErr > 0) || r.MaxErr > 1e-4 {
+		t.Fatalf("f32 latent max error %v outside (0, 1e-4]", r.MaxErr)
+	}
+	if r := reports[codec.Q8]; !(r.MaxErr > 0) || r.MaxErr > 0.5 {
+		t.Fatalf("q8 latent max error %v outside (0, 0.5]", r.MaxErr)
+	}
+}
+
+// codecChaos builds the full four-layer stack under test: application ->
+// CodecBus (framing) -> ResilientBus (retries, dedup, checksums) ->
+// ChaosBus (fault injection) -> LocalBus.
+func codecChaos(id codec.ID, seed int64, prof ChaosProfile) (*CodecBus, *ChaosBus) {
+	rb, cb := resilientChaos(seed, prof)
+	return NewCodecBus(rb, id), cb
+}
+
+// TestChaosMatrixCodecTransparent extends the chaos matrix across wire
+// codecs: under every transparently recoverable fault class, a run framed
+// with each codec recovers losses and synthesised output bit-identical to
+// that codec's own fault-free baseline. Retries resend the identical
+// encoded blob and dedup drops duplicate frames, so lossy framing composes
+// with fault recovery without compounding error.
+func TestChaosMatrixCodecTransparent(t *testing.T) {
+	for _, id := range []codec.ID{codec.F32, codec.Q8} {
+		base := NewCodecBus(NewLocalBus(), id)
+		baseAE, baseDiff, baseOut := chaosStackedRun(t, base)
+		for _, name := range []string{"drop", "dup", "reorder", "flaky"} {
+			wire, cb := codecChaos(id, 7, mustProfile(t, name))
+			ae, diff, out := chaosStackedRun(t, wire)
+			label := id.String() + "/" + name
+			if math.Float64bits(ae) != math.Float64bits(baseAE) || math.Float64bits(diff) != math.Float64bits(baseDiff) {
+				t.Fatalf("%s: losses (%v, %v) diverge from codec baseline (%v, %v)", label, ae, diff, baseAE, baseDiff)
+			}
+			sameTable(t, label, baseOut, out)
+			st := wire.Stats()
+			goodput := st.Bytes - st.ByKind[KindRetransmit]
+			if goodput != base.Stats().Bytes {
+				t.Fatalf("%s: goodput %d B != fault-free %d B", label, goodput, base.Stats().Bytes)
+			}
+			if name == "drop" && (cb.FaultStats().Drops == 0 || st.ByKind[KindRetransmit] == 0) {
+				t.Fatalf("%s: drop profile injected no observable faults", label)
+			}
+		}
+	}
+}
+
+// TestChaosCodecCorruptFailsTyped: a bit flipped inside the encoded blob
+// must be caught by the resilient layer's checksum and surface as the typed
+// ErrCorruptPayload under every codec — compressed frames get the same
+// integrity guarantee as native payloads.
+func TestChaosCodecCorruptFailsTyped(t *testing.T) {
+	for _, id := range []codec.ID{codec.F64, codec.F32, codec.Q8} {
+		wire, cb := codecChaos(id, 4, ChaosProfile{Name: "corrupt-all", CorruptPermille: 1000})
+		tb := loanTable(t, 120)
+		cfg := smallConfig(2)
+		cfg.AEIters, cfg.DiffIters = 10, 10
+		p, err := NewPipeline(wire, tb, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := p.TrainStacked(); !errors.Is(err, ErrCorruptPayload) {
+			t.Fatalf("%s: stacked over corrupt-all: err = %v, want ErrCorruptPayload", id, err)
+		}
+		if cb.FaultStats().Corrupts == 0 {
+			t.Fatalf("%s: corrupt-all profile flipped no bits", id)
+		}
+	}
+}
+
+// TestChaosCrashRecoveryCodec: the crash class composed with lossy framing —
+// client c1 dies on its first upload, recovery revives it and replays the
+// phase, and the recovered run matches the same codec's fault-free baseline
+// bit for bit (the replayed frame encodes to the identical blob).
+func TestChaosCrashRecoveryCodec(t *testing.T) {
+	base := NewCodecBus(NewLocalBus(), codec.Q8)
+	baseAE, baseDiff, baseOut := chaosStackedRun(t, base)
+
+	wire, cb := codecChaos(codec.Q8, 2, mustProfile(t, "crash"))
+	tb := loanTable(t, 150)
+	cfg := smallConfig(2)
+	cfg.AEIters, cfg.DiffIters = 40, 60
+	p, err := NewPipeline(wire, tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := RecoveryConfig{OnPeerDead: func(peer string) error {
+		cb.Revive(peer)
+		return nil
+	}}
+	ae, diff, _, err := p.TrainStackedResilient(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cb.FaultStats().Crashes; got != 1 {
+		t.Fatalf("crashes = %d, want 1", got)
+	}
+	if math.Float64bits(ae) != math.Float64bits(baseAE) || math.Float64bits(diff) != math.Float64bits(baseDiff) {
+		t.Fatalf("q8 crash recovery losses (%v, %v) diverge from codec baseline (%v, %v)", ae, diff, baseAE, baseDiff)
+	}
+	out, err := p.SynthesizeShared(0, 30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTable(t, "q8/crash", baseOut, out)
+}
+
+// TestCodecWireSizeToleranceTCP measures real gob framing of codec-framed
+// envelopes against the WireSize model and pins the documented
+// CodecWireSizeFactor/CodecWireSizeSlack tolerance for every codec: []byte
+// blobs move essentially verbatim through gob, so the framed streams track
+// the model far tighter than native float64 payloads do.
+func TestCodecWireSizeToleranceTCP(t *testing.T) {
+	hub, err := NewTCPHub("coord", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	rng := rand.New(rand.NewSource(6))
+	m := tensor.New(50, 20).Randn(rng, 1)
+	for _, id := range []codec.ID{codec.F64, codec.F32, codec.Q8} {
+		peer, err := DialHub("peer-"+id.String(), hub.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Closed only after the hub shuts down: closing a live peer mid-test
+		// would inject a peer-down notice into the hub inbox that the next
+		// codec's Recv would trip over.
+		defer peer.Close()
+		var modelled int64
+		for i := 0; i < 3; i++ {
+			blob, _, err := codec.Encode(id, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := &Envelope{From: peer.Name, To: "coord", Kind: KindLatents, Blob: blob, Codec: id, Rows: m.Rows, Cols: m.Cols}
+			modelled += e.WireSize()
+			if err := peer.Send(e); err != nil {
+				t.Fatal(err)
+			}
+			got, err := hub.Recv("coord")
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := codec.Decode(got.Codec, got.Blob, got.Rows, got.Cols)
+			if err != nil {
+				t.Fatalf("%s: decode after TCP round trip: %v", id, err)
+			}
+			if dec.Rows != m.Rows || dec.Cols != m.Cols {
+				t.Fatalf("%s: shape lost over TCP", id)
+			}
+		}
+		measured := peer.Stats().Bytes
+		bound := int64(CodecWireSizeFactor*float64(modelled)) + CodecWireSizeSlack
+		if measured <= 0 || measured > bound {
+			t.Fatalf("%s stream measured %d B, want within (0, %d] (modelled %d)", id, measured, bound, modelled)
+		}
+		// The tolerance must also be tight: the measured stream may not sit
+		// below the model by more than the same slack, or the constants are
+		// documenting dead air.
+		if measured < modelled-CodecWireSizeSlack {
+			t.Fatalf("%s stream measured %d B, more than %d B below the %d B model — tolerance is too loose", id, measured, CodecWireSizeSlack, modelled)
+		}
+	}
+}

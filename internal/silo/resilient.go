@@ -127,6 +127,15 @@ func checksumEnvelope(e *Envelope) uint64 {
 	for _, b := range e.Blob {
 		h = (h ^ uint64(b)) * prime
 	}
+	// Codec-framed envelopes fold the codec id and blob dimensions in, so a
+	// corrupted shape fails verification exactly like a corrupted value.
+	// Unframed envelopes skip the folds, keeping their checksums identical
+	// to the pre-codec wire format.
+	if e.Codec != 0 {
+		h = (h ^ uint64(e.Codec)) * prime
+		h = (h ^ uint64(e.Rows)) * prime
+		h = (h ^ uint64(e.Cols)) * prime
+	}
 	if e.Payload != nil {
 		h = (h ^ uint64(e.Payload.Rows)) * prime
 		h = (h ^ uint64(e.Payload.Cols)) * prime

@@ -9,19 +9,23 @@ import (
 	"time"
 
 	"silofuse/internal/obs"
+	"silofuse/internal/silo/codec"
 	"silofuse/internal/tensor"
 )
 
 // wireEnvelope is the gob wire format; tensor payloads are flattened. Flow
 // carries the distributed trace context across the socket (gob omits the
 // field entirely when zero, so untraced runs pay no wire bytes for it).
+// Rows/Cols serve double duty: the dimensions of a native Data payload, or —
+// when Codec is non-zero — of the codec-framed tensor carried in Blob.
 type wireEnvelope struct {
 	From, To string
 	Kind     Kind
 	Rows     int
 	Cols     int
 	Data     []float64
-	Blob     []byte // opaque payload (telemetry updates); omitted when empty
+	Blob     []byte   // opaque payload (telemetry, codec frames); omitted when empty
+	Codec    codec.ID // wire codec id for Blob tensors; omitted when zero
 	Flow     uint64
 	// Resilient-delivery fields; gob omits them when zero, so unwrapped
 	// transports pay no wire bytes (see Envelope).
@@ -31,17 +35,21 @@ type wireEnvelope struct {
 }
 
 func toWire(e *Envelope) wireEnvelope {
-	w := wireEnvelope{From: e.From, To: e.To, Kind: e.Kind, Blob: e.Blob, Flow: e.Flow, Seq: e.Seq, Sum: e.Sum, Rexmit: e.Rexmit}
+	w := wireEnvelope{From: e.From, To: e.To, Kind: e.Kind, Blob: e.Blob, Codec: e.Codec, Flow: e.Flow, Seq: e.Seq, Sum: e.Sum, Rexmit: e.Rexmit}
 	if e.Payload != nil {
 		w.Rows, w.Cols, w.Data = e.Payload.Rows, e.Payload.Cols, e.Payload.Data
+	} else if e.Codec != 0 {
+		w.Rows, w.Cols = e.Rows, e.Cols
 	}
 	return w
 }
 
 func fromWire(w wireEnvelope) *Envelope {
-	e := &Envelope{From: w.From, To: w.To, Kind: w.Kind, Blob: w.Blob, Flow: w.Flow, Seq: w.Seq, Sum: w.Sum, Rexmit: w.Rexmit}
+	e := &Envelope{From: w.From, To: w.To, Kind: w.Kind, Blob: w.Blob, Codec: w.Codec, Flow: w.Flow, Seq: w.Seq, Sum: w.Sum, Rexmit: w.Rexmit}
 	if w.Data != nil {
 		e.Payload = tensor.FromSlice(w.Rows, w.Cols, w.Data)
+	} else if w.Codec != 0 {
+		e.Rows, e.Cols = w.Rows, w.Cols
 	}
 	return e
 }

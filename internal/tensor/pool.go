@@ -24,13 +24,22 @@ import (
 // bias row for the fused matmul+bias kernel.
 type kernelFn func(a, b, c, dst *Matrix, lo, hi int)
 
+// kernel32Fn is the float32 counterpart of kernelFn, dispatched over the
+// same worker pool.
+type kernel32Fn func(a, b, c, dst *Matrix32, lo, hi int)
+
 // chunkTask describes one contiguous chunk of a kernel invocation. It is
-// sent by value so enqueueing does not allocate.
+// sent by value so enqueueing does not allocate. Exactly one of kern/kern32
+// is set; the worker dispatches on which.
 type chunkTask struct {
 	kern         kernelFn
 	a, b, c, dst *Matrix
-	lo, hi       int
-	state        *callState
+
+	kern32               kernel32Fn
+	a32, b32, c32, dst32 *Matrix32
+
+	lo, hi int
+	state  *callState
 }
 
 // callState tracks completion of one parallel kernel invocation. done is
@@ -71,7 +80,11 @@ func ensurePool() {
 
 func poolWorker() {
 	for t := range workCh {
-		t.kern(t.a, t.b, t.c, t.dst, t.lo, t.hi)
+		if t.kern != nil {
+			t.kern(t.a, t.b, t.c, t.dst, t.lo, t.hi)
+		} else {
+			t.kern32(t.a32, t.b32, t.c32, t.dst32, t.lo, t.hi)
+		}
 		finishChunk(t.state)
 	}
 }
@@ -120,6 +133,41 @@ func dispatchKernel(kern kernelFn, a, b, c, dst *Matrix, n, work int) {
 	// Exactly one chunk completion sends on done (the last one, possibly
 	// this caller's own); receiving it both waits for stragglers and
 	// drains the channel so the state is clean for reuse.
+	finishChunk(s)
+	<-s.done
+	statePool.Put(s)
+}
+
+// dispatchKernel32 is dispatchKernel for float32 kernels: same thresholds,
+// same chunking, same caller-runs-the-last-chunk discipline, same pool.
+// Chunk boundaries never change the result because every f32 kernel keeps a
+// fixed per-output-element reduction order too.
+func dispatchKernel32(kern kernel32Fn, a, b, c, dst *Matrix32, n, work int) {
+	if n <= 0 {
+		return
+	}
+	parts := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || n < 2 || parts == 1 {
+		kern(a, b, c, dst, 0, n)
+		return
+	}
+	ensurePool()
+	if parts > n {
+		parts = n
+	}
+	s := statePool.Get().(*callState)
+	s.remain.Store(int64(parts))
+	chunk := (n + parts - 1) / parts
+	lo := 0
+	for p := 0; p < parts-1; p++ {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		workCh <- chunkTask{kern32: kern, a32: a, b32: b, c32: c, dst32: dst, lo: lo, hi: hi, state: s}
+		lo = hi
+	}
+	kern(a, b, c, dst, lo, n)
 	finishChunk(s)
 	<-s.done
 	statePool.Put(s)

@@ -28,6 +28,7 @@ import (
 	"silofuse/internal/obs/profile"
 	"silofuse/internal/privacy"
 	"silofuse/internal/silo"
+	"silofuse/internal/silo/codec"
 	"silofuse/internal/tabular"
 	"silofuse/internal/tensor"
 )
@@ -231,6 +232,13 @@ type (
 	ResilientBus = silo.ResilientBus
 	// ResilientConfig tunes the ResilientBus retry policy.
 	ResilientConfig = silo.ResilientConfig
+	// CodecBus frames dense tensor payloads through a precision-tiered wire
+	// codec (f64 lossless, f32, q8) with per-kind bytes-vs-error accounting.
+	CodecBus = silo.CodecBus
+	// WireCodec identifies a precision tier of the wire codec.
+	WireCodec = codec.ID
+	// WireKindStats is one kind's bytes-vs-error record under a wire codec.
+	WireKindStats = silo.WireKindStats
 	// Checkpoint captures stacked-training progress for resume.
 	Checkpoint = silo.Checkpoint
 	// RecoveryConfig tunes phase-level recovery from peer death.
@@ -283,6 +291,16 @@ var NewResilientBus = silo.NewResilientBus
 
 // DefaultResilientConfig returns the production retry policy.
 var DefaultResilientConfig = silo.DefaultResilientConfig
+
+// NewCodecBus wraps a Bus with precision-tiered tensor payload framing.
+var NewCodecBus = silo.NewCodecBus
+
+// WireCodecByName resolves a wire codec name: "" or "f64" (lossless
+// default), "f32", "q8", "none" (disable framing).
+var WireCodecByName = codec.ByName
+
+// WireReportKinds lists a wire report's framed kinds in sorted order.
+var WireReportKinds = silo.WireReportKinds
 
 // Observability: pure-stdlib metrics, trace spans, and run manifests. Attach
 // a Recorder via Options.Recorder (or Pipeline.SetRecorder) to collect
