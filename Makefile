@@ -1,7 +1,7 @@
 GO ?= go
 BENCHFLAGS ?= -benchmem
 
-.PHONY: build vet lint test test-chaos race ci bench bench-smoke bench-baseline bench-kernels codec-smoke obs-smoke profile profile-smoke
+.PHONY: build vet lint lint-fixtures test test-chaos race ci bench bench-smoke bench-baseline bench-kernels codec-smoke obs-smoke profile profile-smoke
 
 build:
 	$(GO) build ./...
@@ -9,16 +9,25 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs the repo's own determinism/hot-path analyzers (silofuse-vet)
-# plus go vet and a gofmt check. The tree must stay clean: silofuse-vet
-# exits nonzero on any finding, and unformatted files fail the gofmt step.
+# lint runs the repo's own determinism/hot-path/concurrency analyzers
+# (silofuse-vet) plus go vet and a gofmt check. The tree must stay clean:
+# silofuse-vet exits nonzero on any finding, and unformatted files fail the
+# gofmt step. -stats prints per-analyzer finding counts and wall-time so an
+# analyzer that suddenly gets slow or noisy is visible in the CI log.
 lint:
-	$(GO) run ./cmd/silofuse-vet .
+	$(GO) run ./cmd/silofuse-vet -stats .
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l . | grep -v testdata); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+
+# lint-fixtures runs only the `// want` fixture harness: every analyzer's
+# expectations under internal/analysis/testdata, without loading the whole
+# module tree. CI runs it ahead of the full lint so a broken analyzer fails
+# on its own fixtures (seconds) before the self-check over the repo.
+lint-fixtures:
+	$(GO) test -run 'TestFixtures' -count=1 ./internal/analysis/
 
 test:
 	$(GO) test ./...
@@ -33,9 +42,10 @@ test-chaos:
 # The transport and telemetry layers are exercised under the race detector;
 # the silo package trains real models, so give it a generous timeout. The
 # tensor package is included because its worker pool is the one piece of
-# hand-rolled concurrency under every training loop.
+# hand-rolled concurrency under every training loop; core and experiments
+# ride along because they drive the concurrent protocols end to end.
 race:
-	$(GO) test -race -timeout 30m ./internal/silo/... ./internal/obs/... ./internal/tensor/...
+	$(GO) test -race -timeout 30m ./internal/silo/... ./internal/obs/... ./internal/tensor/... ./internal/core/... ./internal/experiments/...
 
 # bench-smoke runs a tiny end-to-end bench invocation, validates the perf
 # snapshot it writes, and gates the fresh snapshot against the committed
@@ -144,7 +154,7 @@ profile:
 	@echo "profiles: /tmp/silofuse_cpu.pprof /tmp/silofuse_mem.pprof"
 
 ci:
-	$(MAKE) lint && $(GO) build ./... && $(GO) test ./... && $(MAKE) race && $(MAKE) test-chaos && $(MAKE) bench-smoke && $(MAKE) codec-smoke && $(MAKE) obs-smoke && $(MAKE) profile-smoke && $(MAKE) bench-kernels BENCHFLAGS='-benchtime=1x'
+	$(MAKE) lint-fixtures && $(MAKE) lint && $(GO) build ./... && $(GO) test ./... && $(MAKE) race && $(MAKE) test-chaos && $(MAKE) bench-smoke && $(MAKE) codec-smoke && $(MAKE) obs-smoke && $(MAKE) profile-smoke && $(MAKE) bench-kernels BENCHFLAGS='-benchtime=1x'
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -10,9 +10,11 @@
 //
 // Usage:
 //
-//	silofuse-vet [-list] [dir]
+//	silofuse-vet [-list] [-stats] [dir]
 //
-// dir defaults to the current directory and must contain go.mod.
+// dir defaults to the current directory and must contain go.mod. -stats
+// prints a per-analyzer finding-count and wall-time table to stderr after
+// the findings, so `make lint` surfaces analyzer cost regressions.
 package main
 
 import (
@@ -20,14 +22,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"silofuse/internal/analysis"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	stats := flag.Bool("stats", false, "print per-analyzer finding counts and wall-time to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: silofuse-vet [-list] [dir]\n")
+		fmt.Fprintf(os.Stderr, "usage: silofuse-vet [-list] [-stats] [dir]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,13 +53,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "silofuse-vet: %v\n", err)
 		os.Exit(2)
 	}
-	diags := analysis.Run(analyzers, pkgs)
+	diags, perAnalyzer := analysis.RunTimed(analyzers, pkgs)
 	absRoot, _ := filepath.Abs(root)
 	for _, d := range diags {
 		if rel, err := filepath.Rel(absRoot, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
 			d.Pos.Filename = rel
 		}
 		fmt.Println(d)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "%-14s %9s %12s\n", "analyzer", "findings", "wall-time")
+		for _, s := range perAnalyzer {
+			fmt.Fprintf(os.Stderr, "%-14s %9d %12s\n", s.Name, s.Findings, s.Elapsed.Round(time.Microsecond))
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "silofuse-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

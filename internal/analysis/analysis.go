@@ -13,9 +13,17 @@
 // bitwise-parity tests, and float64<->float32 conversions outside the
 // audited precision boundary — at analysis time, before any experiment runs.
 //
+// A second family enforces concurrency discipline, which the race detector
+// can only catch probabilistically: //silofuse:guardedby mutex annotations
+// on struct fields (guardedby), termination paths for every go statement
+// (goroutinelife), and close/send/receive contracts plus hot-path channel
+// capacity (chansafety).
+//
 // Source files opt out of individual checks with annotation comments
 // (//silofuse:noalloc, //silofuse:walltime-ok, //silofuse:bitwise-ok,
-// //silofuse:precision-ok); see the Annotations type for placement rules.
+// //silofuse:precision-ok, //silofuse:locked, //silofuse:fire-and-forget,
+// //silofuse:unbuffered-ok, //silofuse:chan-ok); see the Annotations type
+// for placement rules.
 package analysis
 
 import (
@@ -24,6 +32,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Diagnostic is one finding: a position, the analyzer that produced it, and
@@ -73,9 +82,28 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 // sorted by file, line, column, then analyzer name, so output and tests are
 // deterministic regardless of package traversal order.
 func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	diags, _ := RunTimed(analyzers, pkgs)
+	return diags
+}
+
+// Stat aggregates one analyzer's cost and yield across a RunTimed call, so
+// the lint driver can surface analyzer regressions (cost in wall-time,
+// noise in finding counts) without profiling.
+type Stat struct {
+	Name     string
+	Findings int
+	Elapsed  time.Duration
+}
+
+// RunTimed is Run plus per-analyzer stats, ordered like the analyzers slice.
+func RunTimed(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, []Stat) {
 	var diags []Diagnostic
+	stats := make([]Stat, len(analyzers))
+	for i, a := range analyzers {
+		stats[i].Name = a.Name
+	}
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+		for i, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -85,9 +113,18 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 				Annot:    pkg.Annot,
 				diags:    &diags,
 			}
+			before := len(diags)
+			start := time.Now()
 			a.Run(pass)
+			stats[i].Elapsed += time.Since(start)
+			stats[i].Findings += len(diags) - before
 		}
 	}
+	sortDiags(diags)
+	return diags, stats
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -101,7 +138,6 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
 }
 
 // All returns the full silofuse analyzer suite in a stable order.
@@ -114,6 +150,9 @@ func All() []*Analyzer {
 		NilRecorder,
 		FloatEq,
 		PrecisionCast,
+		GuardedBy,
+		GoroutineLife,
+		ChanSafety,
 	}
 }
 

@@ -1,0 +1,350 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ChanSafety guards the close/send/receive contracts around channels that
+// some path in the package close()s. Channel identity is resolved to a
+// "root" — the struct field, package variable, or make-site local a channel
+// expression traces back to through selectors, map/slice indexing, local
+// assignments, range clauses, and single-result same-package accessor calls
+// (the LocalBus.box(to) shape). Roots the analyzer cannot resolve produce
+// no findings: the check is conservative by construction.
+//
+// Three rules, all in non-test files:
+//
+//  1. close-then-send: a send on a root that is also close()d in this
+//     package panics if the close wins the race, so both the send and the
+//     close must run under some mutex (a Lock/RLock earlier in the same
+//     function body) or carry //silofuse:chan-ok <why>.
+//
+//  2. closed-signal receives: a plain value receive (v := <-ch, f(<-ch))
+//     from a root that is close()d elsewhere silently yields zero values
+//     after close; use the v, ok := <-ch form. Signal-only waits (<-done,
+//     case <-done:) and ranges are fine — termination is the point.
+//
+//  3. capacity discipline: in the hot-path packages (tensor, nn, diffusion,
+//     silo), an unbuffered make(chan T) is a rendezvous that stalls the
+//     sender until a receiver arrives; give the channel an explicit
+//     capacity or justify the rendezvous with //silofuse:unbuffered-ok.
+var ChanSafety = &Analyzer{
+	Name: "chansafety",
+	Doc:  "guard close-then-send races, closed-signal receives, and unbuffered hot-path channels",
+	Run:  runChanSafety,
+}
+
+// hotChanPkgs are the packages where an unbuffered channel on a steady-state
+// path is a latent stall; capacity must be explicit or justified.
+var hotChanPkgs = map[string]bool{"tensor": true, "nn": true, "diffusion": true, "silo": true}
+
+// chanSite is one send/close/receive on a resolved channel root.
+type chanSite struct {
+	root types.Object
+	pos  token.Pos
+	fd   *ast.FuncDecl
+	what string // "send" or "close", for diagnostics
+}
+
+func runChanSafety(p *Pass) {
+	decls := funcDecls(p)
+	var sends, closes, valueRecvs []chanSite
+	closedRoots := make(map[types.Object]bool)
+	sentRoots := make(map[types.Object]bool)
+	lockOpsOf := make(map[*ast.FuncDecl][]lockOp)
+
+	for _, f := range p.Files {
+		fname := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(fname, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			parents := buildParents(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SendStmt:
+					if root := chanRoot(p, decls, fd, n.Chan, 0, nil); root != nil {
+						sends = append(sends, chanSite{root: root, pos: n.Arrow, fd: fd, what: "send"})
+						sentRoots[root] = true
+					}
+				case *ast.CallExpr:
+					checkMakeChan(p, n)
+					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 1 {
+						if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+							if root := chanRoot(p, decls, fd, n.Args[0], 0, nil); root != nil {
+								closes = append(closes, chanSite{root: root, pos: n.Pos(), fd: fd, what: "close"})
+								closedRoots[root] = true
+							}
+						}
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW && !safeReceiveContext(parents[n]) {
+						if root := chanRoot(p, decls, fd, n.X, 0, nil); root != nil {
+							valueRecvs = append(valueRecvs, chanSite{root: root, pos: n.Pos(), fd: fd})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	ops := func(fd *ast.FuncDecl) []lockOp {
+		if o, ok := lockOpsOf[fd]; ok {
+			return o
+		}
+		o := collectLockOps(p.Info, fd.Body)
+		lockOpsOf[fd] = o
+		return o
+	}
+	report := func(s chanSite, other string) {
+		arg, ok := p.Annot.Lookup(AnnotChanOK, s.pos)
+		if ok {
+			if arg == "" {
+				p.Report(s.pos, "chan-ok annotation needs a one-line justification")
+			}
+			return
+		}
+		if lockHeldBefore(ops(s.fd), nil, s.pos) {
+			return
+		}
+		p.Report(s.pos, "%s on channel %s, which another path in this package %ss; hold a mutex around both or justify with //silofuse:chan-ok <why>",
+			s.what, s.root.Name(), other)
+	}
+	for _, s := range sends {
+		if closedRoots[s.root] {
+			report(s, "close")
+		}
+	}
+	for _, c := range closes {
+		if sentRoots[c.root] {
+			report(c, "send")
+		}
+	}
+	for _, r := range valueRecvs {
+		if !closedRoots[r.root] {
+			continue
+		}
+		if arg, ok := p.Annot.Lookup(AnnotChanOK, r.pos); ok {
+			if arg == "" {
+				p.Report(r.pos, "chan-ok annotation needs a one-line justification")
+			}
+			continue
+		}
+		p.Report(r.pos, "value receive from channel %s, which this package closes, cannot tell a real value from the closed signal; use the v, ok := <-ch form", r.root.Name())
+	}
+}
+
+// safeReceiveContext reports whether a receive expression's parent makes the
+// closed case explicit or irrelevant: the comma-ok assignment form, or a
+// bare signal wait (an expression statement, including `case <-ch:`).
+func safeReceiveContext(parent ast.Node) bool {
+	switch parent := parent.(type) {
+	case *ast.AssignStmt:
+		return len(parent.Lhs) == 2 && len(parent.Rhs) == 1
+	case *ast.ExprStmt:
+		return true
+	}
+	return false
+}
+
+// checkMakeChan enforces rule 3: explicit capacity (or a justified
+// annotation) for channels made in hot-path packages.
+func checkMakeChan(p *Pass, call *ast.CallExpr) {
+	if !hotChanPkgs[p.Pkg.Name()] || len(call.Args) != 1 {
+		return
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return
+	}
+	t := p.Info.TypeOf(call.Args[0])
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Chan); !ok {
+		return
+	}
+	arg, ok := p.Annot.Lookup(AnnotUnbufferedOK, call.Pos())
+	if !ok {
+		p.Report(call.Pos(), "unbuffered make(chan) in hot-path package %s stalls the sender at a rendezvous; give it a capacity or justify with //silofuse:unbuffered-ok <why>", p.Pkg.Name())
+		return
+	}
+	if arg == "" {
+		p.Report(call.Pos(), "unbuffered-ok annotation needs a one-line justification")
+	}
+}
+
+// chanRoot resolves a channel expression to the object that identifies it
+// across functions: a struct field (b.boxes, through any indexing), a
+// package-level variable, or the local variable of its make site. Locals
+// are chased through := / = assignments and range clauses; single-result
+// same-package calls are chased into their return expressions (accessor
+// helpers). nil means "unknown" and suppresses findings.
+func chanRoot(p *Pass, decls map[*types.Func]*ast.FuncDecl, fd *ast.FuncDecl, e ast.Expr, depth int, seen map[types.Object]bool) types.Object {
+	if depth > 8 {
+		return nil
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := p.Info.Uses[e]
+		if obj == nil {
+			obj = p.Info.Defs[e]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return nil
+		}
+		if v.IsField() || v.Parent() == p.Pkg.Scope() {
+			return v
+		}
+		if seen[v] {
+			return nil
+		}
+		if seen == nil {
+			seen = make(map[types.Object]bool)
+		}
+		seen[v] = true
+		madeHere := false
+		for _, src := range localDefSources(p, fd, v) {
+			if isMakeChan(p, src) {
+				madeHere = true
+				continue
+			}
+			if root := chanRoot(p, decls, fd, src, depth+1, seen); root != nil {
+				return root
+			}
+		}
+		if madeHere {
+			// A channel made here but stored into a field or package var is
+			// identified by that destination (the LocalBus.box shape: the
+			// fresh inbox lands in b.boxes, which Close ranges over).
+			if root := localStoreTarget(p, decls, fd, v, depth, seen); root != nil {
+				return root
+			}
+			return v
+		}
+		return nil
+	case *ast.SelectorExpr:
+		if v, ok := p.Info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+		return nil
+	case *ast.IndexExpr:
+		return chanRoot(p, decls, fd, e.X, depth+1, seen)
+	case *ast.CallExpr:
+		fn := calleeFunc(p.Info, e)
+		if fn == nil {
+			return nil
+		}
+		callee := decls[fn]
+		if callee == nil || callee.Type.Results == nil || callee.Type.Results.NumFields() != 1 {
+			return nil
+		}
+		var root types.Object
+		ast.Inspect(callee.Body, func(n ast.Node) bool {
+			if root != nil {
+				return false
+			}
+			if ret, ok := n.(*ast.ReturnStmt); ok && len(ret.Results) == 1 {
+				root = chanRoot(p, decls, callee, ret.Results[0], depth+1, seen)
+			}
+			return root == nil
+		})
+		return root
+	}
+	return nil
+}
+
+// isMakeChan reports whether e is a make(chan ...) call, buffered or not.
+func isMakeChan(p *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return false
+	}
+	t := p.Info.TypeOf(call.Args[0])
+	if t == nil {
+		return false
+	}
+	_, ok = t.Underlying().(*types.Chan)
+	return ok
+}
+
+// localStoreTarget resolves the root of the destination a local channel is
+// stored into (b.boxes[name] = ch), skipping stores back onto the local
+// itself.
+func localStoreTarget(p *Pass, decls map[*types.Func]*ast.FuncDecl, fd *ast.FuncDecl, v *types.Var, depth int, seen map[types.Object]bool) types.Object {
+	var root types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if root != nil {
+			return false
+		}
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || len(a.Lhs) != len(a.Rhs) {
+			return true
+		}
+		for i, rhs := range a.Rhs {
+			id, ok := ast.Unparen(rhs).(*ast.Ident)
+			if !ok || p.Info.Uses[id] != types.Object(v) {
+				continue
+			}
+			if r := chanRoot(p, decls, fd, a.Lhs[i], depth+1, seen); r != nil && r != types.Object(v) {
+				root = r
+			}
+		}
+		return root == nil
+	})
+	return root
+}
+
+// localDefSources collects the expressions a local variable is defined or
+// reassigned from inside fd: matching assignment RHSs, and the ranged
+// operand when the variable is a range key/value.
+func localDefSources(p *Pass, fd *ast.FuncDecl, v *types.Var) []ast.Expr {
+	var out []ast.Expr
+	matches := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && (p.Info.Defs[id] == v || p.Info.Uses[id] == types.Object(v))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if matches(lhs) {
+						out = append(out, n.Rhs[i])
+					}
+				}
+			} else if len(n.Lhs) == 2 && len(n.Rhs) == 1 && matches(n.Lhs[0]) {
+				// comma-ok forms: ch, ok := m[k] sources ch from the map
+				// read (receives and type asserts resolve to no root).
+				out = append(out, n.Rhs[0])
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if e != nil && matches(e) {
+					out = append(out, n.X)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

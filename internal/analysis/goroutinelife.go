@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroutineLife requires every go statement in non-test code to have a
+// visible termination path, so a growing fleet of serve/shard workers
+// cannot silently accumulate leaked goroutines. A spawn is accepted when
+// the spawned body (a func literal, or a same-package function the
+// analyzer can resolve) either
+//
+//   - receives from a channel (a done/stop select, a context.Done wait, or
+//     ranging over a work channel that close() terminates), or
+//   - calls sync.WaitGroup.Done while a WaitGroup.Add appears earlier in
+//     the spawning function — the Add-before-go, defer-Done-inside shape;
+//
+// otherwise the go statement must carry //silofuse:fire-and-forget <why>
+// with a one-line justification. Spawns of functions the analyzer cannot
+// see into (other packages, func-typed values) need the annotation too:
+// lifetime that cannot be audited must at least be argued for.
+var GoroutineLife = &Analyzer{
+	Name: "goroutinelife",
+	Doc:  "require every go statement to have a visible termination path or a fire-and-forget justification",
+	Run:  runGoroutineLife,
+}
+
+func runGoroutineLife(p *Pass) {
+	decls := funcDecls(p)
+	for _, f := range p.Files {
+		fname := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(fname, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(p, decls, fd, g)
+				return true
+			})
+		}
+	}
+}
+
+func checkGoStmt(p *Pass, decls map[*types.Func]*ast.FuncDecl, fd *ast.FuncDecl, g *ast.GoStmt) {
+	if arg, ok := p.Annot.Lookup(AnnotFireAndForget, g.Pos()); ok {
+		if arg == "" {
+			p.Report(g.Pos(), "fire-and-forget annotation needs a one-line justification")
+		}
+		return
+	}
+	body := spawnedBody(p, decls, g.Call)
+	if body == nil {
+		p.Report(g.Pos(), "go statement spawns a function this analyzer cannot see into; justify with //silofuse:fire-and-forget <why> or spawn a package-local function")
+		return
+	}
+	if receivesFromChannel(p, body) {
+		return
+	}
+	if hasWaitGroupCall(p, body, "Done") && waitGroupAddBefore(p, fd, g.Pos()) {
+		return
+	}
+	p.Report(g.Pos(), "goroutine has no visible termination path (no channel receive, no WaitGroup Add/Done pair); justify with //silofuse:fire-and-forget <why>")
+}
+
+// spawnedBody resolves the body the go statement runs: a func literal's own
+// body, or the declaration of a same-package function or method.
+func spawnedBody(p *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := calleeFunc(p.Info, call); fn != nil {
+		if fd := decls[fn]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// receivesFromChannel reports whether body contains a channel receive
+// expression or a range over a channel — the shapes a stop signal or a
+// closed work queue terminates.
+func receivesFromChannel(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasWaitGroupCall reports whether body calls the named sync.WaitGroup
+// method (Done, Wait, Add) anywhere, deferred or not.
+func hasWaitGroupCall(p *Pass, body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isWaitGroupCall(p.Info, call, name) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// waitGroupAddBefore reports whether a WaitGroup.Add call appears before pos
+// in the spawning function, pairing the spawned body's Done.
+func waitGroupAddBefore(p *Pass, fd *ast.FuncDecl, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && call.Pos() < pos && isWaitGroupCall(p.Info, call, "Add") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupCall reports whether call invokes sync.WaitGroup's method of
+// the given name.
+func isWaitGroupCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" || f.Name() != name {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && namedSyncType(sig.Recv().Type()) == "WaitGroup"
+}

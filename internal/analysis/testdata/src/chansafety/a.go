@@ -1,0 +1,83 @@
+// Package silo impersonates the hot-path transport package to exercise the
+// chansafety analyzer: close-then-send races through accessor helpers (the
+// LocalBus.box shape), closed-signal receives, and the unbuffered-channel
+// capacity rule that only fires in hot-path packages.
+package silo
+
+import "sync"
+
+type bus struct {
+	mu    sync.Mutex
+	boxes map[string]chan int
+}
+
+// box returns the named inbox, creating it on first use.
+func (b *bus) box(name string) chan int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ch, ok := b.boxes[name]; ok {
+		return ch
+	}
+	ch := make(chan int, 8)
+	b.boxes[name] = ch
+	return ch
+}
+
+func (b *bus) send(v int) {
+	b.box("a") <- v // want "send on channel boxes, which another path in this package closes"
+}
+
+func (b *bus) sendGuarded(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.box("a") <- v
+}
+
+func (b *bus) shutdown() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.boxes {
+		close(ch)
+	}
+}
+
+type pipeline struct {
+	out chan int
+}
+
+func (p *pipeline) emit(v int) {
+	//silofuse:chan-ok the single producer emits strictly before it closes
+	p.out <- v
+}
+
+func (p *pipeline) finish() {
+	close(p.out) // want "close on channel out, which another path in this package sends"
+}
+
+type feed struct {
+	updates chan int
+}
+
+func (f *feed) stop() { close(f.updates) }
+
+func (f *feed) next() int {
+	return <-f.updates // want "value receive from channel updates"
+}
+
+func (f *feed) nextOK() (int, bool) {
+	v, ok := <-f.updates
+	return v, ok
+}
+
+func (f *feed) wait() {
+	<-f.updates // bare signal wait: closed means "done", which is the point
+}
+
+func makeChans() (chan int, chan int, chan struct{}, chan int) {
+	a := make(chan int) // want "unbuffered make.chan. in hot-path package silo"
+	b := make(chan int, 4)
+	c := make(chan struct{}) //silofuse:unbuffered-ok close-only stop signal, never sent on
+	//silofuse:unbuffered-ok
+	d := make(chan int) // want "unbuffered-ok annotation needs a one-line justification"
+	return a, b, c, d
+}

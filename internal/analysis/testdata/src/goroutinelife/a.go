@@ -1,0 +1,80 @@
+// Package goroutinelife exercises the goroutine-termination analyzer: every
+// go statement needs a visible stop signal (channel receive or range), a
+// WaitGroup Add/Done pair, or a fire-and-forget justification.
+package goroutinelife
+
+import "sync"
+
+func work() {}
+
+func leaky() {
+	go func() { // want "goroutine has no visible termination path"
+		for {
+			work()
+		}
+	}()
+}
+
+func stoppable(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func tracked() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func untracked() {
+	var wg sync.WaitGroup
+	go func() { // want "goroutine has no visible termination path"
+		defer wg.Done()
+		work()
+	}()
+}
+
+func ranged(jobs chan int) {
+	go consumer(jobs) // named same-package worker: range over a closable queue
+}
+
+func consumer(jobs chan int) {
+	for range jobs {
+	}
+}
+
+func opaque(f func()) {
+	go f() // want "go statement spawns a function this analyzer cannot see into"
+}
+
+// justified pumps metrics for the life of the process.
+//
+//silofuse:fire-and-forget metrics flusher runs until process exit by design
+func justified() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+func unjustified() {
+	//silofuse:fire-and-forget
+	go func() { // want "fire-and-forget annotation needs a one-line justification"
+		for {
+			work()
+		}
+	}()
+}

@@ -276,6 +276,7 @@ func StartTelemetry(addr string, cfg TelemetryConfig) (*TelemetryServer, error) 
 		return nil, fmt.Errorf("obs: telemetry listen: %w", err)
 	}
 	srv := &http.Server{Handler: NewTelemetryMux(cfg)}
+	//silofuse:fire-and-forget Serve returns as soon as Close closes the listener
 	go func() { _ = srv.Serve(ln) }()
 	return &TelemetryServer{ln: ln, srv: srv}, nil
 }

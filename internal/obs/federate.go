@@ -65,12 +65,14 @@ func DecodeTelemetryUpdate(b []byte) (*TelemetryUpdate, error) {
 type Federator struct {
 	mu    sync.Mutex
 	rec   *Recorder
-	party string
-	seq   uint64
+	party string // immutable after NewFederator
+	seq   uint64 //silofuse:guardedby mu
 
+	//silofuse:guardedby mu
 	lastCounters map[string]int64
-	lastHists    map[string]HistogramStats
-	spans        []SpanInfo
+	//silofuse:guardedby mu
+	lastHists map[string]HistogramStats
+	spans     []SpanInfo //silofuse:guardedby mu
 
 	// faults, when non-nil, supplies transport fault counters per flush
 	// (cumulative; the aggregator keeps the latest).
@@ -188,9 +190,11 @@ type partyState struct {
 // aggregator is a no-op everywhere, matching the package's recorder
 // contract.
 type FleetAggregator struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//silofuse:guardedby mu
 	parties map[string]*partyState
 	// maxSpans bounds the per-party span collection (oldest dropped).
+	//silofuse:guardedby mu
 	maxSpans int
 }
 

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestFleetAggregatorConcurrentIngest drives one writer goroutine per party
+// (monotonic Seq, so no gap counting) against concurrent readers walking
+// every query surface. Under -race this exercises the aggregator's lock; the
+// final assertion pins that counter deltas accumulate without loss.
+func TestFleetAggregatorConcurrentIngest(t *testing.T) {
+	const parties, updates = 4, 250
+	agg := NewFleetAggregator()
+
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			party := fmt.Sprintf("c%d", p)
+			for seq := uint64(1); seq <= updates; seq++ {
+				agg.Ingest(&TelemetryUpdate{
+					Party:    party,
+					Seq:      seq,
+					Counters: map[string]int64{"bus.messages": 3},
+					Gauges:   map[string]float64{"epoch": float64(seq)},
+				})
+			}
+		}(p)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				agg.FleetHealth()
+				agg.Faults()
+				for _, party := range agg.Parties() {
+					agg.PartySnapshot(party)
+				}
+				_ = agg.WritePrometheus(io.Discard, "coord", Snapshot{})
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := len(agg.Parties()); got != parties {
+		t.Fatalf("Parties() reported %d parties, want %d", got, parties)
+	}
+	for p := 0; p < parties; p++ {
+		party := fmt.Sprintf("c%d", p)
+		snap := agg.PartySnapshot(party)
+		if got, want := snap.Counters["bus.messages"], int64(3*updates); got != want {
+			t.Fatalf("party %s counter bus.messages = %d, want %d", party, got, want)
+		}
+		//silofuse:bitwise-ok gauge values are stored verbatim, so the final write must match exactly
+		if got := snap.Gauges["epoch"]; got != float64(updates) {
+			t.Fatalf("party %s gauge epoch = %v, want %v", party, got, float64(updates))
+		}
+	}
+	health := agg.FleetHealth()
+	if got, ok := health["parties"]; ok {
+		if n, isInt := got.(int); isInt && n != parties {
+			t.Fatalf("FleetHealth parties = %d, want %d", n, parties)
+		}
+	}
+}

@@ -22,12 +22,13 @@ import (
 // acquisition plus a struct store. A nil *FlightRecorder is a no-op,
 // matching the package's recorder contract.
 type FlightRecorder struct {
-	mu      sync.Mutex
-	start   time.Time
+	mu    sync.Mutex
+	start time.Time //silofuse:guardedby mu
+	//silofuse:guardedby mu
 	entries []FlightEntry
-	next    int
-	seq     uint64
-	full    bool
+	next    int    //silofuse:guardedby mu
+	seq     uint64 //silofuse:guardedby mu
+	full    bool   //silofuse:guardedby mu
 }
 
 // FlightEntry is one recorded operation. Op names the operation ("train",

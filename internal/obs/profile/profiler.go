@@ -88,18 +88,23 @@ type Entry struct {
 // a Start while another phase is active is recorded as skipped rather than
 // corrupting the single process-wide CPU profile.
 type PhaseProfiler struct {
-	mu        sync.Mutex
-	cfg       Config
-	active    string // phase currently holding per-phase capture
-	start     time.Time
-	openedAt  time.Time
-	cpuHolder string // phase (or WholeRunPhase) owning runtime CPU profiling
-	cpuFile   *os.File
-	entries   map[string]*Entry // phase+"/"+kind
-	order     []string
-	errs      []string
+	mu  sync.Mutex
+	cfg Config // immutable after New
+	//silofuse:guardedby mu
+	active string    // phase currently holding per-phase capture
+	start  time.Time //silofuse:guardedby mu
+	//silofuse:guardedby mu
+	openedAt time.Time
+	//silofuse:guardedby mu
+	cpuHolder string   // phase (or WholeRunPhase) owning runtime CPU profiling
+	cpuFile   *os.File //silofuse:guardedby mu
+	//silofuse:guardedby mu
+	entries map[string]*Entry // phase+"/"+kind
+	order   []string          //silofuse:guardedby mu
+	errs    []string          //silofuse:guardedby mu
+	//silofuse:guardedby mu
 	prevMutex int
-	closed    bool
+	closed    bool //silofuse:guardedby mu
 }
 
 // New creates the profiler, makes cfg.Dir, raises the runtime mutex/block
@@ -208,6 +213,8 @@ func (p *PhaseProfiler) Stop(phase string) {
 // finishCPUFileLocked closes the active CPU destination and, when it lives
 // inside the profiles dir, indexes it (a -cpuprofile redirect outside the
 // dir is the caller's file, not a run artifact).
+//
+//silofuse:locked mu
 func (p *PhaseProfiler) finishCPUFileLocked(phase string, dur float64) {
 	f := p.cpuFile
 	p.cpuHolder = ""
@@ -230,6 +237,8 @@ func (p *PhaseProfiler) finishCPUFileLocked(phase string, dur float64) {
 }
 
 // snapshotLocked writes the point-in-time profiles for a finished phase.
+//
+//silofuse:locked mu
 func (p *PhaseProfiler) snapshotLocked(phase string, dur float64) {
 	if p.cfg.Dir == "" {
 		return
@@ -275,6 +284,8 @@ func (p *PhaseProfiler) snapshotLocked(phase string, dur float64) {
 }
 
 // indexLocked records (or refreshes) the entry for phase/kind.
+//
+//silofuse:locked mu
 func (p *PhaseProfiler) indexLocked(phase, kind, file string, bytes int64, dur float64) {
 	key := phase + "/" + kind
 	e, ok := p.entries[key]
@@ -342,6 +353,8 @@ func (p *PhaseProfiler) Close() error {
 
 // finalHeapLocked writes the post-GC whole-run heap profile to Dir and/or
 // the -memprofile destination.
+//
+//silofuse:locked mu
 func (p *PhaseProfiler) finalHeapLocked(dur float64) {
 	if !p.cfg.Heap && p.cfg.HeapPath == "" {
 		return
@@ -383,6 +396,8 @@ func (p *PhaseProfiler) finalHeapLocked(dur float64) {
 }
 
 // writeIndexLocked persists index.json next to the profiles.
+//
+//silofuse:locked mu
 func (p *PhaseProfiler) writeIndexLocked() error {
 	if p.cfg.Dir == "" {
 		return nil
@@ -399,6 +414,8 @@ func (p *PhaseProfiler) writeIndexLocked() error {
 }
 
 // entriesLocked returns the index sorted by phase then kind.
+//
+//silofuse:locked mu
 func (p *PhaseProfiler) entriesLocked() []Entry {
 	out := make([]Entry, 0, len(p.order))
 	for _, key := range p.order {

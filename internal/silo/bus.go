@@ -195,12 +195,19 @@ type Resetter interface {
 // LocalBus is an in-process Bus using buffered channels. It is
 // deterministic for single-producer/single-consumer pairs and counts wire
 // sizes exactly as the TCP transport would.
+//
+// Close and Send coordinate through closeMu: Send holds the read side for
+// the duration of the inbox send, Close takes the write side before closing
+// any channel, so a send can never race a close (the classic
+// close-then-send panic). rec is deliberately unguarded — SetRecorder's
+// contract is "call before traffic starts".
 type LocalBus struct {
-	mu     sync.Mutex
-	boxes  map[string]chan *Envelope
-	stats  Stats
-	closed bool
-	rec    *obs.Recorder
+	mu      sync.Mutex
+	boxes   map[string]chan *Envelope //silofuse:guardedby mu
+	stats   Stats                     //silofuse:guardedby mu
+	closeMu sync.RWMutex
+	closed  bool //silofuse:guardedby closeMu
+	rec     *obs.Recorder
 }
 
 // NewLocalBus creates a bus with the given inbox capacity per party.
@@ -239,6 +246,11 @@ func (b *LocalBus) Send(e *Envelope) error {
 	}
 	size := e.WireSize()
 	kind := e.statKind()
+	b.closeMu.RLock()
+	if b.closed {
+		b.closeMu.RUnlock()
+		return ErrBusClosed
+	}
 	b.mu.Lock()
 	b.stats.Messages++
 	b.stats.Bytes += size
@@ -246,8 +258,31 @@ func (b *LocalBus) Send(e *Envelope) error {
 	b.stats.ByKind[kind] += size
 	b.mu.Unlock()
 	b.box(e.To) <- e
+	b.closeMu.RUnlock()
 	if b.rec != nil {
 		b.rec.Message(string(kind), size, b.rec.Since(t0))
+	}
+	return nil
+}
+
+// Close marks the bus closed and closes every inbox channel, so blocked
+// Recv calls return an error and pollers observe termination. Subsequent
+// Sends fail with ErrBusClosed. Close waits for in-flight Sends to finish
+// delivering (they hold closeMu's read side), so it must not be called from
+// a goroutine a pending Send is waiting on: with an inbox full and its
+// reader calling Close instead of Recv, both sides would block forever.
+// Close is idempotent.
+func (b *LocalBus) Close() error {
+	b.closeMu.Lock()
+	defer b.closeMu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.boxes {
+		close(ch)
 	}
 	return nil
 }

@@ -115,14 +115,18 @@ type ChaosBus struct {
 	seed  uint64
 	prof  ChaosProfile
 
-	mu       sync.Mutex
-	pseudo   map[string]uint64 // per-link seq for unsequenced envelopes
-	attempts map[chaosKey]int  // delivery attempts per message identity
-	sends    int               // application sends from prof.CrashPeer
-	fired    bool              // crash already triggered
-	crashed  map[string]bool
-	stash    map[string][]stashed // held-back envelopes per recipient
-	stats    ChaosStats
+	mu sync.Mutex
+	//silofuse:guardedby mu
+	pseudo map[string]uint64 // per-link seq for unsequenced envelopes
+	//silofuse:guardedby mu
+	attempts map[chaosKey]int // delivery attempts per message identity
+	sends    int              //silofuse:guardedby mu
+	fired    bool             //silofuse:guardedby mu
+	//silofuse:guardedby mu
+	crashed map[string]bool
+	//silofuse:guardedby mu
+	stash map[string][]stashed // held-back envelopes per recipient
+	stats ChaosStats           //silofuse:guardedby mu
 }
 
 // chaosKey identifies one logical message on one link.

@@ -17,6 +17,9 @@ var (
 	// ErrCorruptPayload means an envelope arrived whose payload checksum did
 	// not match the sender's — the bytes were altered in flight.
 	ErrCorruptPayload = errors.New("silo: corrupt payload")
+	// ErrBusClosed means a send was attempted on a transport whose Close has
+	// already begun; the message was not delivered and never will be.
+	ErrBusClosed = errors.New("silo: bus closed")
 )
 
 // PeerDeadError carries the name of the dead peer; it unwraps to

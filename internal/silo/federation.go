@@ -64,9 +64,11 @@ func IngestTelemetry(agg *obs.FleetAggregator, e *Envelope) bool {
 type Federation struct {
 	Agg *obs.FleetAggregator
 
-	mu       sync.Mutex
-	feds     map[string]*obs.Federator
-	coordID  string
+	mu sync.Mutex
+	//silofuse:guardedby mu
+	feds    map[string]*obs.Federator
+	coordID string // immutable after NewFederation
+	//silofuse:guardedby mu
 	inflight int
 }
 

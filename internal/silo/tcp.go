@@ -98,17 +98,22 @@ type hubPeer struct {
 type TCPHub struct {
 	Name string
 
-	ln         net.Listener
-	mu         sync.Mutex
-	peers      map[string]*hubPeer
-	inbox      chan *Envelope
-	stats      Stats
-	rec        *obs.Recorder
-	wg         sync.WaitGroup
-	closing    bool
-	beats      map[string]int64 // heartbeats received per peer
+	ln net.Listener
+	mu sync.Mutex
+	//silofuse:guardedby mu
+	peers map[string]*hubPeer
+	inbox chan *Envelope
+	stats Stats //silofuse:guardedby mu
+	rec   *obs.Recorder
+	wg    sync.WaitGroup
+	//silofuse:guardedby mu
+	closing bool
+	//silofuse:guardedby mu
+	beats map[string]int64 // heartbeats received per peer
+	//silofuse:guardedby mu
 	reconnects map[string]int64 // re-registrations per peer
-	ioTimeout  time.Duration    // per-message write deadline; 0 = none
+	//silofuse:guardedby mu
+	ioTimeout time.Duration // per-message write deadline; 0 = none
 }
 
 // PeerHealth is the hub-side liveness view of one peer, surfaced through
@@ -420,15 +425,17 @@ func (h *TCPHub) Close() error {
 type TCPPeer struct {
 	Name string
 
-	conn      net.Conn
-	enc       *gob.Encoder
-	dec       *gob.Decoder
-	mu        sync.Mutex
-	sendMu    sync.Mutex
-	recvMu    sync.Mutex // guards dec, so Reconnect can swap streams safely
-	stats     Stats
-	rec       *obs.Recorder
-	sent      int64
+	conn net.Conn     //silofuse:guardedby mu
+	enc  *gob.Encoder //silofuse:guardedby sendMu
+	//silofuse:guardedby recvMu
+	dec    *gob.Decoder
+	mu     sync.Mutex
+	sendMu sync.Mutex
+	recvMu sync.Mutex // guards dec, so Reconnect can swap streams safely
+	stats  Stats      //silofuse:guardedby mu
+	rec    *obs.Recorder
+	sent   int64 // written through countingWriter's pointer, under mu
+	//silofuse:guardedby mu
 	ioTimeout time.Duration
 }
 
@@ -552,7 +559,7 @@ func (p *TCPPeer) Reconnect(addr string) error {
 // precisely what the missing beats will reveal. The returned stop function
 // is idempotent and waits for the goroutine to exit.
 func (p *TCPPeer) StartHeartbeat(every time.Duration) (stop func()) {
-	done := make(chan struct{})
+	done := make(chan struct{}) //silofuse:unbuffered-ok close-only stop signal, never sent on
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
