@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id or comma-separated list: table2..table7, quality (tables 3+4 in one pass), fig10, fig10x (wire codec sweep), fig11, all")
+	exp := flag.String("exp", "all", "experiment id or comma-separated list: table2..table7, quality (tables 3+4 in one pass), fig10, fig10x (wire codec sweep), fig11, ddp (data-parallel worker scaling), all")
 	scale := flag.String("scale", "fast", "fast or standard")
 	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: experiment's own)")
 	models := flag.String("models", "", "comma-separated model subset (default: experiment's own)")
@@ -184,7 +184,7 @@ func main() {
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"table2", "quality", "table5", "table6", "table7", "fig10", "fig10x", "fig11"}
+		ids = []string{"table2", "quality", "table5", "table6", "table7", "fig10", "fig10x", "fig11", "ddp"}
 	}
 	wallStart := time.Now()
 	for _, id := range ids {
@@ -329,6 +329,12 @@ func run(id string, cfg experiments.Config) error {
 			return err
 		}
 		experiments.PrintTableVII(os.Stdout, rows)
+	case "ddp":
+		rows, err := cfg.DDPScaling()
+		if err != nil {
+			return err
+		}
+		experiments.PrintDDPScaling(os.Stdout, rows)
 	case "fig10":
 		series, err := cfg.Figure10()
 		if err != nil {

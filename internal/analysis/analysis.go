@@ -153,6 +153,7 @@ func All() []*Analyzer {
 		GuardedBy,
 		GoroutineLife,
 		ChanSafety,
+		FixedReduce,
 	}
 }
 

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FixedReduce pins the data-parallel all-reduce's bit-identity invariant at
+// the source level: float addition is non-associative, so the reduce path
+// must fold contributions in one fixed ascending order, never in an order
+// that depends on scheduling, map layout, or worker count. Two halves:
+//
+//  1. A function annotated //silofuse:fixedreduce may not contain
+//     order-unstable constructs: range over a map (random order), go
+//     statements (scheduling order), select statements (ready order), or
+//     descending for loops (an inverted fold is a different floating-point
+//     sum). The annotation marks the accumulation sites of the all-reduce;
+//     anything that could reorder the fold is banned from their bodies.
+//
+//  2. In the reduce-bearing packages (tensor, diffusion, silo), every
+//     non-test function whose name starts with "Reduce" or "reduce" must
+//     carry the annotation, so a new reduction kernel cannot silently skip
+//     the discipline and removing an annotation fails the repo self-check.
+var FixedReduce = &Analyzer{
+	Name: "fixedreduce",
+	Doc:  "keep //silofuse:fixedreduce reduce paths free of order-unstable accumulation",
+	Run:  runFixedReduce,
+}
+
+// reducePkgs are the packages whose Reduce-named functions form the
+// all-reduce path of data-parallel training.
+var reducePkgs = map[string]bool{"tensor": true, "diffusion": true, "silo": true}
+
+func runFixedReduce(p *Pass) {
+	for _, f := range p.Files {
+		fname := p.Fset.Position(f.Pos()).Filename
+		inTest := strings.HasSuffix(fname, "_test.go")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			annotated := FuncAnnotated(AnnotFixedReduce, fd)
+			if annotated {
+				checkFixedReduceBody(p, fd)
+			}
+			if !annotated && !inTest && reducePkgs[p.Pkg.Name()] && isReduceName(fd.Name.Name) {
+				p.Report(fd.Name.Pos(), "reduction %s is missing the //silofuse:fixedreduce annotation", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// isReduceName matches the reduction naming family: Reduce*/reduce*
+// functions. Names that merely contain "Reduced" (SendReduced, the
+// transport half) are not accumulation sites and stay out of scope.
+func isReduceName(name string) bool {
+	return strings.HasPrefix(name, "Reduce") || strings.HasPrefix(name, "reduce")
+}
+
+func checkFixedReduceBody(p *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					p.Report(n.Pos(), "map iteration folds in random order in fixedreduce function %s", name)
+				}
+			}
+		case *ast.GoStmt:
+			p.Report(n.Pos(), "go statement makes accumulation order scheduling-dependent in fixedreduce function %s", name)
+		case *ast.SelectStmt:
+			p.Report(n.Pos(), "select folds in channel-ready order in fixedreduce function %s", name)
+		case *ast.ForStmt:
+			if post, ok := n.Post.(*ast.IncDecStmt); ok && post.Tok == token.DEC {
+				p.Report(n.Pos(), "descending loop inverts the fold order in fixedreduce function %s", name)
+			}
+		}
+		return true
+	})
+}

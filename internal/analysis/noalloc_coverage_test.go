@@ -27,15 +27,22 @@ import (
 //     tensor f32 matmul/elementwise/conversion family, and
 //     TestForward32SteadyStateAllocs (forward32_test.go) pins
 //     DiffusionMLP32.Forward with the Linear32/GELU32/Sequential32 forwards
-//     it drives.
+//     it drives;
+//   - DDP/batched sampling: TestDDPWarmPathAllocs (ddp_test.go) pins
+//     TrainStepGrad with the reduce/flatten kernels it feeds
+//     (tensor.Reduce*, nn.FlattenGradsInto/SetGrads), and
+//     TestSampleBatchWarmAllocs (sample_batch_test.go) pins
+//     SampleBatchWithRngs.
 //
 // Adding an annotation without extending this list (or vice versa) fails the
 // test, so the annotation set cannot drift from the perf suite it documents.
 var noallocPinned = []string{
 	"diffusion.Gaussian.QSampleInto",
 	"diffusion.Gaussian.SampleTimestepsInto",
+	"diffusion.Model.SampleBatchWithRngs",
 	"diffusion.Model.SampleWithRng",
 	"diffusion.Model.TrainStep",
+	"diffusion.Model.TrainStepGrad",
 	"nn.DiffusionMLP.Backward",
 	"nn.DiffusionMLP.Forward",
 	"nn.DiffusionMLP32.Forward",
@@ -44,7 +51,9 @@ var noallocPinned = []string{
 	"nn.Linear.Forward",
 	"nn.Linear32.Forward",
 	"nn.Sequential32.Forward",
+	"nn.FlattenGradsInto",
 	"nn.MSELossInto",
+	"nn.SetGrads",
 	"tensor.Add32Into",
 	"tensor.AddInto",
 	"tensor.ConvertInto32",
@@ -59,6 +68,9 @@ var noallocPinned = []string{
 	"tensor.MatMulT1Into",
 	"tensor.MatMulT2Into",
 	"tensor.MulElemInto",
+	"tensor.ReduceAccumulate",
+	"tensor.ReduceScale",
+	"tensor.ReduceZero",
 	"tensor.SubInto",
 }
 

@@ -1,0 +1,60 @@
+// Package diffusion impersonates a reduce-bearing package so both halves
+// of the fixedreduce analyzer apply: annotated reduce bodies may not
+// contain order-unstable constructs, and Reduce-named functions must carry
+// the annotation.
+package diffusion
+
+// ReduceNaked lacks the annotation the coverage rule demands.
+func ReduceNaked(dst, src []float64) { // want "reduction ReduceNaked is missing the //silofuse:fixedreduce annotation"
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// reduceAscending is a well-formed fold: fixed shard count, ascending
+// order, one trailing scale.
+//
+//silofuse:fixedreduce
+func reduceAscending(acc []float64, parts [][]float64) {
+	for s := 0; s < len(parts); s++ {
+		for i := range acc {
+			acc[i] += parts[s][i]
+		}
+	}
+	inv := 1 / float64(len(parts))
+	for i := range acc {
+		acc[i] *= inv
+	}
+}
+
+// reduceUnstable claims the contract but folds in every order-unstable way
+// the analyzer recognises.
+//
+//silofuse:fixedreduce
+func reduceUnstable(acc []float64, byShard map[int][]float64, ch chan []float64) {
+	for _, g := range byShard { // want "map iteration folds in random order in fixedreduce function reduceUnstable"
+		for i := range acc {
+			acc[i] += g[i]
+		}
+	}
+	done := make(chan float64, 1)
+	go func() { // want "go statement makes accumulation order scheduling-dependent in fixedreduce function reduceUnstable" "goroutine has no visible termination path"
+		done <- acc[0]
+	}()
+	acc[0] = <-done
+	select { // want "select folds in channel-ready order in fixedreduce function reduceUnstable"
+	case g := <-ch:
+		acc[0] += g[0]
+	default:
+	}
+	for i := len(acc) - 1; i >= 0; i-- { // want "descending loop inverts the fold order in fixedreduce function reduceUnstable"
+		acc[i] *= 0.5
+	}
+}
+
+// SendReduced carries a reduced update but is not an accumulation site: the
+// naming rule keys on the Reduce*/reduce* prefix, so the transport family
+// stays out of scope.
+func SendReduced(ch chan []float64, u []float64) {
+	ch <- u
+}

@@ -1,0 +1,113 @@
+package diffusion
+
+import (
+	"math/rand"
+
+	"silofuse/internal/nn"
+	"silofuse/internal/tensor"
+)
+
+// CatModel is a trainable multinomial DDPM over a single categorical
+// feature with K categories: the TabDDPM-style categorical half reduced to
+// a standalone model so the data-parallel driver can be proven equivalent
+// on both diffusion families, not just the Gaussian latent path. The
+// backbone consumes the one-hot corrupted code and regresses x0 logits
+// (x0-parameterisation, cross-entropy surrogate).
+type CatModel struct {
+	M   *Multinomial
+	Net *nn.DiffusionMLP
+	Opt *nn.Adam
+	K   int
+
+	tsBuf []int
+	xtBuf *tensor.Matrix
+}
+
+// CatModelConfig configures a CatModel.
+type CatModelConfig struct {
+	K       int     // category count
+	Hidden  int     // backbone hidden width
+	Depth   int     // backbone hidden blocks
+	TimeDim int     // sinusoidal embedding width
+	T       int     // training timesteps
+	LR      float64 // Adam learning rate
+	Dropout float64 // backbone dropout
+}
+
+// DefaultCatModelConfig returns a CPU-friendly categorical model
+// configuration; K must be set by the caller.
+func DefaultCatModelConfig(k int) CatModelConfig {
+	return CatModelConfig{K: k, Hidden: 64, Depth: 2, TimeDim: 16, T: 100, LR: 1e-3, Dropout: 0.01}
+}
+
+// NewCatModel builds a categorical model from cfg, drawing initial weights
+// from rng.
+func NewCatModel(rng *rand.Rand, cfg CatModelConfig) *CatModel {
+	sch := LinearSchedule(cfg.T, 1e-4, 0.02)
+	net := nn.NewDiffusionMLP(rng, cfg.K, cfg.Hidden, cfg.K, cfg.Depth, cfg.TimeDim, cfg.Dropout)
+	net.WarmTimesteps(cfg.T)
+	return &CatModel{
+		M:   NewMultinomial(sch, cfg.K),
+		Net: net,
+		Opt: nn.NewAdam(net.Params(), cfg.LR),
+		K:   cfg.K,
+	}
+}
+
+// TrainStepGrad accumulates gradients for one batch of clean codes, drawing
+// every random quantity — timesteps, corruption draws, dropout masks — from
+// rng, without stepping the optimiser. The categorical counterpart of
+// Model.TrainStepGrad.
+func (c *CatModel) TrainStepGrad(rng *rand.Rand, codes []int) float64 {
+	n := len(codes)
+	c.Net.SetDropoutRng(rng)
+	c.tsBuf = tensor.EnsureInts(c.tsBuf, n)
+	ts := c.tsBuf
+	for i := range ts {
+		ts[i] = 1 + rng.Intn(c.M.S.T)
+	}
+	c.xtBuf = tensor.Ensure(c.xtBuf, n, c.K)
+	xt := c.xtBuf
+	for i := range xt.Data {
+		xt.Data[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		xt.Set(i, c.M.QSampleCode(rng, codes[i], ts[i]), 1)
+	}
+	logits := c.Net.Forward(xt, ts, true)
+	loss, g := nn.CrossEntropyLoss(logits, codes)
+	c.Net.Backward(g)
+	return loss
+}
+
+// ApplyUpdate steps the optimiser on the currently loaded gradients.
+func (c *CatModel) ApplyUpdate() { c.Opt.Step() }
+
+// MultinomialShardStepper adapts a CatModel replica and its code column to
+// the ShardStepper interface.
+type MultinomialShardStepper struct {
+	M     *CatModel
+	Codes []int
+
+	batch []int
+}
+
+// NewMultinomialShardStepper wraps m and codes for DDP training.
+func NewMultinomialShardStepper(m *CatModel, codes []int) *MultinomialShardStepper {
+	return &MultinomialShardStepper{M: m, Codes: codes}
+}
+
+// ShardStep implements ShardStepper for the categorical model.
+func (s *MultinomialShardStepper) ShardStep(rng *rand.Rand, lo, hi, micro int) float64 {
+	s.batch = tensor.EnsureInts(s.batch, micro)
+	for i := 0; i < micro; i++ {
+		s.batch[i] = s.Codes[lo+rng.Intn(hi-lo)]
+	}
+	return s.M.TrainStepGrad(rng, s.batch)
+}
+
+// Params implements ShardStepper.
+func (s *MultinomialShardStepper) Params() []*nn.Param { return s.M.Net.Params() }
+
+// ApplyUpdate implements ShardStepper.
+func (s *MultinomialShardStepper) ApplyUpdate() { s.M.ApplyUpdate() }

@@ -1,0 +1,427 @@
+package diffusion
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"silofuse/internal/nn"
+	"silofuse/internal/obs"
+	"silofuse/internal/tensor"
+)
+
+// Data-parallel DDPM training with a bit-identical all-reduce.
+//
+// The latent table is split into a fixed number of logical shards S that
+// does NOT depend on the worker count: worker w owns shards {s : s%N == w}
+// and processes them in ascending shard id. Every source of randomness in a
+// shard's gradient step — minibatch indices, timesteps, noise, dropout
+// masks — comes from a per-shard stream derived with the splitmix64
+// finaliser from (seed, shard, iter), so the shard gradient is a pure
+// function of (params, data, shard, iter) no matter which worker computes
+// it. The root folds the S shard gradients in ascending shard order and
+// applies the single 1/S scale once; float addition is non-associative, so
+// the fixed count and fixed order are exactly what make an N-worker run
+// bit-identical to the single-worker baseline.
+
+// DefaultShards is the fixed logical shard count. Worker counts above it
+// leave the excess workers idle; the equivalence guarantee needs S, not N,
+// to be the constant.
+const DefaultShards = 8
+
+// ddpShardTag and ddpLaneTag separate the shard-rng and sampling-lane-rng
+// derivation streams so a shard id can never collide with a lane id.
+const (
+	ddpShardTag uint64 = 0x5348415244444450 // "SHARDDDP"
+	ddpLaneTag  uint64 = 0x4c414e4553414d50 // "LANESAMP"
+)
+
+// mix64 is the splitmix64 finaliser — the same full-avalanche mix the chaos
+// bus uses for fault decisions (internal/silo/chaos.go); duplicated here
+// because diffusion cannot import silo.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ShardRng derives the rng for one (shard, iter) gradient step. The chain
+// of mixes is order-sensitive, so (shard=1, iter=2) and (shard=2, iter=1)
+// land on unrelated streams.
+func ShardRng(seed int64, shard, iter int) *rand.Rand {
+	h := mix64(uint64(seed) ^ ddpShardTag)
+	h = mix64(h ^ uint64(shard))
+	h = mix64(h ^ uint64(iter))
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// LaneRng derives the rng for one batched-sampling lane. Distinct tag from
+// ShardRng: lane k of a synthesis batch never shares a stream with shard k
+// of training.
+func LaneRng(seed int64, lane int) *rand.Rand {
+	h := mix64(uint64(seed) ^ ddpLaneTag)
+	h = mix64(h ^ uint64(lane))
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// ShardRange returns the contiguous row range [lo, hi) of shard s when rows
+// rows are split across shards shards: the first rows%shards shards take
+// one extra row.
+func ShardRange(rows, shards, s int) (lo, hi int) {
+	base, rem := rows/shards, rows%shards
+	lo = s*base + min(s, rem)
+	hi = lo + base
+	if s < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// ShardGrad is one shard's unreduced contribution for one iteration.
+type ShardGrad struct {
+	Worker int
+	Shard  int
+	Iter   int
+	Loss   float64
+	Grad   []float64
+}
+
+// ReducedUpdate is the root's averaged gradient broadcast back to a worker.
+type ReducedUpdate struct {
+	Iter int
+	Loss float64
+	Grad []float64
+}
+
+// GradTransport carries gradient traffic between the shard workers and the
+// reduce root. The in-process ChanTransport backs the equivalence and race
+// tests; silo.BusGradTransport runs the same protocol over the message bus
+// so gradient traffic shares the resilience and accounting machinery of
+// every other envelope kind.
+type GradTransport interface {
+	// SendGrad ships one shard gradient from a worker to the root.
+	SendGrad(g *ShardGrad) error
+	// RecvGrad receives the next shard gradient at the root, in arrival
+	// order (the root indexes by Shard, so ordering does not matter).
+	RecvGrad() (*ShardGrad, error)
+	// SendReduced ships the averaged update from the root to one worker.
+	SendReduced(worker int, u *ReducedUpdate) error
+	// RecvReduced receives the averaged update at worker w.
+	RecvReduced(worker int) (*ReducedUpdate, error)
+}
+
+// ChanTransport is the in-process GradTransport: one buffered gradient
+// channel into the root and one capacity-1 reduced channel per worker. The
+// phase-barriered driver sends at most S gradients and one reduced update
+// per worker before the matching receives, so no send ever blocks.
+type ChanTransport struct {
+	grads   chan *ShardGrad
+	reduced []chan *ReducedUpdate
+}
+
+// NewChanTransport sizes the channels for workers workers and shards
+// logical shards.
+func NewChanTransport(workers, shards int) *ChanTransport {
+	t := &ChanTransport{
+		grads:   make(chan *ShardGrad, shards),
+		reduced: make([]chan *ReducedUpdate, workers),
+	}
+	for w := range t.reduced {
+		t.reduced[w] = make(chan *ReducedUpdate, 1)
+	}
+	return t
+}
+
+func (t *ChanTransport) SendGrad(g *ShardGrad) error { t.grads <- g; return nil }
+
+func (t *ChanTransport) RecvGrad() (*ShardGrad, error) { return <-t.grads, nil }
+
+func (t *ChanTransport) SendReduced(worker int, u *ReducedUpdate) error {
+	t.reduced[worker] <- u
+	return nil
+}
+
+func (t *ChanTransport) RecvReduced(worker int) (*ReducedUpdate, error) {
+	return <-t.reduced[worker], nil
+}
+
+// ShardStepper is one worker's model replica as the DDP driver sees it:
+// compute a shard gradient, expose the parameters for flatten/load, apply
+// the reduced update. Every worker's replica must be built identically
+// (same constructor seed) so parameters stay bit-equal across workers.
+type ShardStepper interface {
+	// ShardStep accumulates gradients for one micro-batch of micro rows
+	// drawn (with replacement) from the shard's row range [lo, hi) using
+	// rng for every random draw, and returns the micro-batch loss.
+	// Gradients must start from zero: the driver flattens and re-zeroes
+	// them between shards.
+	ShardStep(rng *rand.Rand, lo, hi, micro int) float64
+	// Params returns the replica's trainable parameters.
+	Params() []*nn.Param
+	// ApplyUpdate steps the replica's optimiser on the currently loaded
+	// gradients (and advances EMA where configured).
+	ApplyUpdate()
+}
+
+// GaussianShardStepper adapts a Gaussian Model replica and its data table
+// to the ShardStepper interface.
+type GaussianShardStepper struct {
+	M    *Model
+	Data *tensor.Matrix
+
+	idx   []int
+	batch *tensor.Matrix
+}
+
+// NewGaussianShardStepper wraps m and data for DDP training.
+func NewGaussianShardStepper(m *Model, data *tensor.Matrix) *GaussianShardStepper {
+	return &GaussianShardStepper{M: m, Data: data}
+}
+
+// ShardStep implements ShardStepper: gather micro rows from [lo, hi) and
+// run the gradient half of a train step.
+func (g *GaussianShardStepper) ShardStep(rng *rand.Rand, lo, hi, micro int) float64 {
+	g.idx = tensor.EnsureInts(g.idx, micro)
+	for i := range g.idx {
+		g.idx[i] = lo + rng.Intn(hi-lo)
+	}
+	g.batch = tensor.Ensure(g.batch, micro, g.Data.Cols)
+	return g.M.TrainStepGrad(rng, g.Data.GatherRowsInto(g.batch, g.idx))
+}
+
+// Params implements ShardStepper.
+func (g *GaussianShardStepper) Params() []*nn.Param { return g.M.Net.Params() }
+
+// ApplyUpdate implements ShardStepper.
+func (g *GaussianShardStepper) ApplyUpdate() { g.M.ApplyUpdate() }
+
+// DDPConfig parameterises one data-parallel training run.
+type DDPConfig struct {
+	Workers int   // worker (replica) count N
+	Shards  int   // logical shard count S; 0 means DefaultShards
+	Iters   int   // training iterations
+	Batch   int   // global batch size; each shard draws max(Batch/S, 1) rows
+	Rows    int   // row count of the sharded table
+	Seed    int64 // shard-rng derivation seed
+	// Rec, when non-nil, receives per-worker step telemetry (stages
+	// obs.WorkerStage(w)) and the root's reduced-loss stream (stage
+	// "diffusion"). nil means telemetry off.
+	Rec *obs.Recorder
+}
+
+// shards returns the effective logical shard count: the configured (or
+// default) count, capped by the row count so no shard is empty. The cap
+// depends only on Rows, never on Workers.
+func (c DDPConfig) shards() int {
+	s := c.Shards
+	if s <= 0 {
+		s = DefaultShards
+	}
+	if c.Rows > 0 && s > c.Rows {
+		s = c.Rows
+	}
+	return s
+}
+
+// DDPResult reports a data-parallel training run.
+type DDPResult struct {
+	// TailLoss is the mean reduced loss over the final 10% of iterations,
+	// mirroring Model.Train's return value.
+	TailLoss float64
+	// IterLosses[it] is the reduced (shard-averaged) loss of iteration it,
+	// folded in ascending shard order.
+	IterLosses []float64
+	// ShardLosses[it][s] is shard s's unreduced micro-batch loss at
+	// iteration it, as received by the root.
+	ShardLosses [][]float64
+}
+
+// TrainDDP trains the worker replicas data-parallel for cfg.Iters
+// iterations. Each iteration runs four barrier-separated phases: (A) the
+// workers compute their owned shards' gradients in ascending shard order
+// and send them; (B) the root receives all S gradients and folds them in
+// ascending shard order; (C) the root broadcasts the averaged update in
+// ascending worker order; (D) the workers load the update and step their
+// optimisers. Every blocking receive is preceded by the completion of all
+// matching sends, so the schedule cannot deadlock even when the transport
+// retries internally.
+func TrainDDP(steppers []ShardStepper, tr GradTransport, cfg DDPConfig) (*DDPResult, error) {
+	n := len(steppers)
+	if n == 0 {
+		return nil, fmt.Errorf("diffusion: TrainDDP needs at least one worker")
+	}
+	if cfg.Workers != 0 && cfg.Workers != n {
+		return nil, fmt.Errorf("diffusion: TrainDDP worker mismatch: cfg %d vs %d steppers", cfg.Workers, n)
+	}
+	if cfg.Rows <= 0 {
+		return nil, fmt.Errorf("diffusion: TrainDDP needs Rows > 0")
+	}
+	s := cfg.shards()
+	micro := cfg.Batch / s
+	if micro < 1 {
+		micro = 1
+	}
+	gradSize := nn.GradSize(steppers[0].Params())
+
+	res := &DDPResult{
+		IterLosses:  make([]float64, cfg.Iters),
+		ShardLosses: make([][]float64, cfg.Iters),
+	}
+	acc := make([]float64, gradSize)
+	pending := make([]*ShardGrad, s)
+	errs := make([]error, n)
+	tail := cfg.Iters - cfg.Iters/10
+	var tailLoss float64
+	var tailCount int
+
+	for it := 0; it < cfg.Iters; it++ {
+		iterStart := cfg.Rec.Now()
+		// Phase A: workers compute and send their shards' gradients.
+		var wg sync.WaitGroup
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				errs[w] = runWorkerGrads(steppers[w], tr, cfg, w, n, s, micro, it, gradSize)
+			}(w)
+		}
+		wg.Wait()
+		if err := firstErr(errs); err != nil {
+			return nil, err
+		}
+
+		// Phase B: root gathers all S shard gradients and reduces them in
+		// ascending shard order.
+		for i := range pending {
+			pending[i] = nil
+		}
+		for k := 0; k < s; k++ {
+			g, err := tr.RecvGrad()
+			if err != nil {
+				return nil, fmt.Errorf("ddp recv grad (iter %d): %w", it, err)
+			}
+			if g.Iter != it {
+				return nil, fmt.Errorf("ddp grad iter skew: got %d want %d", g.Iter, it)
+			}
+			if g.Shard < 0 || g.Shard >= s || pending[g.Shard] != nil {
+				return nil, fmt.Errorf("ddp grad shard %d invalid or duplicated (iter %d)", g.Shard, it)
+			}
+			if len(g.Grad) != gradSize {
+				return nil, fmt.Errorf("ddp grad size %d want %d (shard %d iter %d)", len(g.Grad), gradSize, g.Shard, it)
+			}
+			pending[g.Shard] = g
+		}
+		loss := reduceShards(acc, pending)
+		res.IterLosses[it] = loss
+		res.ShardLosses[it] = shardLossRow(pending)
+		if it >= tail {
+			tailLoss += loss
+			tailCount++
+		}
+
+		// Phase C: root broadcasts the averaged update, ascending worker id.
+		upd := &ReducedUpdate{Iter: it, Loss: loss, Grad: acc}
+		for w := 0; w < n; w++ {
+			if err := tr.SendReduced(w, upd); err != nil {
+				return nil, fmt.Errorf("ddp send reduced to worker %d (iter %d): %w", w, it, err)
+			}
+		}
+
+		// Phase D: workers load the reduced gradient and step.
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				errs[w] = applyWorkerUpdate(steppers[w], tr, w, it, gradSize)
+			}(w)
+		}
+		wg.Wait()
+		if err := firstErr(errs); err != nil {
+			return nil, err
+		}
+		if cfg.Rec != nil {
+			cfg.Rec.TrainStep("diffusion", loss, micro*s, cfg.Rec.Since(iterStart))
+		}
+	}
+	if tailCount > 0 {
+		res.TailLoss = tailLoss / float64(tailCount)
+	}
+	return res, nil
+}
+
+// runWorkerGrads is phase A for one worker: ascending owned shards, derive
+// the shard rng, accumulate and flatten the gradient, send it.
+func runWorkerGrads(st ShardStepper, tr GradTransport, cfg DDPConfig, w, n, s, micro, it, gradSize int) error {
+	for shard := w; shard < s; shard += n {
+		rng := ShardRng(cfg.Seed, shard, it)
+		lo, hi := ShardRange(cfg.Rows, s, shard)
+		t0 := cfg.Rec.Now()
+		loss := st.ShardStep(rng, lo, hi, micro)
+		if cfg.Rec != nil {
+			cfg.Rec.TrainStep(obs.WorkerStage(w), loss, micro, cfg.Rec.Since(t0))
+		}
+		g := make([]float64, gradSize)
+		nn.FlattenGradsInto(g, st.Params())
+		nn.ZeroGrads(st.Params())
+		if err := tr.SendGrad(&ShardGrad{Worker: w, Shard: shard, Iter: it, Loss: loss, Grad: g}); err != nil {
+			return fmt.Errorf("ddp send grad (worker %d shard %d iter %d): %w", w, shard, it, err)
+		}
+	}
+	return nil
+}
+
+// applyWorkerUpdate is phase D for one worker: receive the reduced
+// gradient, load it, step the optimiser.
+func applyWorkerUpdate(st ShardStepper, tr GradTransport, w, it, gradSize int) error {
+	u, err := tr.RecvReduced(w)
+	if err != nil {
+		return fmt.Errorf("ddp recv reduced (worker %d iter %d): %w", w, it, err)
+	}
+	if u.Iter != it {
+		return fmt.Errorf("ddp reduced iter skew at worker %d: got %d want %d", w, u.Iter, it)
+	}
+	if len(u.Grad) != gradSize {
+		return fmt.Errorf("ddp reduced size %d want %d (worker %d iter %d)", len(u.Grad), gradSize, w, it)
+	}
+	nn.SetGrads(st.Params(), u.Grad)
+	st.ApplyUpdate()
+	return nil
+}
+
+// reduceShards folds the per-shard gradients and losses into acc in
+// ascending shard order, applies the single 1/S scale, and returns the
+// averaged loss. This is the all-reduce's only accumulation site; the
+// ascending fold with one trailing scale is what the fixedreduce vet rule
+// pins.
+//
+//silofuse:fixedreduce
+func reduceShards(acc []float64, pending []*ShardGrad) float64 {
+	tensor.ReduceZero(acc)
+	loss := 0.0
+	for s := 0; s < len(pending); s++ {
+		tensor.ReduceAccumulate(acc, pending[s].Grad)
+		loss += pending[s].Loss
+	}
+	inv := 1 / float64(len(pending))
+	tensor.ReduceScale(acc, inv)
+	return loss * inv
+}
+
+// shardLossRow copies the received per-shard losses in shard order.
+func shardLossRow(pending []*ShardGrad) []float64 {
+	row := make([]float64, len(pending))
+	for s, g := range pending {
+		row[s] = g.Loss
+	}
+	return row
+}
+
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+//silofuse:bitwise-ok equivalence tests pin bit-identical N-worker training with exact comparisons
+package diffusion
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"silofuse/internal/nn"
+	"silofuse/internal/obs"
+	"silofuse/internal/tensor"
+)
+
+// ddpModelConfig is the small Gaussian backbone the equivalence matrix
+// trains: big enough that Adam moments and dropout masks are exercised,
+// small enough that the 4-point worker matrix stays fast.
+func ddpModelConfig(dim int) ModelConfig {
+	return ModelConfig{Dim: dim, Hidden: 32, Depth: 2, TimeDim: 8, T: 50, LR: 1e-3, Dropout: 0.01, EMADecay: 0.99}
+}
+
+// runGaussianDDP trains `workers` identically seeded Gaussian replicas
+// data-parallel over a ChanTransport and returns the per-iteration losses
+// plus the serialized bytes of replica 0's final parameters.
+func runGaussianDDP(t *testing.T, workers, iters int) (*DDPResult, []byte) {
+	t.Helper()
+	const rows, dim = 100, 4
+	data := tensor.New(rows, dim).Randn(rand.New(rand.NewSource(99)), 1)
+	steppers := make([]ShardStepper, workers)
+	for w := range steppers {
+		m := NewModel(rand.New(rand.NewSource(7)), ddpModelConfig(dim))
+		steppers[w] = NewGaussianShardStepper(m, data)
+	}
+	res, err := TrainDDP(steppers, NewChanTransport(workers, DefaultShards), DDPConfig{
+		Workers: workers, Shards: DefaultShards, Iters: iters, Batch: 32, Rows: rows, Seed: 42,
+	})
+	if err != nil {
+		t.Fatalf("TrainDDP (N=%d): %v", workers, err)
+	}
+	return res, paramBytes(t, steppers[0].Params())
+}
+
+// runMultinomialDDP is runGaussianDDP for the categorical diffusion family.
+func runMultinomialDDP(t *testing.T, workers, iters int) (*DDPResult, []byte) {
+	t.Helper()
+	const rows, k = 90, 5
+	crng := rand.New(rand.NewSource(101))
+	codes := make([]int, rows)
+	for i := range codes {
+		codes[i] = crng.Intn(k)
+	}
+	cfg := CatModelConfig{K: k, Hidden: 32, Depth: 2, TimeDim: 8, T: 50, LR: 1e-3, Dropout: 0.01}
+	steppers := make([]ShardStepper, workers)
+	for w := range steppers {
+		steppers[w] = NewMultinomialShardStepper(NewCatModel(rand.New(rand.NewSource(7)), cfg), codes)
+	}
+	res, err := TrainDDP(steppers, NewChanTransport(workers, DefaultShards), DDPConfig{
+		Workers: workers, Shards: DefaultShards, Iters: iters, Batch: 32, Rows: rows, Seed: 43,
+	})
+	if err != nil {
+		t.Fatalf("TrainDDP multinomial (N=%d): %v", workers, err)
+	}
+	return res, paramBytes(t, steppers[0].Params())
+}
+
+func paramBytes(t *testing.T, ps []*nn.Param) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := nn.SaveParams(&buf, ps); err != nil {
+		t.Fatalf("SaveParams: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// requireSameRun pins the equivalence contract: the N-worker run must match
+// the baseline bit for bit — every per-iteration reduced loss and every
+// byte of the final serialized parameters.
+func requireSameRun(t *testing.T, workers int, base, got *DDPResult, baseParams, gotParams []byte) {
+	t.Helper()
+	if len(base.IterLosses) != len(got.IterLosses) {
+		t.Fatalf("N=%d: %d iteration losses, baseline has %d", workers, len(got.IterLosses), len(base.IterLosses))
+	}
+	for it := range base.IterLosses {
+		if base.IterLosses[it] != got.IterLosses[it] {
+			t.Fatalf("N=%d iter %d: loss %v differs from baseline %v", workers, it, got.IterLosses[it], base.IterLosses[it])
+		}
+	}
+	if got.TailLoss != base.TailLoss {
+		t.Fatalf("N=%d: tail loss %v differs from baseline %v", workers, got.TailLoss, base.TailLoss)
+	}
+	if !bytes.Equal(baseParams, gotParams) {
+		t.Fatalf("N=%d: final parameters differ from single-worker baseline", workers)
+	}
+}
+
+// TestDDPEquivalenceGaussian is the Gaussian half of the equivalence
+// matrix: training with N ∈ {2, 3, 8} workers is bit-identical — losses and
+// final parameters — to the N=1 baseline, because the fixed logical shard
+// count, the per-shard rng derivation and the ascending reduce order make
+// worker count a pure scheduling choice.
+func TestDDPEquivalenceGaussian(t *testing.T) {
+	const iters = 40
+	base, baseParams := runGaussianDDP(t, 1, iters)
+	for _, n := range []int{2, 3, 8} {
+		res, params := runGaussianDDP(t, n, iters)
+		requireSameRun(t, n, base, res, baseParams, params)
+	}
+}
+
+// TestDDPEquivalenceMultinomial is the categorical half of the equivalence
+// matrix: the same N-invariance holds for multinomial diffusion.
+func TestDDPEquivalenceMultinomial(t *testing.T) {
+	const iters = 40
+	base, baseParams := runMultinomialDDP(t, 1, iters)
+	for _, n := range []int{2, 3, 8} {
+		res, params := runMultinomialDDP(t, n, iters)
+		requireSameRun(t, n, base, res, baseParams, params)
+	}
+}
+
+// TestDDPShardRange checks the shard ranges partition the row space: every
+// row belongs to exactly one shard, shards are contiguous and ascending,
+// and sizes differ by at most one.
+func TestDDPShardRange(t *testing.T) {
+	for _, tc := range []struct{ rows, shards int }{{100, 8}, {7, 7}, {13, 8}, {8, 3}} {
+		next, minSz, maxSz := 0, tc.rows, 0
+		for s := 0; s < tc.shards; s++ {
+			lo, hi := ShardRange(tc.rows, tc.shards, s)
+			if lo != next || hi <= lo {
+				t.Fatalf("rows=%d shards=%d: shard %d spans [%d,%d), want contiguous from %d", tc.rows, tc.shards, s, lo, hi, next)
+			}
+			sz := hi - lo
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			next = hi
+		}
+		if next != tc.rows {
+			t.Fatalf("rows=%d shards=%d: shards cover %d rows", tc.rows, tc.shards, next)
+		}
+		if maxSz-minSz > 1 {
+			t.Fatalf("rows=%d shards=%d: shard sizes range %d..%d, want spread <= 1", tc.rows, tc.shards, minSz, maxSz)
+		}
+	}
+}
+
+// TestDDPRngDerivation pins the stream-separation properties the shard rng
+// derivation relies on: distinct (shard, iter) pairs land on distinct
+// streams, the mapping is not symmetric in its arguments, and the lane tag
+// keeps sampling lanes off the training streams.
+func TestDDPRngDerivation(t *testing.T) {
+	seen := make(map[int64]bool)
+	for shard := 0; shard < 8; shard++ {
+		for iter := 0; iter < 8; iter++ {
+			v := ShardRng(5, shard, iter).Int63()
+			if seen[v] {
+				t.Fatalf("shard rng collision: (%d,%d) repeats an earlier pair's draw %d", shard, iter, v)
+			}
+			seen[v] = true
+		}
+	}
+	if ShardRng(5, 1, 2).Int63() == ShardRng(5, 2, 1).Int63() {
+		t.Fatal("shard rng is symmetric in (shard, iter)")
+	}
+	if LaneRng(5, 3).Int63() == ShardRng(5, 3, 0).Int63() {
+		t.Fatal("lane 3 shares a stream with shard 3")
+	}
+}
+
+// TestDDPHammer is the race-detector stress run: 4 workers' goroutines
+// train concurrently against the reduce root for 200+ iterations with obs
+// recording on, and the per-shard loss ledger must reproduce every reduced
+// loss exactly — the ascending fold over ShardLosses[it] divided by S is
+// the number the root reported, proving the concurrent schedule never
+// perturbed the reduction.
+func TestDDPHammer(t *testing.T) {
+	const rows, dim, iters, shards = 64, 4, 220, 8
+	data := tensor.New(rows, dim).Randn(rand.New(rand.NewSource(17)), 1)
+	steppers := make([]ShardStepper, 4)
+	for w := range steppers {
+		m := NewModel(rand.New(rand.NewSource(3)), ddpModelConfig(dim))
+		steppers[w] = NewGaussianShardStepper(m, data)
+	}
+	rec := obs.NewRecorder()
+	res, err := TrainDDP(steppers, NewChanTransport(len(steppers), shards), DDPConfig{
+		Workers: len(steppers), Shards: shards, Iters: iters, Batch: 32, Rows: rows, Seed: 9, Rec: rec,
+	})
+	if err != nil {
+		t.Fatalf("TrainDDP: %v", err)
+	}
+	if len(res.IterLosses) != iters || len(res.ShardLosses) != iters {
+		t.Fatalf("got %d/%d loss rows, want %d", len(res.IterLosses), len(res.ShardLosses), iters)
+	}
+	for it := 0; it < iters; it++ {
+		if len(res.ShardLosses[it]) != shards {
+			t.Fatalf("iter %d: %d shard losses, want %d", it, len(res.ShardLosses[it]), shards)
+		}
+		sum := 0.0
+		for s := 0; s < shards; s++ {
+			sum += res.ShardLosses[it][s]
+		}
+		if want := sum * (1 / float64(shards)); res.IterLosses[it] != want {
+			t.Fatalf("iter %d: reduced loss %v, ascending shard fold gives %v", it, res.IterLosses[it], want)
+		}
+	}
+}
+
+// TestDDPWarmPathAllocs pins the zero-allocation contract of the per-shard
+// gradient step and the reduce/flatten kernels it feeds: once workspaces
+// are warm, one full shard step — gather, TrainStepGrad, flatten, zero,
+// ascending reduce, scale, load — touches the heap zero times.
+func TestDDPWarmPathAllocs(t *testing.T) {
+	const rows, dim = 64, 4
+	rng := rand.New(rand.NewSource(21))
+	data := tensor.New(rows, dim).Randn(rng, 1)
+	m := NewModel(rng, ddpModelConfig(dim))
+	st := NewGaussianShardStepper(m, data)
+	ps := st.Params()
+	g := make([]float64, nn.GradSize(ps))
+	acc := make([]float64, len(g))
+	st.ShardStep(rng, 0, rows, 8)
+	nn.ZeroGrads(ps)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		st.ShardStep(rng, 0, rows, 8)
+		nn.FlattenGradsInto(g, ps)
+		nn.ZeroGrads(ps)
+		tensor.ReduceZero(acc)
+		tensor.ReduceAccumulate(acc, g)
+		tensor.ReduceScale(acc, 1.0/8)
+		nn.SetGrads(ps, acc)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm DDP shard step performs %v allocs, want 0", allocs)
+	}
+}

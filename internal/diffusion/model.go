@@ -78,6 +78,15 @@ type Model struct {
 	tsBuf                            []int
 	epsBuf, xtBuf, gradBuf, batchBuf *tensor.Matrix
 	predEps                          *tensor.Matrix
+
+	// Batched-sampling workspaces (SampleBatchWithRngs): the stacked
+	// ping-pong matrices, the shared timestep slice, and the strided
+	// inference schedule cached by step count (StridedTimesteps allocates,
+	// so the warm path reuses the last schedule while steps is unchanged).
+	sbX, sbBuf *tensor.Matrix
+	sbTs       []int
+	sbSeq      []int
+	sbSteps    int
 }
 
 // NewModel builds a model from cfg, drawing initial weights from rng.
@@ -131,6 +140,45 @@ func (m *Model) TrainStep(x0 *tensor.Matrix) float64 {
 		m.EMA.Update()
 	}
 	return loss
+}
+
+// TrainStepGrad is the gradient half of TrainStep for data-parallel
+// training: it draws (t, ε) and any dropout masks from the supplied rng —
+// not the model's own stream — noises the batch, and accumulates parameter
+// gradients without stepping the optimiser. The caller flattens the grads,
+// all-reduces them, and applies the averaged update via ApplyUpdate. The
+// step is a pure function of (params, x0, rng), which is what makes the
+// N-worker schedule bit-reproducible.
+//
+//silofuse:noalloc
+func (m *Model) TrainStepGrad(rng *rand.Rand, x0 *tensor.Matrix) float64 {
+	m.Net.SetDropoutRng(rng)
+	m.tsBuf = tensor.EnsureInts(m.tsBuf, x0.Rows)
+	ts := m.tsBuf
+	m.G.SampleTimestepsInto(rng, ts)
+	m.epsBuf = tensor.Ensure(m.epsBuf, x0.Rows, x0.Cols)
+	eps := m.epsBuf.Randn(rng, 1)
+	m.xtBuf = tensor.Ensure(m.xtBuf, x0.Rows, x0.Cols)
+	xt := m.G.QSampleInto(m.xtBuf, x0, ts, eps)
+	pred := m.Net.Forward(xt, ts, true)
+	target := eps
+	if m.PredictX0 {
+		target = x0
+	}
+	m.gradBuf = tensor.Ensure(m.gradBuf, pred.Rows, pred.Cols)
+	loss := nn.MSELossInto(pred, target, m.gradBuf)
+	m.Net.Backward(m.gradBuf)
+	return loss
+}
+
+// ApplyUpdate steps the optimiser on whatever gradients are currently
+// loaded into the parameters (a reduced gradient set via nn.SetGrads) and
+// advances the EMA — the second half of a data-parallel TrainStep.
+func (m *Model) ApplyUpdate() {
+	m.Opt.Step()
+	if m.EMA != nil {
+		m.EMA.Update()
+	}
 }
 
 // Train runs iters optimisation steps with minibatches of size batch drawn

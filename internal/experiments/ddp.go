@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"silofuse/internal/core"
+	"silofuse/internal/obs"
+	"silofuse/internal/silo"
+)
+
+// DDPScalingRow is one worker count's data-parallel training measurement:
+// diffusion-phase throughput plus the gradient traffic the worker plane
+// put on the bus. Losses are bit-identical across worker counts by
+// construction (the equivalence tests pin it), so the sweep reports only
+// the dimensions that are allowed to move.
+type DDPScalingRow struct {
+	Dataset    string
+	Workers    int
+	RowsPerSec float64 // diffusion training rows/sec at this worker count
+	StepSecSum float64 // total diffusion step seconds
+	GradBytes  int64   // bus bytes booked under the grad kind
+	TotalBytes int64   // all bus bytes of the run
+}
+
+// DDPScaling sweeps data-parallel diffusion training over N ∈ {1, 2, 4}
+// workers on a stacked fit and reports worker-scaling throughput. Each run
+// measures on a private recorder; the diffusion stage's rows/sec is
+// re-emitted into the invocation's main recorder under the "ddp_w<N>"
+// stage, so the bench snapshot (and the -check-bench gate) carries one
+// rows_per_sec entry per worker count.
+func (c Config) DDPScaling() ([]DDPScalingRow, error) {
+	cc := c
+	if cc.Datasets == nil {
+		cc.Datasets = []string{"abalone"}
+	}
+	specs, err := cc.datasets()
+	if err != nil {
+		return nil, err
+	}
+	var out []DDPScalingRow
+	for _, spec := range specs {
+		train, _ := cc.prepare(spec)
+		for _, n := range []int{1, 2, 4} {
+			opts := cc.Opts
+			opts.AEIters = 20
+			opts.DiffIters = 40
+			opts.TrainWorkers = n
+			rec := obs.NewRecorder()
+			opts.Recorder = rec
+			sf := core.NewSiloFuse(opts)
+			if err := sf.Fit(train); err != nil {
+				return nil, fmt.Errorf("experiments: ddp fit (N=%d): %w", n, err)
+			}
+			row := DDPScalingRow{Dataset: spec.Name, Workers: n}
+			snap := rec.Snapshot()
+			rows := snap.Counters["diffusion_rows_total"]
+			if h, ok := snap.Histograms["diffusion_step_seconds"]; ok && h.Sum > 0 {
+				row.RowsPerSec = float64(rows) / h.Sum
+				row.StepSecSum = h.Sum
+			}
+			st := sf.CommStats()
+			row.GradBytes = st.ByKind[silo.KindGrad]
+			row.TotalBytes = st.Bytes
+			out = append(out, row)
+
+			// Surface the sweep in the main recorder: one synthetic stage
+			// per worker count, shaped so BenchSnapshot.FromRecorder derives
+			// the same rows/sec (rows_total over step_seconds sum).
+			if main := c.Opts.Recorder; main != nil && row.StepSecSum > 0 {
+				stage := fmt.Sprintf("ddp_w%d", n)
+				main.Reg.Counter(stage + "_rows_total").Add(rows)
+				main.Reg.Histogram(stage + "_step_seconds").Observe(row.StepSecSum)
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrintDDPScaling renders the worker-scaling sweep with each worker
+// count's speedup over the single-worker run of the same dataset.
+func PrintDDPScaling(w io.Writer, rows []DDPScalingRow) {
+	fmt.Fprintln(w, "DDP scaling: data-parallel diffusion training throughput by worker count")
+	base := make(map[string]float64)
+	for _, r := range rows {
+		if r.Workers == 1 {
+			base[r.Dataset] = r.RowsPerSec
+		}
+	}
+	for _, r := range rows {
+		speedup := ""
+		if b := base[r.Dataset]; b > 0 && r.RowsPerSec > 0 {
+			speedup = fmt.Sprintf("  %.2fx", r.RowsPerSec/b)
+		}
+		fmt.Fprintf(w, "  %-12s N=%d  %10.1f rows/s%s  grad %s  total %s\n",
+			r.Dataset, r.Workers, r.RowsPerSec, speedup, humanBytes(r.GradBytes), humanBytes(r.TotalBytes))
+	}
+}

@@ -1,0 +1,46 @@
+package nn
+
+// Flat gradient (de)serialisation for data-parallel training. Gradients
+// cross the bus as one contiguous []float64 per shard; the layout is the
+// Params() order with each parameter's Grad.Data appended row-major, so a
+// flattened vector round-trips through SetGrads without reordering.
+
+// GradSize returns the total element count of the parameters' gradients —
+// the length a flat gradient buffer must have.
+func GradSize(ps []*Param) int {
+	n := 0
+	for _, p := range ps {
+		n += p.Size()
+	}
+	return n
+}
+
+// FlattenGradsInto copies every parameter's accumulated gradient into dst
+// in Params() order. dst must have length GradSize(ps).
+//
+//silofuse:noalloc
+func FlattenGradsInto(dst []float64, ps []*Param) {
+	if len(dst) != GradSize(ps) {
+		panic("nn: FlattenGradsInto length mismatch")
+	}
+	off := 0
+	for _, p := range ps {
+		copy(dst[off:off+p.Size()], p.Grad.Data)
+		off += p.Size()
+	}
+}
+
+// SetGrads overwrites every parameter's gradient from the flat vector src,
+// the inverse of FlattenGradsInto. src must have length GradSize(ps).
+//
+//silofuse:noalloc
+func SetGrads(ps []*Param, src []float64) {
+	if len(src) != GradSize(ps) {
+		panic("nn: SetGrads length mismatch")
+	}
+	off := 0
+	for _, p := range ps {
+		copy(p.Grad.Data, src[off:off+p.Size()])
+		off += p.Size()
+	}
+}

@@ -103,10 +103,11 @@ func (a *Adam) Load(r io.Reader) error {
 // values into the live parameters (keeping a restore copy), Restore undoes
 // the swap.
 type EMA struct {
-	Decay  float64
-	params []*Param
-	shadow [][]float64
-	backup [][]float64
+	Decay   float64
+	params  []*Param
+	shadow  [][]float64
+	backup  [][]float64 // persistent workspace, valid only while applied
+	applied bool
 }
 
 // NewEMA creates an EMA tracker initialised to the current values.
@@ -130,22 +131,27 @@ func (e *EMA) Update() {
 	}
 }
 
-// Apply swaps the averaged values into the live parameters.
+// Apply swaps the averaged values into the live parameters. The restore
+// copy lives in a persistent workspace, so a warm Apply/Restore bracket —
+// every batched sampling call runs one — does not allocate.
 func (e *EMA) Apply() {
-	e.backup = make([][]float64, len(e.params))
+	if e.backup == nil {
+		e.backup = make([][]float64, len(e.params))
+	}
 	for i, p := range e.params {
-		e.backup[i] = append([]float64(nil), p.Value.Data...)
+		e.backup[i] = append(e.backup[i][:0], p.Value.Data...)
 		copy(p.Value.Data, e.shadow[i])
 	}
+	e.applied = true
 }
 
 // Restore puts the live training values back after Apply.
 func (e *EMA) Restore() {
-	if e.backup == nil {
+	if !e.applied {
 		return
 	}
 	for i, p := range e.params {
 		copy(p.Value.Data, e.backup[i])
 	}
-	e.backup = nil
+	e.applied = false
 }

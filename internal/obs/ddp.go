@@ -1,0 +1,20 @@
+package obs
+
+import "strconv"
+
+// ddpStages precomputes the stage names for small worker ids so the DDP
+// hot loop's per-step telemetry does not build a string per record.
+var ddpStages = [16]string{
+	"ddp_w0", "ddp_w1", "ddp_w2", "ddp_w3", "ddp_w4", "ddp_w5", "ddp_w6", "ddp_w7",
+	"ddp_w8", "ddp_w9", "ddp_w10", "ddp_w11", "ddp_w12", "ddp_w13", "ddp_w14", "ddp_w15",
+}
+
+// WorkerStage names the telemetry stage of data-parallel training worker w
+// ("ddp_w3"): underscore-separated so derived metric names stay
+// Prometheus-safe, and stable so bench snapshots can key on them.
+func WorkerStage(w int) string {
+	if w >= 0 && w < len(ddpStages) {
+		return ddpStages[w]
+	}
+	return "ddp_w" + strconv.Itoa(w)
+}

@@ -26,6 +26,10 @@ type Coordinator struct {
 	// Pipeline.EnableFederation).
 	Fed *Federation
 	rng *rand.Rand
+	// seed is the construction seed, kept so data-parallel training can
+	// rebuild bit-identical model replicas on a chaos-driven phase retry —
+	// the live rng stream has already been consumed by then.
+	seed int64
 
 	latents     []*tensor.Matrix // received per client, in client order
 	latentDims  []int
@@ -42,7 +46,7 @@ type Coordinator struct {
 // clients in order, with the diffusion model built lazily once the total
 // latent width is known.
 func NewCoordinator(id string, clients []string, seed int64) *Coordinator {
-	return &Coordinator{ID: id, rng: rand.New(rand.NewSource(seed)), clientOrder: clients}
+	return &Coordinator{ID: id, rng: rand.New(rand.NewSource(seed)), seed: seed, clientOrder: clients}
 }
 
 // CollectLatents receives one latents message per client from bus and
@@ -97,6 +101,45 @@ func (c *Coordinator) TrainDiffusion(z *tensor.Matrix, cfg diffusion.ModelConfig
 	return c.Model.Train(zw, iters, batch)
 }
 
+// TrainDiffusionDDP is the data-parallel counterpart of TrainDiffusion:
+// it builds `workers` bit-identical model replicas (each from a fresh rng
+// seeded with the coordinator's construction seed), shards the whitened
+// latent table across `shards` logical shards, and drives
+// diffusion.TrainDDP with gradient traffic carried over bus as KindGrad
+// envelopes. On success the coordinator adopts replica 0 as its model; on
+// error the coordinator is left without a model, and a retry rebuilds the
+// replicas bit-identically because the construction seed — unlike the live
+// rng stream — never advances.
+func (c *Coordinator) TrainDiffusionDDP(bus Bus, z *tensor.Matrix, cfg diffusion.ModelConfig, iters, batch, workers, shards int) (float64, error) {
+	zw := z
+	if !c.DisableWhitening {
+		c.fitLatentScaler(z)
+		zw = c.whiten(z)
+	}
+	cfg.Dim = z.Cols
+	steppers := make([]diffusion.ShardStepper, workers)
+	replicas := make([]*diffusion.Model, workers)
+	for w := range steppers {
+		replicas[w] = diffusion.NewModel(rand.New(rand.NewSource(c.seed)), cfg)
+		steppers[w] = diffusion.NewGaussianShardStepper(replicas[w], zw)
+	}
+	res, err := diffusion.TrainDDP(steppers, NewBusGradTransport(bus), diffusion.DDPConfig{
+		Workers: workers,
+		Shards:  shards,
+		Iters:   iters,
+		Batch:   batch,
+		Rows:    zw.Rows,
+		Seed:    c.seed,
+		Rec:     c.Rec,
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.Model = replicas[0]
+	c.Model.Rec = c.Rec
+	return res.TailLoss, nil
+}
+
 // SampleLatents draws n synthetic latent rows with steps inference steps,
 // colours them back to the training latent scale, and splits them into
 // per-client partitions (Algorithm 2 lines 3-5).
@@ -105,6 +148,27 @@ func (c *Coordinator) SampleLatents(n, steps int) ([]*tensor.Matrix, error) {
 		return nil, fmt.Errorf("silo: coordinator has no trained model")
 	}
 	z := c.Model.Sample(n, steps)
+	c.colour(z)
+	return c.splitLatents(z)
+}
+
+// SampleLatentsBatch draws len(ns) synthesis lanes in one stacked
+// denoising loop: lane k contributes ns[k] rows from the rng derived with
+// diffusion.LaneRng(seed, lane0+k). Lane independence makes the stacked
+// run bit-identical to len(ns) sequential single-lane calls with the same
+// lane ids. Returns the stacked batch split into per-client partitions,
+// like SampleLatents.
+func (c *Coordinator) SampleLatentsBatch(seed int64, lane0 int, ns []int, steps int) ([]*tensor.Matrix, error) {
+	if c.Model == nil {
+		return nil, fmt.Errorf("silo: coordinator has no trained model")
+	}
+	rngs := make([]*rand.Rand, len(ns))
+	for k := range rngs {
+		rngs[k] = diffusion.LaneRng(seed, lane0+k)
+	}
+	// The batched sampler returns a workspace-aliasing matrix; clone before
+	// colouring in place.
+	z := c.Model.SampleBatchWithRngs(rngs, ns, steps).Clone()
 	c.colour(z)
 	return c.splitLatents(z)
 }

@@ -1,0 +1,180 @@
+package silo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"silofuse/internal/diffusion"
+)
+
+// BusGradTransport runs the data-parallel gradient protocol over the
+// message bus, so grad traffic shares the sequencing, checksumming,
+// retransmission and byte accounting of every other envelope kind. Frames
+// ride Envelope.Blob raw (Codec 0): the resilient layer's FNV checksum
+// covers the blob bytes, and the codec layer passes unframed blobs through
+// untouched.
+//
+// Wire layout (little-endian), selected by the first byte:
+//
+//	tag 0 — shard gradient (worker -> root):
+//	  [tag u8][worker u32][shard u32][iter u32][loss f64][len u32][grad f64 × len]
+//	tag 1 — reduced update (root -> worker):
+//	  [tag u8][iter u32][loss f64][len u32][grad f64 × len]
+type BusGradTransport struct {
+	bus Bus
+}
+
+// Party names of the data-parallel training plane.
+const ddpRootParty = "ddp-root"
+
+// DDPRootParty returns the reduce root's bus party name.
+func DDPRootParty() string { return ddpRootParty }
+
+// DDPWorkerParty returns worker w's bus party name ("ddp-w0", "ddp-w1", …).
+func DDPWorkerParty(w int) string { return fmt.Sprintf("ddp-w%d", w) }
+
+// DDPParties lists every party of an N-worker training plane, root first —
+// the set the pipeline registers for lifecycle resets.
+func DDPParties(workers int) []string {
+	ps := make([]string, 0, workers+1)
+	ps = append(ps, ddpRootParty)
+	for w := 0; w < workers; w++ {
+		ps = append(ps, DDPWorkerParty(w))
+	}
+	return ps
+}
+
+// NewBusGradTransport wraps bus as a diffusion.GradTransport.
+func NewBusGradTransport(bus Bus) *BusGradTransport {
+	return &BusGradTransport{bus: bus}
+}
+
+const (
+	ddpTagShardGrad = 0
+	ddpTagReduced   = 1
+)
+
+// SendGrad implements diffusion.GradTransport.
+func (t *BusGradTransport) SendGrad(g *diffusion.ShardGrad) error {
+	return t.bus.Send(&Envelope{
+		From: DDPWorkerParty(g.Worker),
+		To:   ddpRootParty,
+		Kind: KindGrad,
+		Blob: encodeShardGrad(g),
+	})
+}
+
+// RecvGrad implements diffusion.GradTransport.
+func (t *BusGradTransport) RecvGrad() (*diffusion.ShardGrad, error) {
+	e, err := t.bus.Recv(ddpRootParty)
+	if err != nil {
+		return nil, err
+	}
+	if e.Kind != KindGrad {
+		return nil, fmt.Errorf("silo: ddp root got %s from %s, want %s", e.Kind, e.From, KindGrad)
+	}
+	return decodeShardGrad(e.Blob)
+}
+
+// SendReduced implements diffusion.GradTransport.
+func (t *BusGradTransport) SendReduced(worker int, u *diffusion.ReducedUpdate) error {
+	return t.bus.Send(&Envelope{
+		From: ddpRootParty,
+		To:   DDPWorkerParty(worker),
+		Kind: KindGrad,
+		Blob: encodeReducedUpdate(u),
+	})
+}
+
+// RecvReduced implements diffusion.GradTransport.
+func (t *BusGradTransport) RecvReduced(worker int) (*diffusion.ReducedUpdate, error) {
+	e, err := t.bus.Recv(DDPWorkerParty(worker))
+	if err != nil {
+		return nil, err
+	}
+	if e.Kind != KindGrad {
+		return nil, fmt.Errorf("silo: ddp worker %d got %s from %s, want %s", worker, e.Kind, e.From, KindGrad)
+	}
+	return decodeReducedUpdate(e.Blob)
+}
+
+// encodeShardGrad frames g as a tag-0 blob.
+func encodeShardGrad(g *diffusion.ShardGrad) []byte {
+	b := make([]byte, 25+8*len(g.Grad))
+	b[0] = ddpTagShardGrad
+	binary.LittleEndian.PutUint32(b[1:], uint32(g.Worker))
+	binary.LittleEndian.PutUint32(b[5:], uint32(g.Shard))
+	binary.LittleEndian.PutUint32(b[9:], uint32(g.Iter))
+	binary.LittleEndian.PutUint64(b[13:], math.Float64bits(g.Loss))
+	binary.LittleEndian.PutUint32(b[21:], uint32(len(g.Grad)))
+	putFloats(b[25:], g.Grad)
+	return b
+}
+
+// decodeShardGrad parses a tag-0 blob.
+func decodeShardGrad(b []byte) (*diffusion.ShardGrad, error) {
+	if len(b) < 25 || b[0] != ddpTagShardGrad {
+		return nil, fmt.Errorf("silo: malformed shard-grad frame (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b[21:]))
+	if len(b) != 25+8*n {
+		return nil, fmt.Errorf("silo: shard-grad frame length %d, want %d for %d values", len(b), 25+8*n, n)
+	}
+	return &diffusion.ShardGrad{
+		Worker: int(binary.LittleEndian.Uint32(b[1:])),
+		Shard:  int(binary.LittleEndian.Uint32(b[5:])),
+		Iter:   int(binary.LittleEndian.Uint32(b[9:])),
+		Loss:   math.Float64frombits(binary.LittleEndian.Uint64(b[13:])),
+		Grad:   getFloats(b[25:], n),
+	}, nil
+}
+
+// encodeReducedUpdate frames u as a tag-1 blob.
+func encodeReducedUpdate(u *diffusion.ReducedUpdate) []byte {
+	b := make([]byte, 17+8*len(u.Grad))
+	b[0] = ddpTagReduced
+	binary.LittleEndian.PutUint32(b[1:], uint32(u.Iter))
+	binary.LittleEndian.PutUint64(b[5:], math.Float64bits(u.Loss))
+	binary.LittleEndian.PutUint32(b[13:], uint32(len(u.Grad)))
+	putFloats(b[17:], u.Grad)
+	return b
+}
+
+// decodeReducedUpdate parses a tag-1 blob.
+func decodeReducedUpdate(b []byte) (*diffusion.ReducedUpdate, error) {
+	if len(b) < 17 || b[0] != ddpTagReduced {
+		return nil, fmt.Errorf("silo: malformed reduced-update frame (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b[13:]))
+	if len(b) != 17+8*n {
+		return nil, fmt.Errorf("silo: reduced-update frame length %d, want %d for %d values", len(b), 17+8*n, n)
+	}
+	return &diffusion.ReducedUpdate{
+		Iter: int(binary.LittleEndian.Uint32(b[1:])),
+		Loss: math.Float64frombits(binary.LittleEndian.Uint64(b[5:])),
+		Grad: getFloats(b[17:], n),
+	}, nil
+}
+
+func putFloats(b []byte, vs []float64) {
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+}
+
+func getFloats(b []byte, n int) []float64 {
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return vs
+}
+
+// DDPGradWireSize returns the on-wire envelope size of one shard gradient
+// of length n — the term the grad-chaos accounting test multiplies out.
+func DDPGradWireSize(n int) int64 { return 64 + 25 + 8*int64(n) }
+
+// DDPUpdateWireSize returns the on-wire envelope size of one reduced
+// update of length n.
+func DDPUpdateWireSize(n int) int64 { return 64 + 17 + 8*int64(n) }

@@ -1,0 +1,152 @@
+//silofuse:bitwise-ok ddp chaos and equivalence tests pin bit-identical runs with exact comparisons
+package silo
+
+import (
+	"testing"
+
+	"silofuse/internal/nn"
+	"silofuse/internal/tabular"
+)
+
+// ddpStackedRun trains a small stacked pipeline with data-parallel
+// diffusion training over bus and synthesises with mean decoding. It
+// returns the losses, the output table, and the flattened gradient length
+// of the trained diffusion backbone (the L of the grad wire-size model).
+func ddpStackedRun(t *testing.T, bus Bus, workers int) (aeLoss, diffLoss float64, out *tabular.Table, gradLen int) {
+	t.Helper()
+	tb := loanTable(t, 150)
+	cfg := smallConfig(2)
+	cfg.AEIters, cfg.DiffIters = 40, 60
+	cfg.TrainWorkers = workers
+	cfg.TrainShards = 8
+	p, err := NewPipeline(bus, tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aeLoss, diffLoss, err = p.TrainStacked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = p.SynthesizeShared(0, 30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return aeLoss, diffLoss, out, nn.GradSize(p.Coord.Model.Net.Params())
+}
+
+// TestDDPStackedWorkerEquivalence pins the tentpole guarantee at the
+// pipeline level: the full stacked run — autoencoder training, data-
+// parallel diffusion training over bus grad traffic, synthesis — is
+// bit-identical for every worker count, because the logical shard count
+// (not the worker count) is the constant of the reduction.
+func TestDDPStackedWorkerEquivalence(t *testing.T) {
+	baseAE, baseDiff, baseOut, _ := ddpStackedRun(t, NewLocalBus(), 1)
+	for _, n := range []int{2, 3, 8} {
+		ae, diff, out, _ := ddpStackedRun(t, NewLocalBus(), n)
+		if ae != baseAE || diff != baseDiff {
+			t.Fatalf("workers=%d: losses (%v, %v) diverge from single-worker (%v, %v)", n, ae, diff, baseAE, baseDiff)
+		}
+		sameTable(t, "ddp-workers", baseOut, out)
+	}
+}
+
+// TestChaosMatrixGradTransparent is the gradient-traffic arm of the chaos
+// matrix: data-parallel training over every transparently recoverable
+// fault class recovers byte-for-byte — losses and synthesised output match
+// the fault-free sharded baseline — and the byte ledger stays exact: the
+// grad kind books precisely iters×S shard gradients plus iters×N reduced
+// updates of goodput, total bytes decompose into the per-kind split, and
+// drops are visible if and only if retransmit bytes are booked.
+func TestChaosMatrixGradTransparent(t *testing.T) {
+	const workers, shards, iters = 2, 8, 60
+	baseAE, baseDiff, baseOut, gradLen := ddpStackedRun(t, NewLocalBus(), workers)
+	wantGradBytes := int64(iters) * (int64(shards)*DDPGradWireSize(gradLen) + int64(workers)*DDPUpdateWireSize(gradLen))
+
+	for _, name := range []string{"drop", "dup", "reorder", "delay"} {
+		for _, seed := range []int64{1, 7} {
+			rb, cb := resilientChaos(seed, mustProfile(t, name))
+			ae, diff, out, _ := ddpStackedRun(t, rb, workers)
+			label := name + "/grad"
+			if ae != baseAE || diff != baseDiff {
+				t.Fatalf("%s seed %d: losses (%v, %v) diverge from baseline (%v, %v)",
+					label, seed, ae, diff, baseAE, baseDiff)
+			}
+			sameTable(t, label, baseOut, out)
+
+			st := rb.Stats()
+			if got := st.ByKind[KindGrad]; got != wantGradBytes {
+				t.Fatalf("%s seed %d: grad goodput %d bytes, want %d (S=%d, N=%d, L=%d)",
+					label, seed, got, wantGradBytes, shards, workers, gradLen)
+			}
+			var byKind int64
+			for _, b := range st.ByKind {
+				byKind += b
+			}
+			if byKind != st.Bytes {
+				t.Fatalf("%s seed %d: ByKind sums to %d, Bytes = %d", label, seed, byKind, st.Bytes)
+			}
+			faults := cb.FaultStats()
+			rexmit := st.ByKind[KindRetransmit]
+			if (faults.Drops > 0) != (rexmit > 0) {
+				t.Fatalf("%s seed %d: %d drops but %d retransmit bytes", label, seed, faults.Drops, rexmit)
+			}
+			// The grad stream is dense (iters × (S+N) messages), so every
+			// profile's fault class must actually fire.
+			switch name {
+			case "drop":
+				if faults.Drops == 0 {
+					t.Fatalf("%s seed %d: drop profile injected no drops", label, seed)
+				}
+			case "dup":
+				if faults.Dups == 0 {
+					t.Fatalf("%s seed %d: dup profile injected no dups", label, seed)
+				}
+			case "reorder":
+				if faults.Reorders == 0 {
+					t.Fatalf("%s seed %d: reorder profile injected no reorders", label, seed)
+				}
+			case "delay":
+				if faults.Delays == 0 {
+					t.Fatalf("%s seed %d: delay profile injected no delays", label, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestSynthesizeSharedBatchMatchesLanes pins the batched-synthesis
+// property at the pipeline level: K stacked requests served in one
+// denoising loop return, request for request, exactly the tables that K
+// sequential single-lane calls with the same seed produce.
+func TestSynthesizeSharedBatchMatchesLanes(t *testing.T) {
+	tb := loanTable(t, 150)
+	cfg := smallConfig(2)
+	cfg.AEIters, cfg.DiffIters = 40, 60
+	cfg.TrainWorkers = 2
+	p, err := NewPipeline(NewLocalBus(), tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.TrainStacked(); err != nil {
+		t.Fatal(err)
+	}
+	const seed = 11
+	ns := []int{3, 5, 2}
+	tables, err := p.SynthesizeSharedBatch(0, seed, ns, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(ns) {
+		t.Fatalf("batch returned %d tables, want %d", len(tables), len(ns))
+	}
+	for k, n := range ns {
+		if tables[k].Data.Rows != n {
+			t.Fatalf("request %d got %d rows, want %d", k, tables[k].Data.Rows, n)
+		}
+		lane, err := p.SynthesizeSharedLane(0, seed, k, n, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameTable(t, "batch-lane", lane, tables[k])
+	}
+}

@@ -33,6 +33,15 @@ type PipelineConfig struct {
 	// LatentNoiseStd adds Gaussian noise to uploaded latents — a
 	// differential-privacy style knob trading quality for obfuscation.
 	LatentNoiseStd float64
+	// TrainWorkers > 0 trains the coordinator's diffusion model
+	// data-parallel across that many workers, with gradient traffic on the
+	// bus as KindGrad envelopes. 0 keeps the single-worker in-process path.
+	TrainWorkers int
+	// TrainShards fixes the logical shard count of data-parallel training
+	// (0 means diffusion.DefaultShards). The shard count — not the worker
+	// count — decides the reduction geometry, so results are bit-identical
+	// across TrainWorkers for a fixed TrainShards.
+	TrainShards int
 }
 
 // Pipeline wires M clients and a coordinator over a Bus and runs the
@@ -268,7 +277,18 @@ func (p *Pipeline) TrainStackedFrom(ck *Checkpoint) (aeLoss, diffLoss float64, e
 		dspan := p.Rec.StartSpan("diffusion-train")
 		dspan.SetAttr("iters", p.Cfg.DiffIters)
 		p.Rec.ProfilePhaseStart("diffusion-train")
-		diffLoss = p.Coord.TrainDiffusion(ck.latents, p.Cfg.Diff, p.Cfg.DiffIters, p.Cfg.Batch)
+		if p.Cfg.TrainWorkers > 0 {
+			dspan.SetAttr("workers", p.Cfg.TrainWorkers)
+			diffLoss, err = p.Coord.TrainDiffusionDDP(p.Bus, ck.latents, p.Cfg.Diff,
+				p.Cfg.DiffIters, p.Cfg.Batch, p.Cfg.TrainWorkers, p.Cfg.TrainShards)
+			if err != nil {
+				p.Rec.ProfilePhaseEnd("diffusion-train")
+				dspan.End()
+				return aeLoss, 0, err
+			}
+		} else {
+			diffLoss = p.Coord.TrainDiffusion(ck.latents, p.Cfg.Diff, p.Cfg.DiffIters, p.Cfg.Batch)
+		}
 		p.Rec.ProfilePhaseEnd("diffusion-train")
 		dspan.SetAttr("loss", diffLoss)
 		dspan.End()
@@ -292,13 +312,19 @@ type RecoveryConfig struct {
 	OnPeerDead func(peer string) error
 }
 
-// parties lists every actor name on the bus, clients first.
+// parties lists every actor name on the bus, clients first. With
+// data-parallel training enabled the gradient plane's parties are included,
+// so a transport reset clears their in-flight state too.
 func (p *Pipeline) parties() []string {
 	out := make([]string, 0, len(p.Clients)+1)
 	for _, c := range p.Clients {
 		out = append(out, c.ID)
 	}
-	return append(out, p.Coord.ID)
+	out = append(out, p.Coord.ID)
+	if p.Cfg.TrainWorkers > 0 {
+		out = append(out, DDPParties(p.Cfg.TrainWorkers)...)
+	}
+	return out
 }
 
 // TrainStackedResilient runs stacked training with phase-level crash
@@ -405,6 +431,114 @@ func (p *Pipeline) SynthesizePartitioned(requester int, n int, sample bool) ([]*
 	}
 	p.Fed.FlushLocal()
 	return out, nil
+}
+
+// SynthesizeSharedBatch stacks len(ns) concurrent synthesis requests into
+// one denoising ping-pong: request k receives ns[k] rows drawn from
+// sampling lane k (diffusion.LaneRng(seed, k)). One protocol round serves
+// all requests — one synth-req, one latent distribution, one decode per
+// client — and lane independence makes request k's rows bit-identical to a
+// sequential SynthesizeSharedLane(requester, seed, k, ns[k], sample) call.
+func (p *Pipeline) SynthesizeSharedBatch(requester int, seed int64, ns []int, sample bool) ([]*tabular.Table, error) {
+	joined, err := p.synthesizeSharedStacked(requester, seed, 0, ns, sample)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*tabular.Table, len(ns))
+	off := 0
+	for k, n := range ns {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = off + i
+		}
+		out[k] = joined.SelectRows(idx)
+		off += n
+	}
+	return out, nil
+}
+
+// SynthesizeSharedLane serves a single synthesis request on an explicit
+// sampling lane — the sequential comparator for SynthesizeSharedBatch.
+func (p *Pipeline) SynthesizeSharedLane(requester int, seed int64, lane, n int, sample bool) (*tabular.Table, error) {
+	return p.synthesizeSharedStacked(requester, seed, lane, []int{n}, sample)
+}
+
+// synthesizeSharedStacked runs the batched Algorithm 2 round: synth-req,
+// one stacked latent batch sampled on lanes lane0..lane0+len(ns)-1,
+// distribution, parallel decode, vertical join. The returned table holds
+// the lanes' rows stacked in lane order.
+func (p *Pipeline) synthesizeSharedStacked(requester int, seed int64, lane0 int, ns []int, sample bool) (*tabular.Table, error) {
+	if requester < 0 || requester >= len(p.Clients) {
+		return nil, fmt.Errorf("silo: invalid requesting client %d", requester)
+	}
+	total := 0
+	for _, n := range ns {
+		total += n
+	}
+	span := p.Rec.StartSpan("synthesis")
+	span.SetAttr("rows", total)
+	span.SetAttr("lanes", len(ns))
+	span.SetAttr("steps", p.Cfg.SynthSteps)
+	defer span.End()
+	p.Rec.ProfilePhaseStart("synthesis")
+	defer p.Rec.ProfilePhaseEnd("synthesis")
+	req := &Envelope{From: p.Clients[requester].ID, To: p.Coord.ID, Kind: KindSynthReq}
+	if err := p.Bus.Send(req); err != nil {
+		return nil, err
+	}
+	for {
+		env, err := p.Bus.Recv(p.Coord.ID)
+		if err != nil {
+			return nil, err
+		}
+		if p.Fed.Observe(env) {
+			continue // leftover federated telemetry
+		}
+		if env.Kind != KindSynthReq {
+			return nil, fmt.Errorf("silo: coordinator expected synth request, got %q", env.Kind)
+		}
+		break
+	}
+
+	parts, err := p.Coord.SampleLatentsBatch(seed, lane0, ns, p.Cfg.SynthSteps)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Coord.DistributeLatents(p.Bus, parts); err != nil {
+		return nil, err
+	}
+
+	out := make([]*tabular.Table, len(p.Clients))
+	errs := make([]error, len(p.Clients))
+	var wg sync.WaitGroup
+	for i, c := range p.Clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			env, err := p.Bus.Recv(c.ID)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if env.Kind != KindSynthLatent {
+				errs[i] = fmt.Errorf("silo: client %s expected synth latents, got %q", c.ID, env.Kind)
+				return
+			}
+			out[i], errs[i] = c.DecodeLatents(env.Payload, sample)
+			p.Fed.Flush(p.Bus, c.ID)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	if err := p.Fed.Drain(p.Bus); err != nil {
+		return nil, err
+	}
+	p.Fed.FlushLocal()
+	return tabular.JoinVertical(p.Schema, p.Parts, out)
 }
 
 // SynthesizeShared runs SynthesizePartitioned and then joins the partitions

@@ -1,0 +1,46 @@
+package tensor
+
+// Flat-slice reduction kernels for the data-parallel all-reduce. These run
+// single-threaded by design: the DDP reduce folds per-shard gradients in a
+// fixed ascending order so the result is bit-identical regardless of how
+// many workers produced the shards, and fanning the fold across the pool
+// would reintroduce an order dependence on chunk boundaries. Gradient
+// vectors are small (one float per parameter), so a serial pass is cheap.
+
+// ReduceAccumulate adds src into dst element by element, ascending index.
+// Panics on length mismatch — a shard gradient that changed size mid-run is
+// a protocol bug, not a recoverable condition.
+//
+//silofuse:noalloc
+//silofuse:fixedreduce
+func ReduceAccumulate(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("tensor: ReduceAccumulate length mismatch")
+	}
+	for i := 0; i < len(dst); i++ {
+		dst[i] += src[i]
+	}
+}
+
+// ReduceScale multiplies dst by s in place, ascending index — the final
+// 1/S averaging step of the all-reduce, applied exactly once after the
+// ascending fold so every worker sees the same rounding.
+//
+//silofuse:noalloc
+//silofuse:fixedreduce
+func ReduceScale(dst []float64, s float64) {
+	for i := 0; i < len(dst); i++ {
+		dst[i] *= s
+	}
+}
+
+// ReduceZero clears dst in ascending order, readying the accumulator for
+// the next iteration's fold.
+//
+//silofuse:noalloc
+//silofuse:fixedreduce
+func ReduceZero(dst []float64) {
+	for i := 0; i < len(dst); i++ {
+		dst[i] = 0
+	}
+}
